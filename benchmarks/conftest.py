@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure of the (reconstructed)
+evaluation — see DESIGN.md for the experiment index and EXPERIMENTS.md for
+recorded outcomes.  Tables are printed to stdout *and* written under
+``benchmarks/results/`` so they survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print an experiment table and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,75 @@
+"""E10 — resolution/particle ablations of the two core solvers.
+
+Reconstructed claim: grid-BP error falls with grid resolution until the
+ranging noise (not quantization) dominates, with quadratically growing
+cost; NBP error falls with particle count with linearly growing cost.
+These are the design-choice ablations DESIGN.md calls out.
+"""
+
+import time
+
+import numpy as np
+from conftest import report
+
+from repro.core import GridBPConfig, GridBPLocalizer, NBPConfig, NBPLocalizer
+from repro.experiments import ScenarioConfig, build_scenario
+from repro.utils.rng import spawn_seeds
+from repro.utils.tables import format_table
+
+CFG = ScenarioConfig(n_nodes=60, anchor_ratio=0.15, radio_range=0.22, noise_ratio=0.1)
+GRID_SIZES = [8, 12, 16, 24]
+PARTICLES = [50, 100, 200, 400]
+N_TRIALS = 3
+
+
+def run_experiment():
+    grid_rows = []
+    for g in GRID_SIZES:
+        errs, times = [], []
+        for seed in spawn_seeds(100 + g, N_TRIALS):
+            net, ms, prior = build_scenario(CFG, seed)
+            unknown = ~net.anchor_mask
+            t0 = time.perf_counter()
+            res = GridBPLocalizer(
+                prior=prior, config=GridBPConfig(grid_size=g, max_iterations=10)
+            ).localize(ms)
+            times.append(time.perf_counter() - t0)
+            errs.append(np.nanmean(res.errors(net.positions)[unknown]) / CFG.radio_range)
+        grid_rows.append([g, float(np.mean(errs)), float(np.mean(times))])
+
+    nbp_rows = []
+    for n_p in PARTICLES:
+        errs, times = [], []
+        for seed in spawn_seeds(200 + n_p, N_TRIALS):
+            net, ms, prior = build_scenario(CFG, seed)
+            unknown = ~net.anchor_mask
+            t0 = time.perf_counter()
+            res = NBPLocalizer(
+                prior=prior, config=NBPConfig(n_particles=n_p, n_iterations=5)
+            ).localize(ms, rng=0)
+            times.append(time.perf_counter() - t0)
+            errs.append(np.nanmean(res.errors(net.positions)[unknown]) / CFG.radio_range)
+        nbp_rows.append([n_p, float(np.mean(errs)), float(np.mean(times))])
+    return grid_rows, nbp_rows
+
+
+def test_e10_ablation(benchmark):
+    grid_rows, nbp_rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    t1 = format_table(
+        ["grid_size", "mean_err/r", "runtime_s"],
+        grid_rows,
+        title=f"E10a: grid-BP resolution ablation ({N_TRIALS} trials)",
+    )
+    t2 = format_table(
+        ["particles", "mean_err/r", "runtime_s"],
+        nbp_rows,
+        title=f"E10b: NBP particle-count ablation ({N_TRIALS} trials)",
+    )
+    report("e10_ablation", t1 + "\n\n" + t2)
+    # finer grid is more accurate than the coarsest grid
+    assert grid_rows[-1][1] < grid_rows[0][1]
+    # runtime grows with resolution
+    assert grid_rows[-1][2] > grid_rows[0][2]
+    # more particles help NBP
+    assert nbp_rows[-1][1] < nbp_rows[0][1] + 0.02
+    assert nbp_rows[-1][2] > nbp_rows[0][2]

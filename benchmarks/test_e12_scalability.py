@@ -1,0 +1,88 @@
+"""E12 — scalability: runtime and traffic vs network size.
+
+Reconstructed claim (the ICPP angle): per-trial runtime of the grid-BP
+solver grows roughly linearly in the number of links (nodes × degree) —
+message passing is local — and the distributed traffic per node stays
+flat, so the scheme scales to large networks.  The Monte-Carlo trial
+executor is also exercised to show trials parallelize without changing
+results.
+"""
+
+import time
+
+import numpy as np
+from conftest import report
+
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.experiments import ScenarioConfig, build_scenario
+from repro.parallel import run_trials
+from repro.utils.rng import spawn_seeds
+from repro.utils.tables import format_table
+
+SIZES = [50, 100, 200, 350]
+BP_CFG = GridBPConfig(grid_size=16, max_iterations=8)
+N_TRIALS = 3
+
+
+def _one_size(n: int) -> list:
+    # Shrink the radio range as density grows so the mean degree stays
+    # constant — the standard scalability protocol (otherwise the graph
+    # densifies quadratically and per-node work grows with it).
+    cfg = ScenarioConfig(
+        n_nodes=n,
+        anchor_ratio=0.1,
+        radio_range=0.2 * np.sqrt(100.0 / n),
+        require_connected=False,
+    )
+    times, msgs, edges = [], [], []
+    for seed in spawn_seeds(120 + n, N_TRIALS):
+        net, ms, prior = build_scenario(cfg, seed)
+        t0 = time.perf_counter()
+        res = GridBPLocalizer(prior=prior, config=BP_CFG).localize(ms)
+        times.append(time.perf_counter() - t0)
+        msgs.append(res.messages_sent)
+        edges.append(len(ms.edges()))
+    return [
+        n,
+        float(np.mean(edges)),
+        float(np.mean(times)),
+        float(np.mean(msgs)),
+        float(np.mean(msgs)) / n,
+    ]
+
+
+def run_experiment():
+    return [_one_size(n) for n in SIZES]
+
+
+def _executor_trial(seed: int) -> float:
+    cfg = ScenarioConfig(n_nodes=40, anchor_ratio=0.15, radio_range=0.25)
+    net, ms, prior = build_scenario(cfg, seed)
+    res = GridBPLocalizer(
+        prior=prior, config=GridBPConfig(grid_size=12, max_iterations=5)
+    ).localize(ms)
+    return float(np.nanmean(res.errors(net.positions)[~net.anchor_mask]))
+
+
+def test_e12_scalability(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "e12_scalability",
+        format_table(
+            ["n_nodes", "links", "runtime_s", "messages", "msgs/node"],
+            rows,
+            title=f"E12: grid-BP scaling with network size ({N_TRIALS} trials)",
+        ),
+    )
+    # runtime grows sublinearly in n² — i.e. roughly with the link count:
+    # time per link at the largest size is within 4x of the smallest
+    per_link = [r[2] / r[1] for r in rows]
+    assert per_link[-1] < 4 * per_link[0]
+    # per-node traffic stays flat (within 2.5x across a 7x size range)
+    per_node = [r[4] for r in rows]
+    assert max(per_node) < 2.5 * min(per_node)
+
+    # the trial executor parallelizes without changing results
+    serial = run_trials(_executor_trial, 4, seed=9, n_workers=1)
+    parallel = run_trials(_executor_trial, 4, seed=9, n_workers=2)
+    assert serial == parallel

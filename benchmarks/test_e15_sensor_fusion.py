@@ -1,0 +1,68 @@
+"""E15 — sensor fusion: ranges, bearings, and both (extension experiment).
+
+Angle-of-arrival hardware gives each link a bearing; the Bayesian network
+fuses it with ranging by simply multiplying the corresponding potentials.
+Reconstructed claim: bearings alone localize (rays triangulate), fusion
+beats either modality, and the fusion benefit grows as the *range*
+information degrades (high σ) — the classic complementary-sensors story.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.experiments import ScenarioConfig, build_scenario
+from repro.utils.rng import spawn_seeds
+from repro.utils.tables import format_series
+
+NOISE = [0.05, 0.15, 0.30]
+BEARING_SIGMA = 0.15  # ~8.6 degrees
+BASE = ScenarioConfig(
+    n_nodes=70, anchor_ratio=0.1, radio_range=0.22, pk_error=None
+)
+BP_CFG = GridBPConfig(grid_size=16, max_iterations=8)
+N_TRIALS = 4
+
+
+def run_experiment():
+    curves = {"range-only": [], "aoa-only": [], "range+aoa": []}
+    for nr in NOISE:
+        errs = {m: [] for m in curves}
+        variants = {
+            "range-only": BASE.replace(noise_ratio=nr),
+            "aoa-only": BASE.replace(ranging="none", bearing_sigma=BEARING_SIGMA),
+            "range+aoa": BASE.replace(noise_ratio=nr, bearing_sigma=BEARING_SIGMA),
+        }
+        for seed in spawn_seeds(150, N_TRIALS):
+            for name, cfg in variants.items():
+                net, ms, _ = build_scenario(cfg, seed)
+                unknown = ~net.anchor_mask
+                res = GridBPLocalizer(config=BP_CFG).localize(ms)
+                e = res.errors(net.positions)[unknown] / net.radio_range
+                errs[name].append(float(np.nanmean(e)))
+        for m in curves:
+            curves[m].append(float(np.mean(errs[m])))
+    return curves
+
+
+def test_e15_sensor_fusion(benchmark):
+    curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "e15_sensor_fusion",
+        format_series(
+            "range_sigma/r",
+            NOISE,
+            curves,
+            title="E15: mean error / r — ranging vs AoA vs fused "
+            f"(bearing sigma {BEARING_SIGMA} rad, {N_TRIALS} trials)",
+        ),
+    )
+    for i in range(len(NOISE)):
+        # fusion beats both single modalities at every noise level
+        assert curves["range+aoa"][i] <= curves["range-only"][i] + 0.01
+        assert curves["range+aoa"][i] <= curves["aoa-only"][i] + 0.01
+    # AoA-only is range-noise independent (same at every x by construction)
+    assert max(curves["aoa-only"]) - min(curves["aoa-only"]) < 0.05
+    # the fusion margin over range-only grows with range noise
+    margin = [r - f for r, f in zip(curves["range-only"], curves["range+aoa"])]
+    assert margin[-1] > margin[0]

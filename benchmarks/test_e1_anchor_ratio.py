@@ -1,0 +1,47 @@
+"""E1 — localization error vs anchor ratio (the headline figure).
+
+Reconstructed claim: the Bayesian-network localizer with pre-knowledge
+(bn-pk) dominates the same inference without it (bn) and the classic
+baselines, with the largest margin at *low* anchor density; all methods
+improve and the gap narrows as anchors become plentiful.
+"""
+
+from conftest import report
+
+from repro.experiments import ScenarioConfig, run_sweep, standard_methods, sweep_table
+
+RATIOS = [0.05, 0.10, 0.15, 0.20, 0.30]
+BASE = ScenarioConfig(n_nodes=80, radio_range=0.2, noise_ratio=0.1, pk_error=0.1)
+METHODS = standard_methods(
+    grid_size=16,
+    max_iterations=10,
+    include=["bn-pk", "bn", "dv-hop", "mds-map", "centroid"],
+)
+N_TRIALS = 5
+
+
+def run_experiment():
+    return run_sweep(BASE, "anchor_ratio", RATIOS, METHODS, N_TRIALS, seed=10)
+
+
+def test_e1_anchor_ratio(benchmark):
+    sweep = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "e1_anchor_ratio",
+        sweep_table(
+            sweep,
+            title="E1: mean error / r vs anchor ratio "
+            f"(n={BASE.n_nodes}, sigma=0.1r, {N_TRIALS} trials)",
+        ),
+    )
+    s = sweep.series("mean_error_norm")
+    # pre-knowledge helps at every operating point
+    assert all(pk <= no + 0.02 for pk, no in zip(s["bn-pk"], s["bn"]))
+    # headline: bn-pk wins at the lowest anchor density
+    others = ["bn", "dv-hop", "mds-map", "centroid"]
+    assert s["bn-pk"][0] == min(s[m][0] for m in ["bn-pk", *others])
+    # every method improves from scarce to plentiful anchors
+    for m in ("bn-pk", "bn", "dv-hop", "centroid"):
+        assert s[m][-1] < s[m][0]
+    # the pre-knowledge margin shrinks as anchors grow
+    assert (s["bn"][0] - s["bn-pk"][0]) >= (s["bn"][-1] - s["bn-pk"][-1]) - 0.02

@@ -1,0 +1,40 @@
+"""E2 — localization error vs node density (connectivity).
+
+Reconstructed claim: denser networks give every cooperative method more
+constraints, so error falls with n; the Bayesian methods exploit the extra
+links best, and pre-knowledge matters most in sparse networks.
+"""
+
+from conftest import report
+
+from repro.experiments import ScenarioConfig, run_sweep, standard_methods, sweep_table
+
+SIZES = [50, 80, 120, 180]
+BASE = ScenarioConfig(anchor_ratio=0.1, radio_range=0.2, noise_ratio=0.1)
+METHODS = standard_methods(
+    grid_size=16, max_iterations=10, include=["bn-pk", "bn", "dv-hop"]
+)
+N_TRIALS = 4
+
+
+def run_experiment():
+    return run_sweep(BASE, "n_nodes", SIZES, METHODS, N_TRIALS, seed=20)
+
+
+def test_e2_density(benchmark):
+    sweep = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "e2_density",
+        sweep_table(
+            sweep,
+            title="E2: mean error / r vs node count "
+            f"(10% anchors, sigma=0.1r, {N_TRIALS} trials)",
+        ),
+    )
+    s = sweep.series("mean_error_norm")
+    # density helps every cooperative method end-to-end
+    for m in ("bn-pk", "bn", "dv-hop"):
+        assert s[m][-1] < s[m][0]
+    # pre-knowledge never hurts, and bn-pk leads in the sparsest setting
+    assert all(pk <= no + 0.02 for pk, no in zip(s["bn-pk"], s["bn"]))
+    assert s["bn-pk"][0] <= min(s["bn"][0], s["dv-hop"][0])

@@ -1,0 +1,42 @@
+"""E3 — localization error vs ranging-noise level.
+
+Reconstructed claim: all range-based methods degrade as σ grows; the
+Bayesian methods degrade gracefully because the potentials widen with the
+modeled noise, and pre-knowledge provides a floor that keeps bn-pk ahead
+at high noise (the prior carries information the measurements lose).
+"""
+
+from conftest import report
+
+from repro.experiments import ScenarioConfig, run_sweep, standard_methods, sweep_table
+
+NOISE = [0.02, 0.05, 0.10, 0.20, 0.30]
+BASE = ScenarioConfig(n_nodes=80, anchor_ratio=0.1, radio_range=0.2)
+METHODS = standard_methods(
+    grid_size=16, max_iterations=10, include=["bn-pk", "bn", "mds-map", "mle"]
+)
+N_TRIALS = 4
+
+
+def run_experiment():
+    return run_sweep(BASE, "noise_ratio", NOISE, METHODS, N_TRIALS, seed=30)
+
+
+def test_e3_noise(benchmark):
+    sweep = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "e3_noise",
+        sweep_table(
+            sweep,
+            title="E3: mean error / r vs ranging noise sigma/r "
+            f"(n={BASE.n_nodes}, 10% anchors, {N_TRIALS} trials)",
+        ),
+    )
+    s = sweep.series("mean_error_norm")
+    # noise hurts: the noisiest point is worse than the cleanest for the
+    # measurement-driven methods
+    for m in ("bn", "mds-map"):
+        assert s[m][-1] > s[m][0]
+    # pre-knowledge floor: bn-pk stays ahead of bn everywhere, most at the end
+    assert all(pk <= no + 0.02 for pk, no in zip(s["bn-pk"], s["bn"]))
+    assert s["bn-pk"][-1] < s["bn"][-1]

@@ -1,0 +1,42 @@
+"""E4 — localization error vs radio range.
+
+Reconstructed claim: a longer radio range buys connectivity (more
+constraints per node, better coverage) at fixed node count, so errors and
+coverage improve with range; sparse-connectivity points favor bn-pk most.
+Networks are *not* forced connected here — coverage is part of the story.
+"""
+
+from conftest import report
+
+from repro.experiments import ScenarioConfig, run_sweep, standard_methods, sweep_table
+
+RANGES = [0.15, 0.20, 0.25, 0.30]
+BASE = ScenarioConfig(
+    n_nodes=80, anchor_ratio=0.1, noise_ratio=0.1, require_connected=False
+)
+METHODS = standard_methods(
+    grid_size=16, max_iterations=10, include=["bn-pk", "bn", "dv-hop"]
+)
+N_TRIALS = 4
+
+
+def run_experiment():
+    return run_sweep(BASE, "radio_range", RANGES, METHODS, N_TRIALS, seed=40)
+
+
+def test_e4_radio_range(benchmark):
+    sweep = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    err = sweep_table(
+        sweep,
+        title="E4: mean error / r vs radio range "
+        f"(n={BASE.n_nodes}, 10% anchors, {N_TRIALS} trials)",
+    )
+    cov = sweep_table(sweep, stat="coverage", title="E4b: coverage vs radio range")
+    report("e4_radio_range", err + "\n\n" + cov)
+    s = sweep.series("mean_error_norm")
+    c = sweep.series("coverage")
+    # normalized error improves (or coverage does) as range grows
+    assert s["bn-pk"][-1] < s["bn-pk"][0]
+    for m in ("bn-pk", "bn", "dv-hop"):
+        assert c[m][-1] >= c[m][0] - 0.02
+    assert all(pk <= no + 0.02 for pk, no in zip(s["bn-pk"], s["bn"]))

@@ -1,0 +1,56 @@
+"""E5 — per-node error CDF at the canonical operating point.
+
+Reconstructed claim: the bn-pk error distribution stochastically dominates
+(its CDF lies left of / above the others at the thresholds papers quote,
+e.g. "fraction of nodes within 0.5 r").
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.experiments import ScenarioConfig, build_scenario, standard_methods
+from repro.metrics import cdf_at
+from repro.utils.rng import spawn_seeds
+from repro.utils.tables import format_series
+
+CFG = ScenarioConfig(n_nodes=80, anchor_ratio=0.1, radio_range=0.2, noise_ratio=0.1)
+METHODS = standard_methods(
+    grid_size=16, max_iterations=10, include=["bn-pk", "bn", "dv-hop", "mds-map"]
+)
+N_TRIALS = 5
+THRESHOLDS_R = np.array([0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0])
+
+
+def run_experiment():
+    pooled = {name: [] for name in METHODS}
+    for seed in spawn_seeds(50, N_TRIALS):
+        net, ms, prior = build_scenario(CFG, seed)
+        unknown = ~net.anchor_mask
+        for name, factory in METHODS.items():
+            res = factory(prior).localize(ms, rng=0)
+            pooled[name].extend(res.errors(net.positions)[unknown].tolist())
+    return {
+        name: cdf_at(np.array(errs), THRESHOLDS_R * CFG.radio_range)
+        for name, errs in pooled.items()
+    }
+
+
+def test_e5_error_cdf(benchmark):
+    cdfs = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "e5_error_cdf",
+        format_series(
+            "err<=x*r",
+            [f"{t:.2f}" for t in THRESHOLDS_R],
+            {name: list(vals) for name, vals in cdfs.items()},
+            title=f"E5: error CDF, fraction of nodes within x*r ({N_TRIALS} trials pooled)",
+        ),
+    )
+    # stochastic dominance of bn-pk at the quoted thresholds
+    for other in ("bn", "dv-hop", "mds-map"):
+        assert all(
+            pk >= o - 0.03 for pk, o in zip(cdfs["bn-pk"], cdfs[other])
+        ), other
+    # the classic headline row: nodes within 0.5 r
+    i = list(THRESHOLDS_R).index(0.5)
+    assert cdfs["bn-pk"][i] > 0.8

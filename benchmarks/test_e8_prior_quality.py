@@ -1,0 +1,69 @@
+"""E8 — sensitivity to pre-knowledge quality.
+
+Reconstructed claim: a calibrated prior helps; as the deployment record
+acquires a systematic bias the benefit erodes gracefully, and a badly
+wrong *confident* prior is worse than no prior at all — the classic
+Bayesian failure mode the paper's "pre-knowledge" framing must own.
+
+All offsets are evaluated on the *same* networks/measurements (paired
+trials), so the no-PK reference is a single flat number and differences
+are pure prior effects.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.experiments import ScenarioConfig, build_scenario
+from repro.priors import PerNodePrior
+from repro.utils.rng import spawn_seeds
+from repro.utils.tables import format_table
+
+OFFSETS = [0.0, 0.1, 0.2, 0.3, 0.4]
+PK_SIGMA = 0.08  # the prior stays confident while the record drifts
+CFG = ScenarioConfig(
+    n_nodes=80, anchor_ratio=0.1, radio_range=0.2, noise_ratio=0.1, pk_error=PK_SIGMA
+)
+BP_CFG = GridBPConfig(grid_size=16, max_iterations=10)
+N_TRIALS = 4
+
+
+def run_experiment():
+    pk_err = {o: [] for o in OFFSETS}
+    no_pk = []
+    for seed in spawn_seeds(80, N_TRIALS):
+        net, ms, prior = build_scenario(CFG, seed)
+        unknown = ~net.anchor_mask
+        base = GridBPLocalizer(config=BP_CFG).localize(ms)
+        no_pk.append(
+            np.nanmean(base.errors(net.positions)[unknown]) / CFG.radio_range
+        )
+        for o in OFFSETS:
+            shifted = PerNodePrior(
+                prior._intended, sigma=PK_SIGMA, offset=(o, 0.0)
+            )
+            res = GridBPLocalizer(prior=shifted, config=BP_CFG).localize(ms)
+            pk_err[o].append(
+                np.nanmean(res.errors(net.positions)[unknown]) / CFG.radio_range
+            )
+    return {o: float(np.mean(v)) for o, v in pk_err.items()}, float(np.mean(no_pk))
+
+
+def test_e8_prior_quality(benchmark):
+    pk, no_pk = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[o, pk[o], no_pk] for o in OFFSETS]
+    report(
+        "e8_prior_quality",
+        format_table(
+            ["pk_offset", "bn-pk err/r", "bn (no PK) err/r"],
+            rows,
+            title="E8: pre-knowledge bias sensitivity "
+            f"(prior sigma fixed at {PK_SIGMA}, paired {N_TRIALS} trials)",
+        ),
+    )
+    # calibrated pre-knowledge helps
+    assert pk[0.0] < no_pk
+    # degradation grows with the bias
+    assert pk[0.4] > pk[0.2] > pk[0.0]
+    # a badly biased confident prior is WORSE than no pre-knowledge
+    assert pk[0.4] > no_pk

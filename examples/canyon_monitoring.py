@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Irregular (C-shaped) deployment: where hop-count methods break.
+
+Sensors monitor a canyon rim — a C-shaped region around a void (the
+canyon).  Shortest paths between nodes detour around the void, so DV-Hop
+and MDS-MAP systematically overestimate cross-void distances and warp the
+map.  The Bayesian localizer degrades far less, and the *region prior*
+("nodes are on the rim, not in the canyon") — pre-knowledge that costs the
+operator nothing — tightens it further.
+
+Run:  python examples/canyon_monitoring.py
+"""
+
+from repro import (
+    CShapeDeployment,
+    CooperativeLocalizer,
+    DVHopLocalizer,
+    GaussianRanging,
+    MDSMAPLocalizer,
+    NetworkConfig,
+    RegionPrior,
+    UnitDiskRadio,
+    generate_network,
+    observe,
+    summarize_errors,
+)
+
+SEED = 23
+
+
+def main() -> None:
+    shape = CShapeDeployment(notch_width=0.6, notch_height=0.4)
+    config = NetworkConfig(
+        n_nodes=120,
+        anchor_ratio=0.12,
+        deployment=shape,
+        radio=UnitDiskRadio(0.20),
+        require_connected=True,
+    )
+    net = generate_network(config, rng=SEED)
+    measurements = observe(net, GaussianRanging(0.02), rng=SEED + 1)
+    unknown = ~net.anchor_mask
+    print(
+        f"C-shaped network: {net.n_nodes} nodes, {net.n_anchors} anchors, "
+        f"mean degree {net.mean_degree():.1f}\n"
+    )
+
+    region_prior = RegionPrior(shape.contains)
+    rows = [
+        (
+            "BN + region pre-knowledge",
+            CooperativeLocalizer("grid-bp", prior=region_prior).localize(measurements),
+        ),
+        (
+            "BN (no prior)            ",
+            CooperativeLocalizer("grid-bp").localize(measurements),
+        ),
+        ("DV-Hop                   ", DVHopLocalizer().localize(measurements)),
+        ("MDS-MAP                  ", MDSMAPLocalizer().localize(measurements)),
+    ]
+    for label, result in rows:
+        s = summarize_errors(result.errors(net.positions), net.radio_range, unknown)
+        print(
+            f"{label}: mean {s.mean_norm:.2f} r, p90 {s.p90_norm:.2f} r, "
+            f"coverage {s.coverage:.0%}"
+        )
+    print(
+        "\nHop-based methods warp across the void; the Bayesian network"
+        "\nonly relies on local geometry, and the free region prior helps more."
+    )
+
+
+if __name__ == "__main__":
+    main()

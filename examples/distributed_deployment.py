@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Distributed execution: the same inference, one mailbox at a time.
+
+The Bayesian-network localizer is designed to run *on the sensor nodes
+themselves*: each node holds its own belief, and one BP iteration is one
+radio broadcast round.  This example runs the distributed simulator
+(per-node agents, explicit mailboxes, counted messages) and verifies it
+reaches the same answer as the centralized solver, then prints the
+accuracy-vs-communication trade-off round by round.
+
+Run:  python examples/distributed_deployment.py
+"""
+
+import numpy as np
+
+from repro import GaussianRanging, NetworkConfig, UnitDiskRadio, generate_network, observe
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.metrics import error_per_iteration
+from repro.parallel import DistributedBPSimulator
+
+SEED = 47
+
+
+def main() -> None:
+    net = generate_network(
+        NetworkConfig(
+            n_nodes=80,
+            anchor_ratio=0.1,
+            radio=UnitDiskRadio(0.22),
+            require_connected=True,
+        ),
+        rng=SEED,
+    )
+    ms = observe(net, GaussianRanging(0.02), rng=SEED + 1)
+    unknown = ~net.anchor_mask
+    cfg = GridBPConfig(grid_size=20, max_iterations=10, tol=1e-9, record_trace=True)
+
+    central = GridBPLocalizer(config=cfg).localize(ms)
+    distributed, rounds = DistributedBPSimulator(config=cfg).run(ms)
+
+    gap = np.nanmax(
+        np.abs(central.estimates[unknown] - distributed.estimates[unknown])
+    )
+    print(f"max |centralized − distributed| estimate gap: {gap:.2e}\n")
+
+    curve = error_per_iteration(central, net.positions, unknown)
+    print("round  messages  cumulative-kB  mean-error/r")
+    cum_bytes = 0
+    print(f"{0:5d}  {0:8d}  {0:13.1f}  {curve[0] / net.radio_range:12.3f}")
+    for s in rounds:
+        cum_bytes += s.bytes
+        err = curve[min(s.round_index, len(curve) - 1)]
+        print(
+            f"{s.round_index:5d}  {s.messages:8d}  {cum_bytes / 1024:13.1f}  "
+            f"{err / net.radio_range:12.3f}"
+        )
+    print(
+        "\nMost of the accuracy arrives in the first few broadcast rounds —"
+        "\nthe basis of the cost/accuracy trade-off in experiment E7."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: localize one random sensor network three ways.
+
+Generates a 100-node network with 10 % anchors, takes noisy RSSI-free
+Gaussian range measurements, and compares:
+
+1. the Bayesian-network localizer *with* pre-knowledge (a noisy record of
+   where each node was meant to be deployed),
+2. the same inference *without* pre-knowledge,
+3. the classic DV-Hop baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CooperativeLocalizer,
+    DVHopLocalizer,
+    GaussianRanging,
+    NetworkConfig,
+    PerNodePrior,
+    UnitDiskRadio,
+    generate_network,
+    observe,
+    summarize_errors,
+)
+
+SEED = 7
+
+
+def main() -> None:
+    # 1. Deploy the network ------------------------------------------------
+    config = NetworkConfig(
+        n_nodes=100,
+        anchor_ratio=0.10,
+        radio=UnitDiskRadio(0.20),
+        require_connected=True,
+    )
+    net = generate_network(config, rng=SEED)
+    print(
+        f"network: {net.n_nodes} nodes, {net.n_anchors} anchors, "
+        f"mean degree {net.mean_degree():.1f}"
+    )
+
+    # 2. Observe it --------------------------------------------------------
+    ranging = GaussianRanging(sigma=0.02)  # 10 % of the radio range
+    measurements = observe(net, ranging, rng=SEED + 1)
+
+    # 3. Pre-knowledge: the operator's noisy deployment record --------------
+    rng = np.random.default_rng(SEED + 2)
+    deployment_record = net.positions + rng.normal(0.0, 0.08, size=(net.n_nodes, 2))
+    pre_knowledge = PerNodePrior(deployment_record, sigma=0.08)
+
+    # 4. Localize three ways -------------------------------------------------
+    unknown = ~net.anchor_mask
+    for label, result in [
+        (
+            "Bayesian network + pre-knowledge",
+            CooperativeLocalizer("grid-bp", prior=pre_knowledge).localize(
+                measurements
+            ),
+        ),
+        (
+            "Bayesian network (no prior)     ",
+            CooperativeLocalizer("grid-bp").localize(measurements),
+        ),
+        (
+            "DV-Hop baseline                 ",
+            DVHopLocalizer().localize(measurements),
+        ),
+    ]:
+        errors = result.errors(net.positions)
+        summary = summarize_errors(errors, net.radio_range, unknown)
+        print(
+            f"{label}: mean error {summary.mean:.4f} "
+            f"({summary.mean_norm:.2f} r), coverage {summary.coverage:.0%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot perform PEP 660
+editable installs; ``python setup.py develop`` (or ``pip install -e .`` on
+modern toolchains) both work through this shim.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Classic localization baselines the Bayesian method is compared against.
+
+All implement the same :class:`~repro.core.result.Localizer` interface:
+
+* :class:`CentroidLocalizer` / :class:`WeightedCentroidLocalizer` —
+  range-free one-shot anchor averaging (Bulusu et al.).
+* :class:`DVHopLocalizer` — hop-count distance estimation + lateration
+  (Niculescu & Nath).
+* :class:`MDSMAPLocalizer` — classical multidimensional scaling on the
+  shortest-path distance matrix, anchored by Procrustes (Shang et al.).
+* :class:`MultilaterationLocalizer` — per-node (iterative) least-squares
+  lateration against anchors and already-localized neighbors.
+* :class:`MLELocalizer` — centralized cooperative maximum-likelihood via
+  nonlinear optimization of the ranging stress.
+"""
+
+from repro.baselines.centroid import CentroidLocalizer, WeightedCentroidLocalizer
+from repro.baselines.dvhop import DVHopLocalizer
+from repro.baselines.mds import MDSMAPLocalizer
+from repro.baselines.multilateration import MultilaterationLocalizer, lateration
+from repro.baselines.mle import MLELocalizer
+
+__all__ = [
+    "CentroidLocalizer",
+    "WeightedCentroidLocalizer",
+    "DVHopLocalizer",
+    "MDSMAPLocalizer",
+    "MultilaterationLocalizer",
+    "MLELocalizer",
+    "lateration",
+]

@@ -1,0 +1,198 @@
+"""Sum-product / max-product belief propagation on factor graphs.
+
+Synchronous (flooding) message passing with optional damping:
+
+* On tree-structured graphs BP converges in ≤ diameter iterations and is
+  exact — the test suite checks it against variable elimination.
+* On loopy graphs it is the standard approximation; messages are damped
+  (``new = λ·new + (1-λ)·old``) and iteration stops when the max absolute
+  message change falls below ``tol``.
+
+Messages are kept normalized for numerical stability.  This engine is
+deliberately general (any discrete factor graph); the localization core
+builds a *specialized* vectorized BP for its grid model, and the tests
+cross-check the two on shared instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bayesnet.factor import DiscreteFactor
+from repro.bayesnet.graph import FactorGraph
+
+__all__ = ["BeliefPropagation", "BPResult"]
+
+
+@dataclass
+class BPResult:
+    """Outcome of a BP run.
+
+    Attributes
+    ----------
+    beliefs:
+        ``{variable: posterior numpy vector}`` (normalized).
+    converged:
+        Whether the message residual dropped below tolerance.
+    n_iterations:
+        Iterations actually executed.
+    residuals:
+        Max message change per iteration (convergence trace).
+    """
+
+    beliefs: dict
+    converged: bool
+    n_iterations: int
+    residuals: list[float] = field(default_factory=list)
+
+    def belief(self, variable) -> np.ndarray:
+        return self.beliefs[variable]
+
+    def map_states(self) -> dict:
+        """Per-variable argmax of the final beliefs."""
+        return {v: int(np.argmax(b)) for v, b in self.beliefs.items()}
+
+
+class BeliefPropagation:
+    """Sum-product (or max-product) BP over a :class:`FactorGraph`."""
+
+    def __init__(
+        self,
+        graph: FactorGraph,
+        max_iterations: int = 50,
+        tol: float = 1e-6,
+        damping: float = 0.0,
+        max_product: bool = False,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not (0.0 <= damping < 1.0):
+            raise ValueError("damping must lie in [0, 1)")
+        if tol <= 0:
+            raise ValueError("tol must be positive")
+        self.graph = graph
+        self.max_iterations = int(max_iterations)
+        self.tol = float(tol)
+        self.damping = float(damping)
+        self.max_product = bool(max_product)
+
+    # ------------------------------------------------------------------ #
+    def run(self, evidence: dict | None = None) -> BPResult:
+        """Run BP, optionally conditioning on ``{variable: state}`` evidence."""
+        graph = self.graph
+        if evidence:
+            factors = [f.reduce(evidence) if set(f.variables) & set(evidence)
+                       and not set(f.variables) <= set(evidence) else f
+                       for f in graph.factors
+                       if not set(f.variables) <= set(evidence)]
+            if not factors:
+                raise ValueError("evidence observes every variable")
+            graph = FactorGraph(factors)
+
+        cards = graph.cardinalities
+        # Message containers keyed by directed edge.
+        var_to_fac: dict = {}
+        fac_to_var: dict = {}
+        for fi, f in enumerate(graph.factors):
+            for v in f.variables:
+                var_to_fac[(v, fi)] = np.full(cards[v], 1.0 / cards[v])
+                fac_to_var[(fi, v)] = np.full(cards[v], 1.0 / cards[v])
+
+        residuals: list[float] = []
+        converged = False
+        n_iter = 0
+        for n_iter in range(1, self.max_iterations + 1):
+            max_delta = 0.0
+
+            # factor -> variable messages
+            new_ftv: dict = {}
+            for fi, f in enumerate(graph.factors):
+                scope = f.variables
+                for v in scope:
+                    work = f.values
+                    # Multiply in messages from all other variables.
+                    for j, u in enumerate(scope):
+                        if u == v:
+                            continue
+                        shape = [1] * len(scope)
+                        shape[j] = cards[u]
+                        work = work * var_to_fac[(u, fi)].reshape(shape)
+                    axis = tuple(j for j, u in enumerate(scope) if u != v)
+                    if axis:
+                        if self.max_product:
+                            msg = work.max(axis=axis)
+                        else:
+                            msg = work.sum(axis=axis)
+                    else:
+                        msg = work
+                    total = msg.sum()
+                    msg = msg / total if total > 0 else np.full(cards[v], 1.0 / cards[v])
+                    if self.damping > 0:
+                        msg = (1 - self.damping) * msg + self.damping * fac_to_var[(fi, v)]
+                        msg = msg / msg.sum()
+                    max_delta = max(
+                        max_delta, float(np.abs(msg - fac_to_var[(fi, v)]).max())
+                    )
+                    new_ftv[(fi, v)] = msg
+            fac_to_var = new_ftv
+
+            # variable -> factor messages
+            new_vtf: dict = {}
+            for v in graph.variables:
+                neigh = graph.variable_neighbors(v)
+                incoming = np.stack([fac_to_var[(fi, v)] for fi in neigh])
+                # Product of all incoming except self, via log-space prefix
+                # trick avoided for clarity: direct divide with clipping.
+                prod_all = incoming.prod(axis=0)
+                for k, fi in enumerate(neigh):
+                    if len(neigh) == 1:
+                        msg = np.full(cards[v], 1.0 / cards[v])
+                    else:
+                        with np.errstate(divide="ignore", invalid="ignore"):
+                            msg = prod_all / incoming[k]
+                        bad = ~np.isfinite(msg)
+                        if bad.any():
+                            # Recompute excluded product exactly where needed.
+                            others = np.delete(incoming, k, axis=0)
+                            msg = others.prod(axis=0)
+                        total = msg.sum()
+                        msg = (
+                            msg / total
+                            if total > 0
+                            else np.full(cards[v], 1.0 / cards[v])
+                        )
+                    max_delta = max(
+                        max_delta, float(np.abs(msg - var_to_fac[(v, fi)]).max())
+                    )
+                    new_vtf[(v, fi)] = msg
+            var_to_fac = new_vtf
+
+            residuals.append(max_delta)
+            if max_delta < self.tol:
+                converged = True
+                break
+
+        beliefs: dict = {}
+        for v in graph.variables:
+            incoming = np.stack(
+                [fac_to_var[(fi, v)] for fi in graph.variable_neighbors(v)]
+            )
+            b = incoming.prod(axis=0)
+            total = b.sum()
+            beliefs[v] = (
+                b / total if total > 0 else np.full(cards[v], 1.0 / cards[v])
+            )
+        if evidence:
+            for v, s in evidence.items():
+                if v in self.graph.cardinalities:
+                    b = np.zeros(self.graph.cardinalities[v])
+                    b[int(s)] = 1.0
+                    beliefs[v] = b
+        return BPResult(
+            beliefs=beliefs,
+            converged=converged,
+            n_iterations=n_iter,
+            residuals=residuals,
+        )

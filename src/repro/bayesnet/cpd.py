@@ -1,0 +1,85 @@
+"""Tabular conditional probability distributions.
+
+A :class:`TabularCPD` stores ``P(child | parents)`` with the child as the
+*first* axis, mirroring pgmpy's convention: ``table[s, p1, p2, ...]`` is the
+probability of child state *s* given parent states ``p1, p2, …``.  Each
+column (fixed parent assignment) must sum to 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bayesnet.factor import DiscreteFactor
+
+__all__ = ["TabularCPD"]
+
+
+class TabularCPD:
+    """``P(variable | evidence_variables)`` as a dense table."""
+
+    def __init__(
+        self,
+        variable,
+        cardinality: int,
+        table: np.ndarray,
+        evidence: Sequence = (),
+        evidence_cards: Sequence[int] = (),
+        atol: float = 1e-8,
+    ) -> None:
+        self.variable = variable
+        self.cardinality = int(cardinality)
+        self.evidence = tuple(evidence)
+        self.evidence_cards = tuple(int(c) for c in evidence_cards)
+        if len(self.evidence) != len(self.evidence_cards):
+            raise ValueError("evidence and evidence_cards must align")
+        if self.variable in self.evidence:
+            raise ValueError("variable cannot be its own parent")
+        expected = (self.cardinality, *self.evidence_cards)
+        tab = np.asarray(table, dtype=np.float64)
+        if tab.shape != expected:
+            raise ValueError(
+                f"table shape {tab.shape} does not match expected {expected}"
+            )
+        if np.any(tab < 0) or not np.all(np.isfinite(tab)):
+            raise ValueError("probabilities must be finite and non-negative")
+        sums = tab.sum(axis=0)
+        if not np.allclose(sums, 1.0, atol=atol):
+            raise ValueError(
+                "each conditional distribution must sum to 1 "
+                f"(max deviation {np.abs(sums - 1).max():.3g})"
+            )
+        self.table = tab
+
+    @classmethod
+    def uniform(cls, variable, cardinality: int) -> "TabularCPD":
+        """A parentless uniform prior."""
+        return cls(variable, cardinality, np.full(cardinality, 1.0 / cardinality))
+
+    @classmethod
+    def from_prior(cls, variable, probabilities: np.ndarray) -> "TabularCPD":
+        """A parentless prior from an explicit probability vector."""
+        p = np.asarray(probabilities, dtype=np.float64)
+        return cls(variable, len(p), p)
+
+    def to_factor(self) -> DiscreteFactor:
+        """The CPD as a factor over ``(variable, *evidence)``."""
+        return DiscreteFactor(
+            (self.variable, *self.evidence),
+            (self.cardinality, *self.evidence_cards),
+            self.table,
+        )
+
+    def sample(self, parent_states: dict, rng: np.random.Generator) -> int:
+        """Draw a child state given parent states ``{parent: state}``."""
+        idx = tuple(int(parent_states[p]) for p in self.evidence)
+        probs = self.table[(slice(None), *idx)]
+        return int(rng.choice(self.cardinality, p=probs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.evidence:
+            cond = ", ".join(map(str, self.evidence))
+            return f"TabularCPD(P({self.variable} | {cond}))"
+        return f"TabularCPD(P({self.variable}))"

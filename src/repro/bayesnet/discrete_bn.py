@@ -1,0 +1,151 @@
+"""Directed discrete Bayesian networks.
+
+:class:`BayesianNetwork` holds a DAG of :class:`~repro.bayesnet.cpd.TabularCPD`
+objects, supports ancestral (forward) sampling, joint evaluation, conversion
+to the factor list consumed by exact/approximate inference, and brute-force
+enumeration (the ground truth the test suite validates every other inference
+engine against).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.bayesnet.cpd import TabularCPD
+from repro.bayesnet.factor import DiscreteFactor
+from repro.utils.rng import RNGLike, as_generator
+
+__all__ = ["BayesianNetwork"]
+
+
+class BayesianNetwork:
+    """A Bayesian network assembled from CPDs.
+
+    The network structure is implied by each CPD's evidence list; adding a
+    CPD whose parents are not (eventually) defined, or that creates a
+    directed cycle, fails at :meth:`validate` / first use.
+    """
+
+    def __init__(self, cpds: Sequence[TabularCPD] = ()) -> None:
+        self._cpds: dict = {}
+        for cpd in cpds:
+            self.add_cpd(cpd)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_cpd(self, cpd: TabularCPD) -> None:
+        if cpd.variable in self._cpds:
+            raise ValueError(f"duplicate CPD for variable {cpd.variable!r}")
+        self._cpds[cpd.variable] = cpd
+
+    @property
+    def variables(self) -> tuple:
+        return tuple(self._cpds)
+
+    def cpd(self, variable) -> TabularCPD:
+        return self._cpds[variable]
+
+    def cardinality(self, variable) -> int:
+        return self._cpds[variable].cardinality
+
+    def parents(self, variable) -> tuple:
+        return self._cpds[variable].evidence
+
+    def validate(self) -> None:
+        """Check all parents exist with consistent cardinalities, and DAG-ness."""
+        for var, cpd in self._cpds.items():
+            for parent, card in zip(cpd.evidence, cpd.evidence_cards):
+                if parent not in self._cpds:
+                    raise ValueError(
+                        f"CPD for {var!r} references undefined parent {parent!r}"
+                    )
+                if self._cpds[parent].cardinality != card:
+                    raise ValueError(
+                        f"cardinality mismatch for parent {parent!r} of {var!r}"
+                    )
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> list:
+        """Parents-before-children ordering (raises on directed cycles)."""
+        order: list = []
+        seen: set = set()
+        in_progress: set = set()
+
+        def visit(v) -> None:
+            if v in seen:
+                return
+            if v in in_progress:
+                raise ValueError(f"directed cycle involving {v!r}")
+            in_progress.add(v)
+            for p in self._cpds[v].evidence:
+                if p in self._cpds:
+                    visit(p)
+            in_progress.discard(v)
+            seen.add(v)
+            order.append(v)
+
+        for v in self._cpds:
+            visit(v)
+        return order
+
+    # ------------------------------------------------------------------ #
+    # probability
+    # ------------------------------------------------------------------ #
+    def to_factors(self) -> list[DiscreteFactor]:
+        """One factor per CPD — the product is the joint distribution."""
+        self.validate()
+        return [cpd.to_factor() for cpd in self._cpds.values()]
+
+    def joint_probability(self, assignment: Mapping) -> float:
+        """``P(X = assignment)`` for a full assignment."""
+        self.validate()
+        p = 1.0
+        for var, cpd in self._cpds.items():
+            idx = (int(assignment[var]), *(int(assignment[e]) for e in cpd.evidence))
+            p *= float(cpd.table[idx])
+        return p
+
+    def brute_force_marginal(
+        self, variable, evidence: Mapping | None = None
+    ) -> DiscreteFactor:
+        """Exact posterior marginal by full enumeration (test oracle).
+
+        Exponential in network size; only for validation on small models.
+        """
+        self.validate()
+        evidence = dict(evidence or {})
+        if variable in evidence:
+            raise ValueError("query variable cannot also be evidence")
+        variables = self.variables
+        cards = [self.cardinality(v) for v in variables]
+        out = np.zeros(self.cardinality(variable))
+        free = [v for v in variables if v not in evidence]
+        free_cards = [self.cardinality(v) for v in free]
+        for states in itertools.product(*(range(c) for c in free_cards)):
+            assignment = dict(zip(free, states))
+            assignment.update(evidence)
+            out[assignment[variable]] += self.joint_probability(assignment)
+        total = out.sum()
+        if total <= 0:
+            raise ValueError("evidence has zero probability")
+        return DiscreteFactor((variable,), (self.cardinality(variable),), out / total)
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, n: int, rng: RNGLike = None) -> list[dict]:
+        """Draw *n* joint samples by ancestral sampling."""
+        self.validate()
+        gen = as_generator(rng)
+        order = self.topological_order()
+        samples = []
+        for _ in range(int(n)):
+            state: dict = {}
+            for v in order:
+                state[v] = self._cpds[v].sample(state, gen)
+            samples.append(state)
+        return samples

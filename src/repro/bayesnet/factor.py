@@ -1,0 +1,207 @@
+"""Dense discrete factors and their algebra.
+
+A :class:`DiscreteFactor` is a non-negative tensor over a tuple of named
+categorical variables.  All operations are pure (return new factors) and
+vectorized: a product aligns both operands onto the union scope with NumPy
+broadcasting rather than looping over assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["DiscreteFactor"]
+
+
+class DiscreteFactor:
+    """A factor φ(X₁, …, Xₖ) over discrete variables.
+
+    Parameters
+    ----------
+    variables:
+        Ordered variable names (hashables; strings or ints in practice).
+    cardinalities:
+        Number of states per variable, same order as *variables*.
+    values:
+        Array broadcastable to ``tuple(cardinalities)``; must be
+        non-negative and finite.
+    """
+
+    __slots__ = ("variables", "values")
+
+    def __init__(
+        self,
+        variables: Sequence,
+        cardinalities: Sequence[int],
+        values: np.ndarray,
+    ) -> None:
+        variables = tuple(variables)
+        if len(set(variables)) != len(variables):
+            raise ValueError(f"duplicate variables in scope: {variables}")
+        cards = tuple(int(c) for c in cardinalities)
+        if len(cards) != len(variables):
+            raise ValueError("cardinalities must match variables")
+        if any(c <= 0 for c in cards):
+            raise ValueError(f"cardinalities must be positive, got {cards}")
+        vals = np.asarray(values, dtype=np.float64)
+        try:
+            vals = np.broadcast_to(vals, cards).copy() if vals.shape != cards else vals.copy()
+        except ValueError as exc:
+            raise ValueError(
+                f"values of shape {vals.shape} do not fit cardinalities {cards}"
+            ) from exc
+        if not np.all(np.isfinite(vals)):
+            raise ValueError("factor values must be finite")
+        if np.any(vals < 0):
+            raise ValueError("factor values must be non-negative")
+        self.variables: tuple = variables
+        self.values: np.ndarray = vals
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cardinalities(self) -> tuple[int, ...]:
+        return self.values.shape
+
+    def cardinality(self, variable) -> int:
+        return self.values.shape[self.variables.index(variable)]
+
+    def scope(self) -> set:
+        return set(self.variables)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        scope = ", ".join(f"{v}:{c}" for v, c in zip(self.variables, self.cardinalities))
+        return f"DiscreteFactor({scope})"
+
+    def copy(self) -> "DiscreteFactor":
+        return DiscreteFactor(self.variables, self.cardinalities, self.values)
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+    def _aligned(self, union_vars: tuple) -> np.ndarray:
+        """View of ``values`` expanded/transposed onto *union_vars* axes."""
+        perm = [self.variables.index(v) for v in union_vars if v in self.variables]
+        arr = self.values.transpose(perm)
+        shape = [
+            self.cardinality(v) if v in self.variables else 1 for v in union_vars
+        ]
+        return arr.reshape(shape)
+
+    def product(self, other: "DiscreteFactor") -> "DiscreteFactor":
+        """Factor product φ·ψ over the union scope."""
+        if not isinstance(other, DiscreteFactor):
+            raise TypeError("can only multiply by another DiscreteFactor")
+        union = self.variables + tuple(
+            v for v in other.variables if v not in self.variables
+        )
+        for v in other.variables:
+            if v in self.variables and other.cardinality(v) != self.cardinality(v):
+                raise ValueError(
+                    f"cardinality mismatch for {v!r}: "
+                    f"{self.cardinality(v)} vs {other.cardinality(v)}"
+                )
+        vals = self._aligned(union) * other._aligned(union)
+        cards = [
+            self.cardinality(v) if v in self.variables else other.cardinality(v)
+            for v in union
+        ]
+        return DiscreteFactor(union, cards, vals)
+
+    def __mul__(self, other: "DiscreteFactor") -> "DiscreteFactor":
+        return self.product(other)
+
+    def marginalize(self, variables: Iterable) -> "DiscreteFactor":
+        """Sum out the given variables."""
+        drop = set(variables)
+        missing = drop - self.scope()
+        if missing:
+            raise ValueError(f"cannot marginalize absent variables {missing}")
+        keep = tuple(v for v in self.variables if v not in drop)
+        if not keep:
+            raise ValueError("cannot marginalize out every variable")
+        axes = tuple(i for i, v in enumerate(self.variables) if v in drop)
+        vals = self.values.sum(axis=axes)
+        cards = [self.cardinality(v) for v in keep]
+        return DiscreteFactor(keep, cards, vals)
+
+    def maximize(self, variables: Iterable) -> "DiscreteFactor":
+        """Max out the given variables (max-product algebra)."""
+        drop = set(variables)
+        missing = drop - self.scope()
+        if missing:
+            raise ValueError(f"cannot maximize absent variables {missing}")
+        keep = tuple(v for v in self.variables if v not in drop)
+        if not keep:
+            raise ValueError("cannot maximize out every variable")
+        axes = tuple(i for i, v in enumerate(self.variables) if v in drop)
+        vals = self.values.max(axis=axes)
+        cards = [self.cardinality(v) for v in keep]
+        return DiscreteFactor(keep, cards, vals)
+
+    def reduce(self, evidence: Mapping) -> "DiscreteFactor":
+        """Condition on ``{variable: state_index}`` evidence.
+
+        Evidence variables not in scope are ignored (convenient when
+        broadcasting one evidence dict over many factors); reducing away
+        the full scope is an error — use :meth:`value_at` for that.
+        """
+        relevant = {v: s for v, s in evidence.items() if v in self.variables}
+        if not relevant:
+            return self.copy()
+        keep = tuple(v for v in self.variables if v not in relevant)
+        if not keep:
+            raise ValueError(
+                "evidence covers the whole scope; use value_at() instead"
+            )
+        index = []
+        for v in self.variables:
+            if v in relevant:
+                s = int(relevant[v])
+                if not (0 <= s < self.cardinality(v)):
+                    raise ValueError(
+                        f"state {s} out of range for {v!r} "
+                        f"(cardinality {self.cardinality(v)})"
+                    )
+                index.append(s)
+            else:
+                index.append(slice(None))
+        vals = self.values[tuple(index)]
+        cards = [self.cardinality(v) for v in keep]
+        return DiscreteFactor(keep, cards, vals)
+
+    def value_at(self, assignment: Mapping) -> float:
+        """φ evaluated at a full assignment ``{variable: state_index}``."""
+        try:
+            idx = tuple(int(assignment[v]) for v in self.variables)
+        except KeyError as exc:
+            raise ValueError(f"assignment missing variable {exc}") from exc
+        return float(self.values[idx])
+
+    def normalize(self) -> "DiscreteFactor":
+        """Rescale to sum 1 (a joint distribution over the scope)."""
+        total = self.values.sum()
+        if total <= 0:
+            raise ValueError("cannot normalize a factor with zero mass")
+        return DiscreteFactor(self.variables, self.cardinalities, self.values / total)
+
+    def argmax(self) -> dict:
+        """Assignment ``{variable: state}`` of the single largest entry."""
+        flat = int(np.argmax(self.values))
+        idx = np.unravel_index(flat, self.values.shape)
+        return {v: int(i) for v, i in zip(self.variables, idx)}
+
+    # ------------------------------------------------------------------ #
+    # comparison helpers (for tests)
+    # ------------------------------------------------------------------ #
+    def same_distribution(self, other: "DiscreteFactor", atol: float = 1e-9) -> bool:
+        """True if both normalize to the same distribution over the same scope."""
+        if self.scope() != other.scope():
+            return False
+        perm = [other.variables.index(v) for v in self.variables]
+        a = self.normalize().values
+        b = other.normalize().values.transpose(perm)
+        return bool(np.allclose(a, b, atol=atol))

@@ -1,0 +1,95 @@
+"""Bipartite factor graphs.
+
+A :class:`FactorGraph` connects variable nodes to the factors whose scope
+contains them.  It is the data structure belief propagation runs on, and it
+knows whether it is a tree (BP exact) or loopy (BP approximate).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bayesnet.factor import DiscreteFactor
+
+__all__ = ["FactorGraph"]
+
+
+class FactorGraph:
+    """Bipartite variable–factor graph built from a factor list."""
+
+    def __init__(self, factors: Sequence[DiscreteFactor]) -> None:
+        if not factors:
+            raise ValueError("factor graph needs at least one factor")
+        self.factors: list[DiscreteFactor] = list(factors)
+        self.cardinalities: dict = {}
+        self.var_to_factors: dict = {}
+        for fi, f in enumerate(self.factors):
+            for v in f.variables:
+                card = f.cardinality(v)
+                if self.cardinalities.setdefault(v, card) != card:
+                    raise ValueError(
+                        f"inconsistent cardinality for {v!r}: "
+                        f"{self.cardinalities[v]} vs {card}"
+                    )
+                self.var_to_factors.setdefault(v, []).append(fi)
+
+    @property
+    def variables(self) -> tuple:
+        return tuple(self.cardinalities)
+
+    def factor_neighbors(self, factor_index: int) -> tuple:
+        """Variables in a factor's scope."""
+        return self.factors[factor_index].variables
+
+    def variable_neighbors(self, variable) -> list[int]:
+        """Indices of factors containing *variable*."""
+        return self.var_to_factors[variable]
+
+    def n_edges(self) -> int:
+        return sum(len(f.variables) for f in self.factors)
+
+    def is_tree(self) -> bool:
+        """True iff the bipartite graph is acyclic and connected components
+        each form trees (|edges| = |vars| + |factors| - |components|)."""
+        # Union-find over variable and factor nodes.
+        parent: dict = {}
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for v in self.variables:
+            parent[("v", v)] = ("v", v)
+        for fi in range(len(self.factors)):
+            parent[("f", fi)] = ("f", fi)
+        edges = 0
+        for fi, f in enumerate(self.factors):
+            for v in f.variables:
+                edges += 1
+                ra, rb = find(("f", fi)), find(("v", v))
+                if ra == rb:
+                    return False  # cycle found
+                parent[ra] = rb
+        return True
+
+    def components(self) -> list[set]:
+        """Connected components as sets of variables."""
+        seen: set = set()
+        out: list[set] = []
+        for start in self.variables:
+            if start in seen:
+                continue
+            comp = {start}
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                for fi in self.var_to_factors[v]:
+                    for u in self.factors[fi].variables:
+                        if u not in comp:
+                            comp.add(u)
+                            stack.append(u)
+            seen |= comp
+            out.append(comp)
+        return out

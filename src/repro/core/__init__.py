@@ -1,0 +1,49 @@
+"""The paper's primary contribution: Bayesian-network cooperative
+localization with pre-knowledge.
+
+* :class:`~repro.core.bnloc.GridBPLocalizer` — discrete BN over a position
+  grid, loopy sum-product inference (the paper's method).
+* :class:`~repro.core.nbp.NBPLocalizer` — nonparametric (particle) BP
+  counterpart.
+* :class:`~repro.core.pipeline.CooperativeLocalizer` — high-level facade.
+* :class:`~repro.core.grid.Grid2D` and :mod:`repro.core.potentials` — the
+  discretization and likelihood-table machinery.
+* :class:`~repro.core.result.LocalizationResult` /
+  :class:`~repro.core.result.Localizer` — the interface every algorithm in
+  the library (baselines included) implements.
+"""
+
+from repro.core.grid import Grid2D
+from repro.core.result import LocalizationResult, Localizer
+from repro.core.bnloc import GridBPLocalizer, GridBPConfig
+from repro.core.nbp import NBPLocalizer, NBPConfig
+from repro.core.pipeline import CooperativeLocalizer
+from repro.core.multires import MultiResolutionLocalizer
+from repro.core.refine import refine_estimates
+from repro.core.potentials import (
+    RangingPotentialCache,
+    pairwise_ranging_potential,
+    connectivity_potential,
+    anchor_ranging_potential,
+    anchor_connectivity_potential,
+    negative_anchor_potential,
+)
+
+__all__ = [
+    "Grid2D",
+    "LocalizationResult",
+    "Localizer",
+    "GridBPLocalizer",
+    "GridBPConfig",
+    "NBPLocalizer",
+    "NBPConfig",
+    "CooperativeLocalizer",
+    "MultiResolutionLocalizer",
+    "refine_estimates",
+    "RangingPotentialCache",
+    "pairwise_ranging_potential",
+    "connectivity_potential",
+    "anchor_ranging_potential",
+    "anchor_connectivity_potential",
+    "negative_anchor_potential",
+]

@@ -1,0 +1,473 @@
+"""The paper's core method: cooperative localization as Bayesian-network
+inference over a grid-discretized position space, with pre-knowledge priors.
+
+Model
+-----
+Each unknown node *i* gets a categorical variable ``X_i`` over the ``K``
+cells of a :class:`~repro.core.grid.Grid2D`.  The Bayesian network is the
+usual pairwise construction:
+
+* node potential  φ_i(x) = prior_i(x) · ∏_{a ∈ anchors heard} p(obs_ia | x)
+  · ∏_{a ∈ anchors not heard} (1 − p_detect(‖x − a‖))    (negative evidence)
+* edge potential  ψ_ij(x, y) = p(obs_ij, link | ‖x − y‖) for each pair of
+  connected unknowns.
+
+Inference is synchronous loopy sum-product BP — exactly the computation a
+real network performs distributively, each node broadcasting its outgoing
+messages to neighbors once per round.  Messages are ``K``-vectors, so the
+communication cost per round is ``2·|edges| ``messages of ``8K`` bytes,
+which the result records for the E7 cost/accuracy experiment.
+
+Pre-knowledge enters solely through ``prior``; running the *same* inference
+with :class:`~repro.priors.deployment.UniformPrior` is the paper's
+"without pre-knowledge" arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grid import Grid2D
+from repro.core.potentials import (
+    RangingPotentialCache,
+    anchor_bearing_potential,
+    anchor_connectivity_potential,
+    anchor_ranging_potential,
+    connectivity_potential,
+    negative_anchor_potential,
+    pairwise_bearing_potential,
+)
+from repro.core.result import LocalizationResult, Localizer
+from repro.measurement.measurements import MeasurementSet
+from repro.network.radio import RadioModel, UnitDiskRadio
+from repro.priors.base import PositionPrior
+from repro.priors.deployment import UniformPrior
+from repro.utils.rng import RNGLike
+
+__all__ = ["GridBPLocalizer", "GridBPConfig"]
+
+_MSG_FLOOR = 1e-12  # keeps log-space products finite after truncation
+
+
+def _max_product_matvec(op, hvec: np.ndarray) -> np.ndarray:
+    """``out[j] = max_k op[j, k] · h[k]`` — the max-product analogue of
+    ``op @ h`` (same operator orientation as the sum-product message).
+
+    Implicit sparse zeros contribute 0, which is the correct floor since
+    potentials and h are non-negative.
+    """
+    from scipy import sparse
+
+    if sparse.issparse(op):
+        scaled = op.multiply(hvec[None, :]).tocsr()
+        return np.asarray(scaled.max(axis=1).todense()).ravel()
+    return (op * hvec[None, :]).max(axis=1)
+
+
+@dataclass
+class GridBPConfig:
+    """Tunables of :class:`GridBPLocalizer`.
+
+    Attributes
+    ----------
+    grid_size:
+        Cells per axis (``K = grid_size²`` states per node) — the E10
+        resolution-ablation knob.
+    max_iterations, tol, damping:
+        Loopy-BP schedule: synchronous rounds, stop when the max message
+        change drops below *tol*; *damping* interpolates toward the old
+        message (0 = undamped).  Mild damping (the 0.15 default)
+        counteracts the overconfidence loopy BP develops on dense
+        connectivity graphs.
+    use_negative_evidence:
+        Fold silent anchors into the node potentials.
+    use_hop_bounds:
+        Fold multi-hop anchor reachability into the node potentials: a
+        node *h* hops from anchor *a* cannot be farther than ``h·r`` from
+        it.  This connectivity pre-knowledge anchors clusters of unknowns
+        that hear no anchor directly, suppressing the translated/mirrored
+        joint modes loopy BP can otherwise lock into.
+    use_connectivity_in_ranging:
+        Multiply the link-detection probability into ranging potentials
+        (observing a link is evidence of proximity in itself).
+    cell_blur_fraction:
+        Quantization-marginalization scale as a fraction of the cell
+        diagonal (``blur_sigma = fraction × cell_diagonal``).  Prevents
+        potential aliasing when ranging noise is narrower than a cell;
+        0 disables.
+    schedule:
+        ``"sync"`` — flooding: all messages computed from the previous
+        round (what a distributed deployment does, one broadcast per
+        round); ``"serial"`` — Gauss–Seidel: messages commit immediately
+        within a sweep, so information crosses the network in one
+        iteration (the natural centralized schedule; usually converges in
+        fewer iterations).
+    estimator:
+        ``"mmse"`` (posterior mean — minimizes expected squared error) or
+        ``"map"`` (best cell center).
+    max_product:
+        Run max-product instead of sum-product message passing: beliefs
+        become max-marginals and the per-node argmax approximates the
+        *joint* MAP configuration (use with ``estimator="map"``).  Useful
+        when a single consistent configuration matters more than
+        per-node expected error.
+    record_trace:
+        Store the per-iteration estimates (needed by E6, costs memory).
+    """
+
+    grid_size: int = 20
+    max_iterations: int = 15
+    tol: float = 1e-4
+    damping: float = 0.15
+    use_negative_evidence: bool = True
+    use_hop_bounds: bool = True
+    use_connectivity_in_ranging: bool = True
+    cell_blur_fraction: float = 1.0 / 6.0
+    schedule: str = "sync"
+    estimator: str = "mmse"
+    max_product: bool = False
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.grid_size < 2:
+            raise ValueError("grid_size must be >= 2")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.tol <= 0:
+            raise ValueError("tol must be positive")
+        if not (0.0 <= self.damping < 1.0):
+            raise ValueError("damping must lie in [0, 1)")
+        if self.cell_blur_fraction < 0:
+            raise ValueError("cell_blur_fraction must be non-negative")
+        if self.schedule not in ("sync", "serial"):
+            raise ValueError(f"unknown schedule {self.schedule!r}")
+        if self.estimator not in ("mmse", "map"):
+            raise ValueError(f"unknown estimator {self.estimator!r}")
+
+
+class GridBPLocalizer(Localizer):
+    """Bayesian-network cooperative localization on a position grid.
+
+    Parameters
+    ----------
+    prior:
+        The pre-knowledge.  Defaults to the uninformative
+        :class:`~repro.priors.deployment.UniformPrior`.
+    radio:
+        Link model assumed by the inference (for detection and negative-
+        evidence probabilities).  Defaults to a unit disk at the
+        measurement set's ``radio_range``; pass the true generating model
+        for matched inference.
+    config:
+        Algorithm settings (see :class:`GridBPConfig`).
+    """
+
+    name = "grid-bp"
+
+    def __init__(
+        self,
+        prior: PositionPrior | None = None,
+        radio: RadioModel | None = None,
+        config: GridBPConfig | None = None,
+    ) -> None:
+        self.prior = prior
+        self.radio = radio
+        self.config = config if config is not None else GridBPConfig()
+
+    # ------------------------------------------------------------------ #
+    def localize(
+        self, measurements: MeasurementSet, rng: RNGLike = None
+    ) -> LocalizationResult:
+        ms = measurements
+        cfg = self.config
+        grid = Grid2D(cfg.grid_size, cfg.grid_size, ms.width, ms.height)
+        prior = self.prior if self.prior is not None else UniformPrior(ms.width, ms.height)
+        radio = self.radio if self.radio is not None else UnitDiskRadio(ms.radio_range)
+
+        unknowns = ms.unknown_ids
+        n = ms.n_nodes
+        K = grid.n_cells
+        index = {int(u): ui for ui, u in enumerate(unknowns)}
+
+        log_phi = self._node_potentials(ms, grid, prior, radio, unknowns)
+
+        # Edges between unknowns, with their pairwise potentials.  Each
+        # edge carries an oriented operator pair (fwd, bwd): the i→j
+        # message is ``fwd @ h_i`` and j→i is ``bwd @ h_j``.  Pure ranging
+        # potentials are symmetric (fwd is bwd); AoA potentials are not.
+        edges: list[tuple[int, int]] = []
+        ops: list[tuple] = []
+        anchor_msgs = 0
+        if ms.has_ranging:
+            cache = RangingPotentialCache(
+                grid,
+                ms.ranging,
+                radio if cfg.use_connectivity_in_ranging else None,
+                blur_sigma=cfg.cell_blur_fraction * grid.cell_diagonal,
+            )
+        conn_psi = None
+        for i, j in ms.edges():
+            i, j = int(i), int(j)
+            if ms.anchor_mask[i] and ms.anchor_mask[j]:
+                continue
+            if ms.anchor_mask[i] or ms.anchor_mask[j]:
+                anchor_msgs += 1  # anchor broadcast consumed by the unknown
+                continue
+            if ms.has_ranging:
+                psi = cache.get(ms.observed_distances[i, j])
+            else:
+                if conn_psi is None:
+                    conn_psi = connectivity_potential(
+                        grid.pairwise_center_distances(), radio
+                    )
+                psi = conn_psi
+            if ms.has_bearings:
+                from scipy import sparse as _sparse
+
+                bpsi = pairwise_bearing_potential(
+                    grid,
+                    ms.observed_bearings[i, j],
+                    ms.observed_bearings[j, i],
+                    ms.bearing_model,
+                )
+                combined = (
+                    psi.multiply(bpsi)
+                    if _sparse.issparse(psi)
+                    else _sparse.csr_matrix(psi * bpsi)
+                )
+                combined = _sparse.csr_matrix(combined)
+                ops.append((_sparse.csr_matrix(combined.T), combined))
+            else:
+                ops.append((psi, psi))
+            edges.append((index[i], index[j]))
+
+        beliefs, n_iter, converged, trace_logs = self._run_bp(
+            log_phi, edges, ops, grid, cfg
+        )
+
+        estimates, mask = self._result_skeleton(ms)
+        covariances = np.full((n, 2, 2), np.nan)
+        for ui, u in enumerate(unknowns):
+            b = beliefs[ui]
+            estimates[u] = (
+                grid.expectation(b) if cfg.estimator == "mmse" else grid.map_estimate(b)
+            )
+            covariances[u] = grid.covariance(b)
+            mask[u] = True
+
+        trace = []
+        if cfg.record_trace:
+            for logs in trace_logs:
+                snap = estimates.copy()
+                for ui, u in enumerate(unknowns):
+                    snap[u] = (
+                        grid.expectation(logs[ui])
+                        if cfg.estimator == "mmse"
+                        else grid.map_estimate(logs[ui])
+                    )
+                trace.append(snap)
+
+        # Communication accounting (distributed execution model): one
+        # anchor broadcast per anchor-unknown link, plus 2 messages per
+        # unknown-unknown edge per BP round, each a K-vector of float64.
+        messages = anchor_msgs + 2 * len(edges) * n_iter
+        return LocalizationResult(
+            estimates=estimates,
+            localized_mask=mask,
+            method=self.name,
+            n_iterations=n_iter,
+            converged=converged,
+            trace=trace,
+            messages_sent=messages,
+            bytes_sent=messages * K * 8,
+            extras={
+                "beliefs": {int(u): beliefs[ui] for ui, u in enumerate(unknowns)},
+                "covariances": covariances,
+                "grid": grid,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    def _node_potentials(
+        self,
+        ms: MeasurementSet,
+        grid: Grid2D,
+        prior: PositionPrior,
+        radio: RadioModel,
+        unknowns: np.ndarray,
+    ) -> np.ndarray:
+        """Log node potentials ``(n_unknown, K)``: prior × anchor evidence."""
+        cfg = self.config
+        log_phi = np.empty((len(unknowns), grid.n_cells))
+        anchor_ids = ms.anchor_ids
+        hops = None
+        if cfg.use_hop_bounds:
+            from scipy.sparse import csr_matrix
+            from scipy.sparse.csgraph import shortest_path
+
+            hops = shortest_path(
+                csr_matrix(ms.adjacency.astype(np.int8)),
+                method="D",
+                unweighted=True,
+                directed=False,
+            )[:, anchor_ids]
+        for ui, u in enumerate(unknowns):
+            u = int(u)
+            w = prior.grid_weights(u, grid)
+            lp = np.log(np.maximum(w, 1e-300))
+            for ai, a in enumerate(anchor_ids):
+                a = int(a)
+                apos = ms.anchor_positions_full[a]
+                if (
+                    hops is not None
+                    and not ms.adjacency[u, a]
+                    and np.isfinite(hops[u, ai])
+                    and hops[u, ai] >= 2
+                ):
+                    # h-hop reachability: each hop covers at most the radio
+                    # range, so the node lies within h·r of the anchor.
+                    reach = hops[u, ai] * ms.radio_range
+                    d = grid.distances_to_point(apos)
+                    lp = lp + np.where(d <= reach, 0.0, np.log(1e-300))
+                if ms.adjacency[u, a]:
+                    if ms.has_ranging:
+                        pot = anchor_ranging_potential(
+                            grid,
+                            apos,
+                            ms.observed_distances[u, a],
+                            ms.ranging,
+                            radio if cfg.use_connectivity_in_ranging else None,
+                            blur_sigma=cfg.cell_blur_fraction * grid.cell_diagonal,
+                        )
+                    else:
+                        pot = anchor_connectivity_potential(grid, apos, radio)
+                    lp = lp + np.log(np.maximum(pot, 1e-300))
+                    if ms.has_bearings:
+                        bpot = anchor_bearing_potential(
+                            grid,
+                            apos,
+                            ms.observed_bearings[u, a],
+                            ms.observed_bearings[a, u],
+                            ms.bearing_model,
+                        )
+                        lp = lp + np.log(np.maximum(bpot, 1e-300))
+                elif cfg.use_negative_evidence:
+                    pot = negative_anchor_potential(grid, apos, radio)
+                    lp = lp + np.log(np.maximum(pot, 1e-300))
+            peak = lp.max()
+            if not np.isfinite(peak):
+                raise ValueError(
+                    f"node {u}: evidence and prior are mutually exclusive on "
+                    "the grid (prior support excludes all feasible cells?)"
+                )
+            log_phi[ui] = lp - peak
+        return log_phi
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _run_bp(
+        log_phi: np.ndarray,
+        edges: list[tuple[int, int]],
+        ops: list[tuple],
+        grid: Grid2D,
+        cfg: GridBPConfig,
+    ) -> tuple[np.ndarray, int, bool, list[np.ndarray]]:
+        """Loopy sum-product over unknown-unknown edges.
+
+        *ops[e]* is the oriented operator pair ``(fwd, bwd)`` of edge *e*
+        (see :meth:`localize`).  Returns normalized beliefs
+        ``(n_unknown, K)``, iteration count, convergence flag, and (if
+        tracing) per-iteration beliefs.
+        """
+        n_u, K = log_phi.shape
+        # Directed message storage: for each undirected edge e=(i,j), slot
+        # 2e is i->j and 2e+1 is j->i.
+        n_dir = 2 * len(edges)
+        messages = np.full((n_dir, K), 1.0 / K)
+        in_slots: list[list[int]] = [[] for _ in range(n_u)]  # messages INTO node
+        out_slots: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(n_u)
+        ]  # (slot, edge_index, recipient)
+        for e, (i, j) in enumerate(edges):
+            in_slots[j].append(2 * e)
+            in_slots[i].append(2 * e + 1)
+            out_slots[i].append((2 * e, e, j))
+            out_slots[j].append((2 * e + 1, e, i))
+
+        def node_log_in(ui: int) -> np.ndarray:
+            acc = log_phi[ui].copy()
+            for s in in_slots[ui]:
+                acc += np.log(messages[s])
+            return acc
+
+        def beliefs_from(msgs: np.ndarray) -> np.ndarray:
+            out = np.empty((n_u, K))
+            for ui in range(n_u):
+                acc = log_phi[ui].copy()
+                for s in in_slots[ui]:
+                    acc += np.log(msgs[s])
+                acc -= acc.max()
+                b = np.exp(acc)
+                out[ui] = b / b.sum()
+            return out
+
+        converged = False
+        n_iter = 0
+        trace: list[np.ndarray] = []
+        if cfg.record_trace:
+            # Iteration 0: unary-only beliefs (prior + anchor evidence,
+            # before any cooperation) — the natural convergence baseline.
+            trace.append(beliefs_from(messages))
+        if not edges:
+            return beliefs_from(messages), 0, True, trace
+
+        serial = cfg.schedule == "serial"
+        for n_iter in range(1, cfg.max_iterations + 1):
+            # "sync" computes the whole round from the previous round's
+            # messages; "serial" commits each node's messages immediately
+            # so later nodes in the sweep see them.
+            new_messages = messages if serial else np.empty_like(messages)
+            old_messages = messages.copy() if serial else messages
+            for ui in range(n_u):
+                if not out_slots[ui]:
+                    continue
+                # In serial mode `messages` aliases `new_messages`, so this
+                # reads the freshest values (Gauss–Seidel); in sync mode it
+                # reads the previous round.
+                total = node_log_in(ui)
+                for slot, e, _dst in out_slots[ui]:
+                    # Exclude the recipient's own message (slot^1 is the
+                    # reverse direction, which feeds INTO ui).
+                    back = slot ^ 1
+                    h = total - np.log(messages[back])
+                    h -= h.max()
+                    hvec = np.exp(h)
+                    # slot parity picks the operator orientation: even
+                    # slots are i→j (fwd), odd are j→i (bwd).
+                    op = ops[e][slot & 1]
+                    if cfg.max_product:
+                        msg = _max_product_matvec(op, hvec)
+                    else:
+                        msg = op.dot(hvec)
+                    s = msg.sum()
+                    if s <= 0:
+                        msg = np.full(K, 1.0 / K)
+                    else:
+                        msg = msg / s
+                    if cfg.damping > 0:
+                        prev = old_messages[slot] if serial else messages[slot]
+                        msg = (1 - cfg.damping) * msg + cfg.damping * prev
+                        msg = msg / msg.sum()
+                    np.maximum(msg, _MSG_FLOOR, out=msg)
+                    new_messages[slot] = msg
+            max_delta = float(np.abs(new_messages - old_messages).max())
+            messages = new_messages
+            if cfg.record_trace:
+                trace.append(beliefs_from(messages))
+            if max_delta < cfg.tol:
+                converged = True
+                break
+
+        return beliefs_from(messages), n_iter, converged, trace

@@ -1,0 +1,122 @@
+"""Coarse-to-fine multi-resolution localization.
+
+Running grid BP at fine resolution is accurate but costs O(K²) per edge
+per iteration.  :class:`MultiResolutionLocalizer` runs the solver at a
+ladder of resolutions, converting each level's posterior beliefs into the
+next level's pre-knowledge prior (:class:`~repro.priors.belief.GridBeliefPrior`)
+— the same "posterior becomes prior" mechanism the mobile tracker uses,
+applied across scales instead of time.  Because the coarse level already
+concentrates the beliefs, the fine level needs fewer iterations, cutting
+total runtime while matching (often beating) single-resolution accuracy.
+
+This is one of the natural-extension features DESIGN.md calls out; its
+cost/accuracy trade-off is measured by the design-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.bnloc import GridBPConfig, GridBPLocalizer
+from repro.core.grid import Grid2D
+from repro.core.result import LocalizationResult, Localizer
+from repro.measurement.measurements import MeasurementSet
+from repro.priors.base import PositionPrior
+from repro.priors.belief import GridBeliefPrior
+from repro.priors.composition import combine
+from repro.utils.rng import RNGLike
+
+__all__ = ["MultiResolutionLocalizer"]
+
+
+class MultiResolutionLocalizer(Localizer):
+    """Grid BP on a resolution ladder with belief hand-off between levels.
+
+    Parameters
+    ----------
+    prior:
+        Pre-knowledge applied at the *coarsest* level (finer levels inherit
+        it through the belief hand-off, which already contains it).
+    levels:
+        Grid sizes, coarse to fine (strictly increasing).
+    iterations_per_level:
+        BP iterations at each level; by default most work happens at the
+        coarse levels and the finest level only polishes.
+    config:
+        Template for per-level configs (grid size and iteration count are
+        overridden level by level).
+    keep_prior_at_all_levels:
+        Re-apply the explicit prior at every level (in addition to the
+        inherited beliefs).  Off by default — the hand-off already carries
+        it, and re-applying would double-count.
+    """
+
+    name = "grid-bp-multires"
+
+    def __init__(
+        self,
+        prior: PositionPrior | None = None,
+        levels: Sequence[int] = (8, 16, 24),
+        iterations_per_level: Sequence[int] | None = None,
+        config: GridBPConfig | None = None,
+        keep_prior_at_all_levels: bool = False,
+    ) -> None:
+        levels = [int(g) for g in levels]
+        if len(levels) < 1:
+            raise ValueError("need at least one resolution level")
+        if any(b <= a for a, b in zip(levels, levels[1:])):
+            raise ValueError("levels must be strictly increasing (coarse→fine)")
+        if iterations_per_level is None:
+            # front-load iterations on the cheap coarse levels
+            iterations_per_level = [8] * (len(levels) - 1) + [4] if len(levels) > 1 else [10]
+        iterations_per_level = [int(i) for i in iterations_per_level]
+        if len(iterations_per_level) != len(levels):
+            raise ValueError("iterations_per_level must match levels")
+        if any(i < 1 for i in iterations_per_level):
+            raise ValueError("iterations must be >= 1")
+        self.prior = prior
+        self.levels = levels
+        self.iterations_per_level = iterations_per_level
+        self.template = config if config is not None else GridBPConfig()
+        self.keep_prior_at_all_levels = bool(keep_prior_at_all_levels)
+
+    def localize(
+        self, measurements: MeasurementSet, rng: RNGLike = None
+    ) -> LocalizationResult:
+        from dataclasses import replace
+
+        prior: PositionPrior | None = self.prior
+        result: LocalizationResult | None = None
+        total_messages = 0
+        total_bytes = 0
+        total_iters = 0
+        for level, (grid_size, iters) in enumerate(
+            zip(self.levels, self.iterations_per_level)
+        ):
+            cfg = replace(
+                self.template, grid_size=grid_size, max_iterations=iters
+            )
+            solver = GridBPLocalizer(prior=prior, config=cfg)
+            result = solver.localize(measurements, rng)
+            total_messages += result.messages_sent
+            total_bytes += result.bytes_sent
+            total_iters += result.n_iterations
+            if level + 1 < len(self.levels):
+                grid: Grid2D = result.extras["grid"]
+                handoff: PositionPrior = GridBeliefPrior(
+                    grid,
+                    result.extras["beliefs"],
+                    # smooth by one coarse cell so the fine level can move
+                    # within the quantization uncertainty of the hand-off
+                    diffusion_sigma=grid.cell_diagonal / 2,
+                    floor=1e-4,
+                )
+                if self.keep_prior_at_all_levels and self.prior is not None:
+                    handoff = combine(handoff, self.prior)
+                prior = handoff
+        assert result is not None
+        result.method = self.name
+        result.messages_sent = total_messages
+        result.bytes_sent = total_bytes
+        result.n_iterations = total_iters
+        return result

@@ -1,0 +1,102 @@
+"""Continuous refinement of grid estimates.
+
+The grid posterior quantizes positions to cell scale.  When a point
+estimate (rather than a distribution) is the deliverable, a short
+Gauss–Seidel polish removes most of the quantization bias: each unknown
+node in turn is re-solved by weighted nonlinear least squares against its
+neighbors' *current* estimates and its anchor observations, for a few
+sweeps.  Because it starts from the BP estimate — already in the right
+basin — it inherits BP's robustness while recovering continuous accuracy,
+unlike cold-started MLE which falls into fold-over minima.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.core.result import LocalizationResult
+from repro.measurement.measurements import MeasurementSet
+from repro.utils.rng import RNGLike
+
+__all__ = ["refine_estimates"]
+
+
+def refine_estimates(
+    measurements: MeasurementSet,
+    result: LocalizationResult,
+    n_sweeps: int = 2,
+    max_step: float | None = None,
+) -> LocalizationResult:
+    """Polish a localization result by per-node nonlinear least squares.
+
+    Parameters
+    ----------
+    measurements:
+        The observations the original result was computed from (must be a
+        ranging measurement set).
+    result:
+        Any :class:`LocalizationResult`; only localized unknown nodes with
+        ≥ 2 localized neighbors are touched.
+    n_sweeps:
+        Gauss–Seidel sweeps over all nodes.
+    max_step:
+        Optional cap on how far a node may move from its starting
+        estimate (defaults to one radio range) — keeps the polish local,
+        so it cannot undo BP's global disambiguation.
+
+    Returns
+    -------
+    LocalizationResult
+        A new result (method name suffixed ``+refine``); the input is not
+        modified.
+    """
+    ms = measurements
+    if not ms.has_ranging:
+        raise ValueError("refinement needs ranged measurements")
+    if n_sweeps < 1:
+        raise ValueError("n_sweeps must be >= 1")
+    if max_step is None:
+        max_step = ms.radio_range
+    if max_step <= 0:
+        raise ValueError("max_step must be positive")
+
+    estimates = result.estimates.copy()
+    mask = result.localized_mask.copy()
+    start = estimates.copy()
+
+    obs = ms.observed_distances
+    sigma = ms.ranging.sigma_at(np.where(np.isfinite(obs), obs, 1.0))
+    for _ in range(n_sweeps):
+        for u in ms.unknown_ids:
+            u = int(u)
+            if not mask[u]:
+                continue
+            neigh = [int(v) for v in ms.neighbors(u) if mask[v]]
+            if len(neigh) < 2:
+                continue
+            refs = estimates[neigh]
+            d = obs[u, neigh]
+            w = 1.0 / np.maximum(sigma[u, neigh], 1e-9)
+
+            def residuals(p):
+                return (np.linalg.norm(refs - p, axis=1) - d) * w
+
+            fit = least_squares(residuals, estimates[u], method="lm", max_nfev=50)
+            candidate = fit.x
+            step = candidate - start[u]
+            norm = np.linalg.norm(step)
+            if norm > max_step:
+                candidate = start[u] + step * (max_step / norm)
+            estimates[u] = candidate
+
+    return LocalizationResult(
+        estimates=estimates,
+        localized_mask=mask,
+        method=f"{result.method}+refine",
+        n_iterations=result.n_iterations,
+        converged=result.converged,
+        messages_sent=result.messages_sent,
+        bytes_sent=result.bytes_sent,
+        extras=dict(result.extras),
+    )

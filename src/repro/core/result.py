@@ -1,0 +1,102 @@
+"""Common result type and localizer interface.
+
+Every localization algorithm in the library — the Bayesian-network core as
+well as every classic baseline — implements :class:`Localizer` and returns
+a :class:`LocalizationResult`, so the experiment harness can treat them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.measurement.measurements import MeasurementSet
+from repro.utils.rng import RNGLike
+
+__all__ = ["LocalizationResult", "Localizer"]
+
+
+@dataclass
+class LocalizationResult:
+    """Output of one localization run.
+
+    Attributes
+    ----------
+    estimates:
+        ``(n, 2)`` estimated coordinates.  Anchor rows contain the known
+        anchor positions; rows of nodes the method could not localize are
+        NaN (and excluded from ``localized_mask``).
+    localized_mask:
+        Boolean mask of nodes with a valid estimate (anchors included).
+    method:
+        Human-readable algorithm name.
+    n_iterations:
+        Iterations executed (0 for one-shot methods).
+    converged:
+        Whether the iterative method met its stopping tolerance.
+    trace:
+        Optional per-iteration snapshots of ``estimates`` (for convergence
+        curves, experiment E6).
+    messages_sent, bytes_sent:
+        Communication accounting under the distributed execution model
+        (experiment E7); zero for centralized-only baselines.
+    extras:
+        Method-specific payloads (belief vectors, covariances, …).
+    """
+
+    estimates: np.ndarray
+    localized_mask: np.ndarray
+    method: str
+    n_iterations: int = 0
+    converged: bool = True
+    trace: list[np.ndarray] = field(default_factory=list)
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.estimates = np.asarray(self.estimates, dtype=np.float64)
+        if self.estimates.ndim != 2 or self.estimates.shape[1] != 2:
+            raise ValueError("estimates must have shape (n, 2)")
+        self.localized_mask = np.asarray(self.localized_mask, dtype=bool)
+        if self.localized_mask.shape != (len(self.estimates),):
+            raise ValueError("localized_mask shape mismatch")
+        if np.isnan(self.estimates[self.localized_mask]).any():
+            raise ValueError("localized nodes must have finite estimates")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.estimates)
+
+    def errors(self, true_positions: np.ndarray) -> np.ndarray:
+        """Per-node Euclidean errors (NaN where not localized)."""
+        true = np.asarray(true_positions, dtype=np.float64)
+        if true.shape != self.estimates.shape:
+            raise ValueError("true_positions shape mismatch")
+        err = np.full(self.n_nodes, np.nan)
+        m = self.localized_mask
+        err[m] = np.linalg.norm(self.estimates[m] - true[m], axis=1)
+        return err
+
+
+class Localizer(ABC):
+    """Interface implemented by every localization algorithm."""
+
+    #: short identifier used in result tables
+    name: str = "localizer"
+
+    @abstractmethod
+    def localize(
+        self, measurements: MeasurementSet, rng: RNGLike = None
+    ) -> LocalizationResult:
+        """Estimate unknown-node positions from observable data only."""
+
+    @staticmethod
+    def _result_skeleton(measurements: MeasurementSet) -> tuple[np.ndarray, np.ndarray]:
+        """NaN estimate array with anchors pre-filled + anchor-only mask."""
+        estimates = np.full((measurements.n_nodes, 2), np.nan)
+        estimates[measurements.anchor_mask] = measurements.anchor_positions
+        return estimates, measurements.anchor_mask.copy()

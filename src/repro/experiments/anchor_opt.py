@@ -1,0 +1,118 @@
+"""Anchor-placement optimization via the cooperative CRLB.
+
+Where should the (expensive, GPS-equipped) anchors go?  The Cramér–Rao
+bound gives a measurement-model-aware answer: greedily promote the node
+whose promotion most reduces the network's mean position-error bound.
+This uses only the deployment geometry and the noise model — no
+localization runs — so it is a *planning* tool: run it on the intended
+deployment before installing hardware.
+
+A Bayesian variant regularizes the Fisher information with a weak prior so
+the bound stays finite while fewer than three anchors are placed (and so
+under-constrained nodes don't dominate the objective).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measurement.ranging import RangingModel
+from repro.metrics.crlb import cooperative_crlb
+from repro.network.topology import WSNetwork
+from repro.utils.rng import RNGLike, as_generator
+
+__all__ = ["greedy_crlb_anchors", "mean_crlb"]
+
+
+def mean_crlb(
+    network: WSNetwork,
+    ranging: RangingModel,
+    prior_sigma: float = 0.5,
+) -> float:
+    """Mean RMS-error bound over unknown nodes (prior-regularized)."""
+    b = cooperative_crlb(network, ranging, prior_sigma=prior_sigma)
+    unknown = ~network.anchor_mask
+    return float(np.nanmean(b[unknown]))
+
+
+def greedy_crlb_anchors(
+    positions: np.ndarray,
+    adjacency: np.ndarray,
+    n_anchors: int,
+    ranging: RangingModel,
+    radio_range: float,
+    prior_sigma: float = 0.5,
+    candidates: np.ndarray | None = None,
+    rng: RNGLike = None,
+    width: float = 1.0,
+    height: float = 1.0,
+) -> np.ndarray:
+    """Greedily choose *n_anchors* nodes minimizing the mean CRLB.
+
+    Parameters
+    ----------
+    positions, adjacency:
+        The (planned) deployment geometry and connectivity.
+    n_anchors:
+        Anchors to place (≥ 1; ≥ 3 for a fully-determined 2-D problem).
+    ranging:
+        Noise model whose information the bound counts.
+    radio_range:
+        Nominal range (stored in the evaluation networks).
+    prior_sigma:
+        Weak positional prior (field-scale) keeping the bound finite
+        during the first placements.
+    candidates:
+        Optional index array restricting which nodes may become anchors
+        (e.g. only perimeter-accessible ones).
+    rng:
+        Tie-breaking randomness (bounds can tie on symmetric layouts).
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean anchor mask of length *n*.
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    n = len(pos)
+    if not (1 <= n_anchors < n):
+        raise ValueError(f"n_anchors must lie in [1, {n}), got {n_anchors}")
+    adjacency = np.asarray(adjacency, dtype=bool)
+    if adjacency.shape != (n, n):
+        raise ValueError("adjacency shape mismatch")
+    if candidates is None:
+        cand = list(range(n))
+    else:
+        cand = [int(c) for c in np.asarray(candidates).ravel()]
+        if any(not (0 <= c < n) for c in cand):
+            raise ValueError("candidate index out of range")
+        if len(cand) < n_anchors:
+            raise ValueError("fewer candidates than anchors requested")
+    gen = as_generator(rng)
+
+    mask = np.zeros(n, dtype=bool)
+    remaining = set(cand)
+    for _ in range(n_anchors):
+        best_score = np.inf
+        best_nodes: list[int] = []
+        for c in remaining:
+            mask[c] = True
+            net = WSNetwork(
+                positions=pos,
+                anchor_mask=mask.copy(),
+                adjacency=adjacency,
+                width=width,
+                height=height,
+                radio_range=radio_range,
+            )
+            score = mean_crlb(net, ranging, prior_sigma)
+            mask[c] = False
+            if score < best_score - 1e-12:
+                best_score = score
+                best_nodes = [c]
+            elif abs(score - best_score) <= 1e-12:
+                best_nodes.append(c)
+        choice = best_nodes[int(gen.integers(len(best_nodes)))]
+        mask[choice] = True
+        remaining.discard(choice)
+    return mask

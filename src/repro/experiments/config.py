@@ -1,0 +1,227 @@
+"""Declarative scenario configuration.
+
+A :class:`ScenarioConfig` pins down everything random about one operating
+point; :func:`build_scenario` turns it plus a seed into a concrete
+``(network, measurements, pre_knowledge)`` triple.  Sweeps vary one field
+via :meth:`ScenarioConfig.replace`.
+
+Pre-knowledge model
+-------------------
+The operator's pre-knowledge is modeled as a noisy record of where each
+node was meant to be placed: ``intended_i = true_i + N(0, pk_error²)``,
+used as a per-node Gaussian prior with std ``pk_sigma``.  With
+``pk_sigma = pk_error`` the prior is calibrated; experiment E8 decouples
+them (and adds a systematic ``pk_offset``) to study mis-specified
+pre-knowledge.  ``pk_error = None`` disables pre-knowledge entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+import numpy as np
+
+from repro.measurement.measurements import MeasurementSet, observe
+from repro.measurement.nlos import NLOSRanging, RobustRanging
+from repro.measurement.ranging import (
+    ConnectivityOnly,
+    GaussianRanging,
+    ProportionalGaussianRanging,
+    RangingModel,
+    RSSIRanging,
+    TOARanging,
+)
+from repro.measurement.rssi import PathLossModel
+from repro.network.deployment import (
+    CShapeDeployment,
+    DeploymentModel,
+    GaussianClusterDeployment,
+    GridDeployment,
+    UniformDeployment,
+)
+from repro.network.generator import NetworkConfig, generate_network
+from repro.network.radio import (
+    LogNormalShadowingRadio,
+    QuasiUnitDiskRadio,
+    RadioModel,
+    UnitDiskRadio,
+)
+from repro.network.topology import WSNetwork
+from repro.priors.base import PositionPrior
+from repro.priors.deployment import PerNodePrior
+from repro.utils.rng import RNGLike, spawn_generators
+
+__all__ = ["ScenarioConfig", "build_scenario", "make_pre_knowledge"]
+
+_DEPLOYMENTS = ("uniform", "grid", "cshape", "clusters")
+_RADIOS = ("disk", "qudg", "lognormal")
+_RANGINGS = ("gaussian", "proportional", "rssi", "toa", "none")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One localization operating point.
+
+    Attributes
+    ----------
+    n_nodes, anchor_ratio, radio_range:
+        Network scale knobs (anchors are placed uniformly at random).
+    deployment:
+        ``uniform`` | ``grid`` | ``cshape`` | ``clusters``.
+    radio:
+        ``disk`` | ``qudg`` | ``lognormal``.
+    ranging:
+        ``gaussian`` (constant σ = ``noise_ratio·radio_range``),
+        ``proportional`` (σ = ``noise_ratio·d``), ``rssi``, ``toa``, or
+        ``none`` (range-free).
+    noise_ratio:
+        Ranging noise scale relative to range/distance (see above).
+    nlos_fraction, nlos_bias_ratio:
+        If ``nlos_fraction > 0``, that fraction of links is contaminated
+        with an exponential positive bias of mean
+        ``nlos_bias_ratio · radio_range`` (the E14 robustness axis).
+    bearing_sigma:
+        If set, every directed link also carries an angle-of-arrival
+        measurement with this von Mises σ (radians) — the E15 fusion
+        axis.  ``None`` = no AoA hardware.
+    pk_error:
+        Std of the operator's deployment-record error (None = no
+        pre-knowledge available).
+    pk_sigma:
+        Prior std the inference *assumes*; defaults to ``pk_error``.
+    pk_offset:
+        Systematic bias added to the pre-knowledge record (E8).
+    """
+
+    n_nodes: int = 100
+    anchor_ratio: float = 0.1
+    radio_range: float = 0.2
+    deployment: str = "uniform"
+    radio: str = "disk"
+    ranging: str = "gaussian"
+    noise_ratio: float = 0.1
+    nlos_fraction: float = 0.0
+    nlos_bias_ratio: float = 0.5
+    bearing_sigma: float | None = None
+    pk_error: float | None = 0.1
+    pk_sigma: float | None = None
+    pk_offset: tuple[float, float] = (0.0, 0.0)
+    require_connected: bool = True
+
+    def __post_init__(self) -> None:
+        if self.deployment not in _DEPLOYMENTS:
+            raise ValueError(f"unknown deployment {self.deployment!r}")
+        if self.radio not in _RADIOS:
+            raise ValueError(f"unknown radio {self.radio!r}")
+        if self.ranging not in _RANGINGS:
+            raise ValueError(f"unknown ranging {self.ranging!r}")
+        if self.noise_ratio < 0:
+            raise ValueError("noise_ratio must be non-negative")
+        if not (0.0 <= self.nlos_fraction <= 1.0):
+            raise ValueError("nlos_fraction must lie in [0, 1]")
+        if self.nlos_fraction > 0 and self.ranging == "none":
+            raise ValueError("NLOS contamination needs a ranged model")
+        if self.nlos_bias_ratio <= 0:
+            raise ValueError("nlos_bias_ratio must be positive")
+        if self.bearing_sigma is not None and self.bearing_sigma <= 0:
+            raise ValueError("bearing_sigma must be positive (or None)")
+        if self.pk_error is not None and self.pk_error <= 0:
+            raise ValueError("pk_error must be positive (or None)")
+
+    def replace(self, **changes) -> "ScenarioConfig":
+        """A copy with the given fields changed (sweep helper)."""
+        return dc_replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    def make_deployment(self) -> DeploymentModel:
+        if self.deployment == "uniform":
+            return UniformDeployment()
+        if self.deployment == "grid":
+            return GridDeployment(jitter=0.04)
+        if self.deployment == "cshape":
+            return CShapeDeployment()
+        centers = np.array([[0.25, 0.25], [0.75, 0.25], [0.5, 0.75]])
+        return GaussianClusterDeployment(centers, sigma=0.15)
+
+    def make_radio(self) -> RadioModel:
+        if self.radio == "disk":
+            return UnitDiskRadio(self.radio_range)
+        if self.radio == "qudg":
+            return QuasiUnitDiskRadio(self.radio_range, alpha=0.75)
+        return LogNormalShadowingRadio(self.radio_range, shadowing_db=4.0)
+
+    def make_ranging(self) -> RangingModel:
+        base = self._make_base_ranging()
+        if self.nlos_fraction > 0:
+            return NLOSRanging(
+                base,
+                nlos_fraction=self.nlos_fraction,
+                bias_mean=self.nlos_bias_ratio * self.radio_range,
+            )
+        return base
+
+    def _make_base_ranging(self) -> RangingModel:
+        if self.ranging == "none":
+            return ConnectivityOnly()
+        if self.ranging == "gaussian":
+            return GaussianRanging(max(self.noise_ratio * self.radio_range, 1e-4))
+        if self.ranging == "proportional":
+            return ProportionalGaussianRanging(self.noise_ratio)
+        if self.ranging == "rssi":
+            return RSSIRanging(PathLossModel(shadowing_db=4.0))
+        return TOARanging(
+            sigma_time=max(self.noise_ratio * self.radio_range, 1e-4),
+            mean_delay=0.2 * self.noise_ratio * self.radio_range,
+        )
+
+    def make_robust_ranging(self) -> RangingModel:
+        """The NLOS-aware inference model matching :meth:`make_ranging`."""
+        if self.nlos_fraction <= 0:
+            return self._make_base_ranging()
+        return RobustRanging(
+            self._make_base_ranging(),
+            nlos_fraction=self.nlos_fraction,
+            bias_mean=self.nlos_bias_ratio * self.radio_range,
+        )
+
+
+def make_pre_knowledge(
+    config: ScenarioConfig, network: WSNetwork, rng: RNGLike
+) -> PositionPrior | None:
+    """The operator's noisy deployment record as a per-node prior."""
+    if config.pk_error is None:
+        return None
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    intended = network.positions + gen.normal(
+        0.0, config.pk_error, size=network.positions.shape
+    )
+    sigma = config.pk_sigma if config.pk_sigma is not None else config.pk_error
+    return PerNodePrior(intended, sigma=sigma, offset=config.pk_offset)
+
+
+def build_scenario(
+    config: ScenarioConfig, seed: RNGLike
+) -> tuple[WSNetwork, MeasurementSet, PositionPrior | None]:
+    """Instantiate ``(network, measurements, pre_knowledge)`` for one trial.
+
+    Three independent child streams drive topology, measurement noise, and
+    the pre-knowledge record, so e.g. sweeping the noise never reshuffles
+    the topology.
+    """
+    g_net, g_obs, g_pk = spawn_generators(seed, 3)
+    net_cfg = NetworkConfig(
+        n_nodes=config.n_nodes,
+        anchor_ratio=config.anchor_ratio,
+        deployment=config.make_deployment(),
+        radio=config.make_radio(),
+        require_connected=config.require_connected,
+    )
+    network = generate_network(net_cfg, g_net)
+    bearings = None
+    if config.bearing_sigma is not None:
+        from repro.measurement.aoa import BearingModel
+
+        bearings = BearingModel(config.bearing_sigma)
+    measurements = observe(network, config.make_ranging(), g_obs, bearings=bearings)
+    prior = make_pre_knowledge(config, network, g_pk)
+    return network, measurements, prior

@@ -1,0 +1,54 @@
+"""Rendering sweep results as paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.experiments.runner import MethodResult, SweepResult
+from repro.utils.tables import format_series, format_table
+
+__all__ = ["sweep_table", "methods_table"]
+
+
+def sweep_table(
+    sweep: SweepResult,
+    stat: str = "mean_error_norm",
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """One row per swept value, one column per method (a figure's data)."""
+    return format_series(
+        sweep.x_name,
+        sweep.x_values,
+        sweep.series(stat),
+        precision=precision,
+        title=title,
+    )
+
+
+def methods_table(
+    results: Mapping[str, MethodResult],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """One row per method with the headline statistics (a table's data)."""
+    headers = [
+        "method",
+        "mean/r",
+        "rmse/r",
+        "coverage",
+        "messages",
+        "runtime_s",
+    ]
+    rows = [
+        [
+            name,
+            r.mean_error_norm,
+            r.rmse_norm,
+            r.coverage,
+            int(r.mean_messages),
+            r.mean_runtime,
+        ]
+        for name, r in results.items()
+    ]
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,271 @@
+"""Monte-Carlo evaluation of localization methods over scenarios.
+
+The runner is deliberately simple and deterministic: one master seed per
+sweep, child seeds per (parameter, trial) cell via ``SeedSequence.spawn``,
+every method sees the *same* network and measurements within a trial.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    CentroidLocalizer,
+    DVHopLocalizer,
+    MDSMAPLocalizer,
+    MLELocalizer,
+    MultilaterationLocalizer,
+    WeightedCentroidLocalizer,
+)
+from repro.core.bnloc import GridBPConfig, GridBPLocalizer
+from repro.core.nbp import NBPConfig, NBPLocalizer
+from repro.core.result import Localizer
+from repro.experiments.config import ScenarioConfig, build_scenario
+from repro.metrics.error import ErrorSummary, summarize_errors
+from repro.priors.base import PositionPrior
+from repro.utils.rng import RNGLike, spawn_seeds
+
+__all__ = [
+    "MethodResult",
+    "SweepResult",
+    "standard_methods",
+    "evaluate_methods",
+    "evaluate_methods_parallel",
+    "run_sweep",
+]
+
+#: a factory receives the trial's pre-knowledge prior (or None) and builds
+#: a ready-to-run Localizer.
+MethodFactory = Callable[[PositionPrior | None], Localizer]
+
+
+def standard_methods(
+    grid_size: int = 20,
+    max_iterations: int = 15,
+    nbp_particles: int = 150,
+    include: Sequence[str] | None = None,
+) -> dict[str, MethodFactory]:
+    """The default method lineup used by the benchmarks.
+
+    ``bn-pk`` is the paper's method (grid Bayesian network *with* the
+    pre-knowledge prior); ``bn`` is the identical inference without it —
+    the ablation that isolates the contribution of pre-knowledge.
+    """
+    grid_cfg = GridBPConfig(grid_size=grid_size, max_iterations=max_iterations)
+    nbp_cfg = NBPConfig(n_particles=nbp_particles, n_iterations=5)
+    all_methods: dict[str, MethodFactory] = {
+        "bn-pk": lambda prior: GridBPLocalizer(prior=prior, config=grid_cfg),
+        "bn": lambda prior: GridBPLocalizer(prior=None, config=grid_cfg),
+        "nbp-pk": lambda prior: NBPLocalizer(prior=prior, config=nbp_cfg),
+        "nbp": lambda prior: NBPLocalizer(prior=None, config=nbp_cfg),
+        "centroid": lambda prior: CentroidLocalizer(),
+        "w-centroid": lambda prior: WeightedCentroidLocalizer(),
+        "dv-hop": lambda prior: DVHopLocalizer(),
+        "mds-map": lambda prior: MDSMAPLocalizer(),
+        "multilat": lambda prior: MultilaterationLocalizer(),
+        "mle": lambda prior: MLELocalizer(),
+    }
+    if include is None:
+        return all_methods
+    unknown = set(include) - set(all_methods)
+    if unknown:
+        raise ValueError(f"unknown methods {sorted(unknown)}")
+    return {k: all_methods[k] for k in include}
+
+
+@dataclass
+class MethodResult:
+    """Aggregate of one method over the trials of one scenario point."""
+
+    method: str
+    summaries: list[ErrorSummary] = field(default_factory=list)
+    messages: list[int] = field(default_factory=list)
+    runtimes: list[float] = field(default_factory=list)
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.nanmean([s.mean for s in self.summaries]))
+
+    @property
+    def mean_error_norm(self) -> float:
+        return float(np.nanmean([s.mean_norm for s in self.summaries]))
+
+    @property
+    def rmse_norm(self) -> float:
+        return float(np.nanmean([s.rmse_norm for s in self.summaries]))
+
+    @property
+    def coverage(self) -> float:
+        return float(np.nanmean([s.coverage for s in self.summaries]))
+
+    @property
+    def mean_messages(self) -> float:
+        return float(np.mean(self.messages)) if self.messages else 0.0
+
+    @property
+    def mean_runtime(self) -> float:
+        return float(np.mean(self.runtimes)) if self.runtimes else 0.0
+
+
+def _run_one_trial(
+    config: ScenarioConfig,
+    methods: Mapping[str, MethodFactory],
+    trial_seed,
+) -> dict[str, tuple[ErrorSummary, int, float]]:
+    """Evaluate every method on one scenario draw (shared by the serial
+    and multiprocess paths)."""
+    s_build, s_run = trial_seed.spawn(2)
+    network, measurements, prior = build_scenario(config, s_build)
+    unknown = ~network.anchor_mask
+    out: dict[str, tuple[ErrorSummary, int, float]] = {}
+    for name, factory in methods.items():
+        loc = factory(prior)
+        t0 = time.perf_counter()
+        try:
+            result = loc.localize(measurements, np.random.default_rng(s_run))
+        except ValueError:
+            # Method inapplicable to this observation type (e.g. MLE on
+            # range-free data): record nothing, visible as coverage 0.
+            out[name] = (
+                summarize_errors(
+                    np.full(network.n_nodes, np.nan),
+                    network.radio_range,
+                    unknown,
+                ),
+                0,
+                0.0,
+            )
+            continue
+        elapsed = time.perf_counter() - t0
+        errors = result.errors(network.positions)
+        out[name] = (
+            summarize_errors(errors, network.radio_range, unknown),
+            result.messages_sent,
+            elapsed,
+        )
+    return out
+
+
+def _collect(
+    per_trial: list[dict[str, tuple[ErrorSummary, int, float]]],
+    names,
+) -> dict[str, MethodResult]:
+    out = {name: MethodResult(name) for name in names}
+    for trial in per_trial:
+        for name, (summary, messages, runtime) in trial.items():
+            out[name].summaries.append(summary)
+            out[name].messages.append(messages)
+            out[name].runtimes.append(runtime)
+    return out
+
+
+def evaluate_methods(
+    config: ScenarioConfig,
+    methods: Mapping[str, MethodFactory],
+    n_trials: int,
+    seed: RNGLike = 0,
+) -> dict[str, MethodResult]:
+    """Run every method on *n_trials* independent scenario draws."""
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    per_trial = [
+        _run_one_trial(config, methods, trial_seed)
+        for trial_seed in spawn_seeds(seed, n_trials)
+    ]
+    return _collect(per_trial, methods)
+
+
+def _parallel_worker(args) -> dict:
+    """Module-level worker (picklable) for :func:`evaluate_methods_parallel`."""
+    config, method_names, std_kwargs, seed_int = args
+    methods = standard_methods(include=method_names, **std_kwargs)
+    return _run_one_trial(config, methods, np.random.SeedSequence(seed_int))
+
+
+def evaluate_methods_parallel(
+    config: ScenarioConfig,
+    method_names: Sequence[str],
+    n_trials: int,
+    seed: RNGLike = 0,
+    n_workers: int = 2,
+    grid_size: int = 20,
+    max_iterations: int = 15,
+    nbp_particles: int = 150,
+) -> dict[str, MethodResult]:
+    """Multiprocess variant of :func:`evaluate_methods`.
+
+    Restricted to :func:`standard_methods` names (factories must be
+    reconstructable inside worker processes).  Trials carry independent
+    spawned integer seeds, so the result is identical for any
+    ``n_workers`` (scheduling order cannot matter) and reproducible from
+    the master seed.
+    """
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    std_kwargs = {
+        "grid_size": grid_size,
+        "max_iterations": max_iterations,
+        "nbp_particles": nbp_particles,
+    }
+    names = list(method_names)
+    standard_methods(include=names, **std_kwargs)  # validate early
+    from repro.utils.rng import child_seed_ints
+
+    seeds = child_seed_ints(seed, n_trials)
+    args = [(config, names, std_kwargs, s) for s in seeds]
+    if n_workers == 1:
+        per_trial = [_parallel_worker(a) for a in args]
+    else:
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        with ctx.Pool(processes=n_workers) as pool:
+            per_trial = pool.map(_parallel_worker, args)
+    return _collect(per_trial, names)
+
+
+@dataclass
+class SweepResult:
+    """A one-dimensional parameter sweep: x values × methods."""
+
+    x_name: str
+    x_values: list
+    points: list[dict[str, MethodResult]]
+
+    def series(self, stat: str = "mean_error_norm") -> dict[str, list[float]]:
+        """Per-method curves of the given :class:`MethodResult` property."""
+        methods = list(self.points[0].keys())
+        return {
+            m: [getattr(pt[m], stat) for pt in self.points] for m in methods
+        }
+
+    def best_method_at(self, i: int, stat: str = "mean_error_norm") -> str:
+        pt = self.points[i]
+        return min(pt, key=lambda m: getattr(pt[m], stat))
+
+
+def run_sweep(
+    base: ScenarioConfig,
+    param: str,
+    values: Sequence,
+    methods: Mapping[str, MethodFactory],
+    n_trials: int,
+    seed: RNGLike = 0,
+) -> SweepResult:
+    """Sweep one :class:`ScenarioConfig` field across *values*.
+
+    Each parameter point gets an independent spawned seed block, so the
+    curve is stable under adding/removing points.
+    """
+    blocks = spawn_seeds(seed, len(values))
+    points = []
+    for value, block in zip(values, blocks):
+        cfg = base.replace(**{param: value})
+        points.append(evaluate_methods(cfg, methods, n_trials, block))
+    return SweepResult(param, list(values), points)

@@ -1,0 +1,23 @@
+"""Serialization of networks and results (JSON and NPZ)."""
+
+from repro.io.serialize import (
+    network_to_dict,
+    network_from_dict,
+    save_network_json,
+    load_network_json,
+    save_network_npz,
+    load_network_npz,
+    result_to_dict,
+    save_result_json,
+)
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "save_network_json",
+    "load_network_json",
+    "save_network_npz",
+    "load_network_npz",
+    "result_to_dict",
+    "save_result_json",
+]

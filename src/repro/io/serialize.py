@@ -1,0 +1,129 @@
+"""Saving and loading networks and localization results.
+
+Two formats:
+
+* JSON — human-readable, good for small fixtures and cross-tool exchange.
+* NPZ — compact binary for large Monte-Carlo batches.
+
+Only the *data* is serialized (positions, masks, adjacency, estimates);
+model objects (radios, ranging, priors) are reconstructed from experiment
+configs, which are plain dataclasses the caller owns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.result import LocalizationResult
+from repro.network.topology import WSNetwork
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "save_network_json",
+    "load_network_json",
+    "save_network_npz",
+    "load_network_npz",
+    "result_to_dict",
+    "save_result_json",
+]
+
+
+def network_to_dict(network: WSNetwork) -> dict:
+    """JSON-safe dict representation of a network snapshot."""
+    return {
+        "positions": network.positions.tolist(),
+        "anchor_mask": network.anchor_mask.astype(int).tolist(),
+        # adjacency as an edge list — much smaller than the dense matrix
+        "edges": network.edges().tolist(),
+        "width": network.width,
+        "height": network.height,
+        "radio_range": network.radio_range,
+    }
+
+
+def network_from_dict(data: dict) -> WSNetwork:
+    """Inverse of :func:`network_to_dict`."""
+    try:
+        positions = np.asarray(data["positions"], dtype=np.float64)
+        anchor_mask = np.asarray(data["anchor_mask"], dtype=bool)
+        edges = np.asarray(data["edges"], dtype=int)
+    except KeyError as exc:
+        raise ValueError(f"network dict missing key {exc}") from exc
+    n = len(positions)
+    adjacency = np.zeros((n, n), dtype=bool)
+    if len(edges):
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError("edges must have shape (m, 2)")
+        if edges.min() < 0 or edges.max() >= n:
+            raise ValueError("edge endpoint out of range")
+        adjacency[edges[:, 0], edges[:, 1]] = True
+        adjacency[edges[:, 1], edges[:, 0]] = True
+    return WSNetwork(
+        positions=positions,
+        anchor_mask=anchor_mask,
+        adjacency=adjacency,
+        width=float(data.get("width", 1.0)),
+        height=float(data.get("height", 1.0)),
+        radio_range=float(data.get("radio_range", 0.2)),
+    )
+
+
+def save_network_json(network: WSNetwork, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(network_to_dict(network)))
+
+
+def load_network_json(path: str | Path) -> WSNetwork:
+    return network_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_network_npz(network: WSNetwork, path: str | Path) -> None:
+    np.savez_compressed(
+        Path(path),
+        positions=network.positions,
+        anchor_mask=network.anchor_mask,
+        adjacency=np.packbits(network.adjacency, axis=None),
+        n_nodes=np.array(network.n_nodes),
+        scalars=np.array([network.width, network.height, network.radio_range]),
+    )
+
+
+def load_network_npz(path: str | Path) -> WSNetwork:
+    with np.load(Path(path)) as data:
+        n = int(data["n_nodes"])
+        adjacency = (
+            np.unpackbits(data["adjacency"], count=n * n)
+            .reshape(n, n)
+            .astype(bool)
+        )
+        width, height, radio_range = data["scalars"]
+        return WSNetwork(
+            positions=data["positions"],
+            anchor_mask=data["anchor_mask"].astype(bool),
+            adjacency=adjacency,
+            width=float(width),
+            height=float(height),
+            radio_range=float(radio_range),
+        )
+
+
+def result_to_dict(result: LocalizationResult) -> dict:
+    """JSON-safe summary of a localization result (no bulky extras)."""
+    return {
+        "method": result.method,
+        "estimates": np.where(
+            np.isfinite(result.estimates), result.estimates, None
+        ).tolist(),
+        "localized_mask": result.localized_mask.astype(int).tolist(),
+        "n_iterations": result.n_iterations,
+        "converged": result.converged,
+        "messages_sent": result.messages_sent,
+        "bytes_sent": result.bytes_sent,
+    }
+
+
+def save_result_json(result: LocalizationResult, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(result_to_dict(result)))

@@ -1,0 +1,44 @@
+"""Measurement substrate: how nodes observe each other.
+
+Ranging models turn true pairwise distances into noisy observed distances
+(RSSI path-loss inversion, time-of-arrival, plain Gaussian), and
+:class:`~repro.measurement.measurements.MeasurementSet` packages everything
+a localizer is allowed to see: the adjacency, the observed ranges on links,
+anchor identities/positions, and the noise model parameters.
+"""
+
+from repro.measurement.ranging import (
+    RangingModel,
+    GaussianRanging,
+    ProportionalGaussianRanging,
+    TOARanging,
+    RSSIRanging,
+    ConnectivityOnly,
+)
+from repro.measurement.nlos import NLOSRanging, RobustRanging
+from repro.measurement.aoa import BearingModel, true_bearings, wrap_angle
+from repro.measurement.rssi import (
+    PathLossModel,
+    rssi_from_distance,
+    distance_from_rssi,
+)
+from repro.measurement.measurements import MeasurementSet, observe
+
+__all__ = [
+    "RangingModel",
+    "GaussianRanging",
+    "ProportionalGaussianRanging",
+    "TOARanging",
+    "RSSIRanging",
+    "ConnectivityOnly",
+    "NLOSRanging",
+    "RobustRanging",
+    "BearingModel",
+    "true_bearings",
+    "wrap_angle",
+    "PathLossModel",
+    "rssi_from_distance",
+    "distance_from_rssi",
+    "MeasurementSet",
+    "observe",
+]

@@ -1,0 +1,188 @@
+"""The :class:`MeasurementSet`: everything a localizer is allowed to see.
+
+Ground-truth positions live in :class:`~repro.network.topology.WSNetwork`
+(for evaluation); a ``MeasurementSet`` is the *observable* slice — anchors,
+adjacency, observed link distances, and the noise model — so localizer APIs
+cannot accidentally peek at the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.measurement.ranging import ConnectivityOnly, RangingModel
+from repro.network.topology import WSNetwork
+from repro.utils.geometry import pairwise_distances
+from repro.utils.rng import RNGLike
+
+__all__ = ["MeasurementSet", "observe"]
+
+
+@dataclass
+class MeasurementSet:
+    """Observable data for one localization problem.
+
+    Attributes
+    ----------
+    n_nodes:
+        Total node count.
+    anchor_mask:
+        Which nodes are anchors.
+    anchor_positions_full:
+        ``(n, 2)`` array with anchor rows filled and NaN elsewhere.
+    adjacency:
+        Symmetric boolean link matrix.
+    observed_distances:
+        Symmetric matrix of observed link distances (NaN on non-links and
+        for range-free models).
+    ranging:
+        The ranging model (gives the likelihood used by Bayesian methods).
+    observed_bearings:
+        Optional ``(n, n)`` matrix of angle-of-arrival measurements:
+        entry ``[i, j]`` is the bearing node *i* measured toward node *j*
+        (radians, NaN off links).  Directed — the two endpoints measure
+        independently.
+    bearing_model:
+        The :class:`~repro.measurement.aoa.BearingModel` behind
+        ``observed_bearings`` (None when AoA hardware is absent).
+    radio_range, width, height:
+        Scenario constants the algorithms may legitimately know.
+    """
+
+    anchor_mask: np.ndarray
+    anchor_positions_full: np.ndarray
+    adjacency: np.ndarray
+    observed_distances: np.ndarray
+    ranging: RangingModel
+    radio_range: float
+    width: float = 1.0
+    height: float = 1.0
+    observed_bearings: np.ndarray | None = None
+    bearing_model: object | None = None
+
+    def __post_init__(self) -> None:
+        self.anchor_mask = np.asarray(self.anchor_mask, dtype=bool)
+        n = len(self.anchor_mask)
+        self.anchor_positions_full = np.asarray(
+            self.anchor_positions_full, dtype=np.float64
+        )
+        if self.anchor_positions_full.shape != (n, 2):
+            raise ValueError("anchor_positions_full must have shape (n, 2)")
+        if np.isnan(self.anchor_positions_full[self.anchor_mask]).any():
+            raise ValueError("anchor rows must be finite")
+        self.adjacency = np.asarray(self.adjacency, dtype=bool)
+        if self.adjacency.shape != (n, n):
+            raise ValueError("adjacency shape mismatch")
+        self.observed_distances = np.asarray(
+            self.observed_distances, dtype=np.float64
+        )
+        if self.observed_distances.shape != (n, n):
+            raise ValueError("observed_distances shape mismatch")
+        if self.radio_range <= 0:
+            raise ValueError("radio_range must be positive")
+        if (self.observed_bearings is None) != (self.bearing_model is None):
+            raise ValueError(
+                "observed_bearings and bearing_model must be set together"
+            )
+        if self.observed_bearings is not None:
+            self.observed_bearings = np.asarray(
+                self.observed_bearings, dtype=np.float64
+            )
+            if self.observed_bearings.shape != (n, n):
+                raise ValueError("observed_bearings shape mismatch")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return len(self.anchor_mask)
+
+    @property
+    def anchor_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.anchor_mask)
+
+    @property
+    def unknown_ids(self) -> np.ndarray:
+        return np.flatnonzero(~self.anchor_mask)
+
+    @property
+    def anchor_positions(self) -> np.ndarray:
+        return self.anchor_positions_full[self.anchor_mask]
+
+    @property
+    def has_ranging(self) -> bool:
+        return self.ranging.provides_distance
+
+    @property
+    def has_bearings(self) -> bool:
+        return self.observed_bearings is not None
+
+    def neighbors(self, i: int) -> np.ndarray:
+        return np.flatnonzero(self.adjacency[i])
+
+    def link_distance(self, i: int, j: int) -> float:
+        """Observed distance on link ``(i, j)``; NaN for range-free models."""
+        if not self.adjacency[i, j]:
+            raise ValueError(f"nodes {i} and {j} are not connected")
+        return float(self.observed_distances[i, j])
+
+    def edges(self) -> np.ndarray:
+        """``(m, 2)`` unordered connected pairs (i < j)."""
+        iu, ju = np.nonzero(np.triu(self.adjacency, k=1))
+        return np.column_stack([iu, ju])
+
+
+def observe(
+    network: WSNetwork,
+    ranging: RangingModel | None = None,
+    rng: RNGLike = None,
+    bearings: "object | None" = None,
+) -> MeasurementSet:
+    """Generate the observable :class:`MeasurementSet` for *network*.
+
+    Parameters
+    ----------
+    network:
+        The ground-truth network snapshot.
+    ranging:
+        Ranging model; defaults to :class:`ConnectivityOnly` (range-free).
+    rng:
+        Randomness for the measurement noise (one stream drives ranging
+        then bearings, so results are reproducible).
+    bearings:
+        Optional :class:`~repro.measurement.aoa.BearingModel`; when given,
+        every directed link also carries an angle-of-arrival measurement.
+    """
+    from repro.utils.rng import as_generator
+
+    gen = as_generator(rng)
+    if ranging is None:
+        ranging = ConnectivityOnly()
+    true_dist = pairwise_distances(network.positions)
+    if ranging.provides_distance:
+        observed = ranging.observe(true_dist, gen)
+        observed = np.where(network.adjacency, observed, np.nan)
+    else:
+        observed = np.full_like(true_dist, np.nan)
+    observed_bearings = None
+    if bearings is not None:
+        from repro.measurement.aoa import true_bearings
+
+        tb = true_bearings(network.positions)
+        ob = bearings.observe(tb, gen)
+        observed_bearings = np.where(network.adjacency, ob, np.nan)
+    anchor_full = np.full((network.n_nodes, 2), np.nan)
+    anchor_full[network.anchor_mask] = network.positions[network.anchor_mask]
+    return MeasurementSet(
+        anchor_mask=network.anchor_mask.copy(),
+        anchor_positions_full=anchor_full,
+        adjacency=network.adjacency.copy(),
+        observed_distances=observed,
+        ranging=ranging,
+        radio_range=network.radio_range,
+        width=network.width,
+        height=network.height,
+        observed_bearings=observed_bearings,
+        bearing_model=bearings,
+    )

@@ -1,0 +1,90 @@
+"""Log-distance path-loss model and RSSI ⇄ distance conversion.
+
+The standard narrowband model: received signal strength at distance *d*
+
+``RSSI(d) = P_tx - PL(d0) - 10·η·log10(d/d0) + X``,  ``X ~ N(0, σ_dB²)``.
+
+Inverting the mean curve gives a distance estimate whose error is
+multiplicative (log-normal) — the realistic error structure RSSI ranging
+exhibits, and the reason RSSI-ranged localization degrades with distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["PathLossModel", "rssi_from_distance", "distance_from_rssi"]
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Parameters of the log-distance path-loss law.
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Transmit power plus reference path loss, i.e. the expected RSSI at
+        the reference distance ``d0``.
+    path_loss_exponent:
+        η — 2 in free space, up to ~4 indoors.
+    shadowing_db:
+        Standard deviation of log-normal shadowing (dB).
+    d0:
+        Reference distance (same length unit as the field).
+    """
+
+    tx_power_dbm: float = -40.0
+    path_loss_exponent: float = 3.0
+    shadowing_db: float = 4.0
+    d0: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive(self.path_loss_exponent, "path_loss_exponent")
+        check_positive(self.d0, "d0")
+        if self.shadowing_db < 0:
+            raise ValueError("shadowing_db must be non-negative")
+
+    def mean_rssi(self, distances: np.ndarray) -> np.ndarray:
+        """Expected RSSI (dBm) at the given distances."""
+        d = np.maximum(np.asarray(distances, dtype=np.float64), self.d0)
+        return self.tx_power_dbm - 10.0 * self.path_loss_exponent * np.log10(
+            d / self.d0
+        )
+
+    def invert(self, rssi_dbm: np.ndarray) -> np.ndarray:
+        """Maximum-likelihood distance given an RSSI sample (mean inversion)."""
+        r = np.asarray(rssi_dbm, dtype=np.float64)
+        return self.d0 * 10.0 ** (
+            (self.tx_power_dbm - r) / (10.0 * self.path_loss_exponent)
+        )
+
+    def range_error_factor_sigma(self) -> float:
+        """σ of ``log(d_hat/d)`` implied by the shadowing (multiplicative error)."""
+        return (
+            self.shadowing_db
+            * np.log(10.0)
+            / (10.0 * self.path_loss_exponent)
+        )
+
+
+def rssi_from_distance(
+    distances: np.ndarray,
+    model: PathLossModel,
+    rng: RNGLike = None,
+) -> np.ndarray:
+    """Sample shadowed RSSI readings at the given true distances."""
+    gen = as_generator(rng)
+    mean = model.mean_rssi(distances)
+    if model.shadowing_db == 0.0:
+        return mean
+    return mean + gen.normal(0.0, model.shadowing_db, size=mean.shape)
+
+
+def distance_from_rssi(rssi_dbm: np.ndarray, model: PathLossModel) -> np.ndarray:
+    """Distance estimates from RSSI readings (mean-curve inversion)."""
+    return model.invert(rssi_dbm)

@@ -1,0 +1,42 @@
+"""Evaluation metrics for localization results.
+
+* :mod:`repro.metrics.error` — error summaries (mean/median/RMSE,
+  normalized by radio range) and coverage.
+* :mod:`repro.metrics.cdf` — empirical error CDFs (figure E5).
+* :mod:`repro.metrics.crlb` — the Cramér–Rao lower bound for cooperative
+  localization, classical and Bayesian (with prior), experiment E11.
+* :mod:`repro.metrics.convergence` — error-vs-iteration traces (E6).
+"""
+
+from repro.metrics.error import (
+    ErrorSummary,
+    summarize_errors,
+    rmse,
+    mean_error,
+    median_error,
+    coverage,
+)
+from repro.metrics.cdf import empirical_cdf, cdf_at
+from repro.metrics.crlb import cooperative_crlb
+from repro.metrics.convergence import error_per_iteration
+from repro.metrics.calibration import (
+    calibration_ratio,
+    coverage_at_sigma,
+    predicted_rms,
+)
+
+__all__ = [
+    "ErrorSummary",
+    "summarize_errors",
+    "rmse",
+    "mean_error",
+    "median_error",
+    "coverage",
+    "empirical_cdf",
+    "cdf_at",
+    "cooperative_crlb",
+    "error_per_iteration",
+    "calibration_ratio",
+    "coverage_at_sigma",
+    "predicted_rms",
+]

@@ -1,0 +1,92 @@
+"""Uncertainty calibration of posterior beliefs.
+
+A Bayesian localizer returns not just a point estimate but a posterior —
+useful only if honest.  Calibration checks whether the posterior's own
+uncertainty predicts the actual error:
+
+* :func:`predicted_rms` — per-node predicted RMS error,
+  ``sqrt(trace(cov))`` of the belief.
+* :func:`calibration_ratio` — actual RMS / predicted RMS (≈ 1 when
+  calibrated; > 1 = overconfident, < 1 = underconfident).
+* :func:`coverage_at_sigma` — fraction of nodes whose true position falls
+  within k predicted standard deviations (compare to the Rayleigh
+  quantiles: ~39 % at 1σ, ~86 % at 2σ for a 2-D Gaussian).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import LocalizationResult
+
+__all__ = ["predicted_rms", "calibration_ratio", "coverage_at_sigma"]
+
+
+def _belief_spreads(result: LocalizationResult) -> dict[int, float]:
+    grid = result.extras.get("grid")
+    beliefs = result.extras.get("beliefs")
+    if grid is None or beliefs is None:
+        raise ValueError(
+            "result lacks belief extras; run a grid-BP localizer"
+        )
+    # The grid cannot represent sub-cell uncertainty: a belief fully
+    # concentrated in one cell still leaves a uniform-in-cell residual,
+    # whose variance is (w² + h²)/12.  Folding it in keeps the prediction
+    # meaningful at the quantization floor.
+    quant_var = (grid.cell_width**2 + grid.cell_height**2) / 12.0
+    return {
+        int(u): float(
+            np.sqrt(max(np.trace(grid.covariance(b)), 0.0) + quant_var)
+        )
+        for u, b in beliefs.items()
+    }
+
+
+def predicted_rms(result: LocalizationResult) -> np.ndarray:
+    """Per-node predicted RMS error from the posterior (NaN for anchors).
+
+    Includes the grid-quantization variance floor (see source) so a
+    perfectly certain belief still predicts the half-cell residual.
+    """
+    spreads = _belief_spreads(result)
+    out = np.full(result.n_nodes, np.nan)
+    for u, s in spreads.items():
+        out[u] = s
+    return out
+
+
+def calibration_ratio(
+    result: LocalizationResult, true_positions: np.ndarray
+) -> float:
+    """Actual RMS error divided by predicted RMS error (1 = calibrated)."""
+    pred = predicted_rms(result)
+    err = result.errors(true_positions)
+    mask = np.isfinite(pred) & np.isfinite(err)
+    if not mask.any():
+        raise ValueError("no nodes with both prediction and error")
+    actual = np.sqrt((err[mask] ** 2).mean())
+    predicted = np.sqrt((pred[mask] ** 2).mean())
+    if predicted <= 0:
+        raise ValueError("posterior claims zero uncertainty everywhere")
+    return float(actual / predicted)
+
+
+def coverage_at_sigma(
+    result: LocalizationResult,
+    true_positions: np.ndarray,
+    k: float = 2.0,
+) -> float:
+    """Fraction of nodes with error ≤ k × their predicted σ.
+
+    The predicted per-axis σ is ``predicted_rms / sqrt(2)`` (isotropic
+    approximation); for a calibrated 2-D Gaussian posterior the expected
+    coverage is ``1 − exp(−k²/2)`` (Rayleigh), ≈ 86.5 % at k = 2.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    pred = predicted_rms(result) / np.sqrt(2.0)
+    err = result.errors(true_positions)
+    mask = np.isfinite(pred) & np.isfinite(err)
+    if not mask.any():
+        raise ValueError("no nodes with both prediction and error")
+    return float((err[mask] <= k * pred[mask]).mean())

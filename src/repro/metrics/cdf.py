@@ -1,0 +1,34 @@
+"""Empirical error CDFs (the standard per-node error figure, E5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "cdf_at"]
+
+
+def empirical_cdf(errors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted finite errors and their cumulative probabilities.
+
+    Returns ``(x, F)`` with ``F[k] = (k + 1) / m`` at the k-th smallest
+    error; plot as a step function.  Unlocalized (NaN) nodes are excluded,
+    so a CDF that tops out early should be read together with coverage.
+    """
+    e = np.asarray(errors, dtype=np.float64).ravel()
+    e = np.sort(e[np.isfinite(e)])
+    if len(e) == 0:
+        return np.array([]), np.array([])
+    return e, np.arange(1, len(e) + 1) / len(e)
+
+
+def cdf_at(errors: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Fraction of finite errors ≤ each threshold.
+
+    Useful for "fraction of nodes within 0.5 r" style table rows.
+    """
+    e = np.asarray(errors, dtype=np.float64).ravel()
+    e = e[np.isfinite(e)]
+    t = np.asarray(thresholds, dtype=np.float64)
+    if len(e) == 0:
+        return np.zeros_like(t)
+    return (e[None, :] <= t[:, None]).mean(axis=1)

@@ -1,0 +1,32 @@
+"""Convergence-curve extraction (experiment E6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import LocalizationResult
+
+__all__ = ["error_per_iteration"]
+
+
+def error_per_iteration(
+    result: LocalizationResult,
+    true_positions: np.ndarray,
+    unknown_mask: np.ndarray,
+) -> np.ndarray:
+    """Mean unknown-node error at each recorded BP iteration.
+
+    Requires a result produced with ``record_trace=True``; index 0 is the
+    unary-only (pre-cooperation) estimate.
+    """
+    if not result.trace:
+        raise ValueError(
+            "result has no trace; run the localizer with record_trace=True"
+        )
+    true = np.asarray(true_positions, dtype=np.float64)
+    mask = np.asarray(unknown_mask, dtype=bool)
+    out = np.empty(len(result.trace))
+    for t, snap in enumerate(result.trace):
+        err = np.linalg.norm(snap[mask] - true[mask], axis=1)
+        out[t] = float(np.nanmean(err))
+    return out

@@ -1,0 +1,121 @@
+"""Localization error summaries.
+
+WSN papers report error normalized by the radio range ("0.35 r") so
+results are comparable across scales; :class:`ErrorSummary` keeps both raw
+and normalized values.  Unlocalized nodes are excluded from error
+statistics but reported through ``coverage`` — a method must not improve
+its error by silently dropping hard nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "rmse",
+    "mean_error",
+    "median_error",
+    "coverage",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+
+def _clean(errors: np.ndarray) -> np.ndarray:
+    e = np.asarray(errors, dtype=np.float64).ravel()
+    return e[np.isfinite(e)]
+
+
+def rmse(errors: np.ndarray) -> float:
+    """Root-mean-square of the finite errors (NaN if none)."""
+    e = _clean(errors)
+    return float(np.sqrt((e**2).mean())) if len(e) else float("nan")
+
+
+def mean_error(errors: np.ndarray) -> float:
+    """Mean of the finite errors (NaN if none)."""
+    e = _clean(errors)
+    return float(e.mean()) if len(e) else float("nan")
+
+
+def median_error(errors: np.ndarray) -> float:
+    """Median of the finite errors (NaN if none)."""
+    e = _clean(errors)
+    return float(np.median(e)) if len(e) else float("nan")
+
+
+def coverage(errors: np.ndarray) -> float:
+    """Fraction of nodes with a finite error (i.e. actually localized)."""
+    e = np.asarray(errors, dtype=np.float64).ravel()
+    if len(e) == 0:
+        return 0.0
+    return float(np.isfinite(e).mean())
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """One method's error statistics for one scenario.
+
+    ``*_norm`` fields are in units of the radio range.
+    """
+
+    mean: float
+    median: float
+    rmse: float
+    p90: float
+    coverage: float
+    radio_range: float
+
+    @property
+    def mean_norm(self) -> float:
+        return self.mean / self.radio_range
+
+    @property
+    def median_norm(self) -> float:
+        return self.median / self.radio_range
+
+    @property
+    def rmse_norm(self) -> float:
+        return self.rmse / self.radio_range
+
+    @property
+    def p90_norm(self) -> float:
+        return self.p90 / self.radio_range
+
+
+def summarize_errors(
+    errors: np.ndarray, radio_range: float, unknown_mask: np.ndarray | None = None
+) -> ErrorSummary:
+    """Summarize per-node errors (optionally restricted to unknown nodes).
+
+    Parameters
+    ----------
+    errors:
+        Per-node errors (NaN = unlocalized), e.g. from
+        :meth:`repro.core.result.LocalizationResult.errors`.
+    radio_range:
+        Normalization constant.
+    unknown_mask:
+        If given, only these nodes count (anchors have zero error by
+        construction and would dilute the statistics).
+    """
+    if radio_range <= 0:
+        raise ValueError("radio_range must be positive")
+    e = np.asarray(errors, dtype=np.float64).ravel()
+    if unknown_mask is not None:
+        mask = np.asarray(unknown_mask, dtype=bool)
+        if mask.shape != e.shape:
+            raise ValueError("unknown_mask shape mismatch")
+        e = e[mask]
+    fin = _clean(e)
+    p90 = float(np.percentile(fin, 90)) if len(fin) else float("nan")
+    return ErrorSummary(
+        mean=mean_error(e),
+        median=median_error(e),
+        rmse=rmse(e),
+        p90=p90,
+        coverage=coverage(e),
+        radio_range=float(radio_range),
+    )

@@ -1,0 +1,20 @@
+"""Mobility substrate: movement models and sequential localization.
+
+* :mod:`repro.mobility.models` — random-waypoint and random-walk
+  trajectory generators.
+* :mod:`repro.mobility.tracking` — sequential localizers for mobile
+  networks: the grid Bayesian tracker whose *motion model is the
+  pre-knowledge* (the temporal analogue of the paper's deployment priors),
+  and the Monte-Carlo Localization baseline (Hu & Evans 2004).
+"""
+
+from repro.mobility.models import RandomWalkMobility, RandomWaypointMobility
+from repro.mobility.tracking import MCLTracker, SequentialGridTracker, TrackingResult
+
+__all__ = [
+    "RandomWalkMobility",
+    "RandomWaypointMobility",
+    "MCLTracker",
+    "SequentialGridTracker",
+    "TrackingResult",
+]

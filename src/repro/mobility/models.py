@@ -1,0 +1,134 @@
+"""Mobility models: trajectories for mobile sensor networks.
+
+Both models produce a ``(T, n, 2)`` array of positions over *T* discrete
+time steps, bounded to the field.  Speeds are per-step displacements (the
+simulator is time-unit agnostic).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_nonnegative, check_positive, check_positions
+
+__all__ = ["MobilityModel", "RandomWaypointMobility", "RandomWalkMobility"]
+
+
+class MobilityModel(ABC):
+    """Base: generate bounded trajectories from initial positions."""
+
+    def __init__(self, width: float = 1.0, height: float = 1.0) -> None:
+        self.width = check_positive(width, "width")
+        self.height = check_positive(height, "height")
+
+    @abstractmethod
+    def trajectory(
+        self, initial: np.ndarray, n_steps: int, rng: RNGLike = None
+    ) -> np.ndarray:
+        """``(n_steps + 1, n, 2)`` positions; slice 0 is *initial*."""
+
+    def _check(self, initial: np.ndarray, n_steps: int) -> np.ndarray:
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        return check_positions(initial, "initial")
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Random waypoint: pick a destination, travel at a random speed,
+    (optionally) pause, repeat.
+
+    Parameters
+    ----------
+    speed_range:
+        ``(v_min, v_max)`` per-step speeds, drawn per leg.
+    pause_steps:
+        Steps spent stationary on arrival.
+    """
+
+    def __init__(
+        self,
+        speed_range: tuple[float, float] = (0.02, 0.08),
+        pause_steps: int = 0,
+        width: float = 1.0,
+        height: float = 1.0,
+    ) -> None:
+        super().__init__(width, height)
+        v_min, v_max = float(speed_range[0]), float(speed_range[1])
+        if not (0 < v_min <= v_max):
+            raise ValueError("need 0 < v_min <= v_max")
+        self.v_min, self.v_max = v_min, v_max
+        if pause_steps < 0:
+            raise ValueError("pause_steps must be >= 0")
+        self.pause_steps = int(pause_steps)
+
+    def trajectory(
+        self, initial: np.ndarray, n_steps: int, rng: RNGLike = None
+    ) -> np.ndarray:
+        pos = self._check(initial, n_steps)
+        gen = as_generator(rng)
+        n = len(pos)
+        out = np.empty((n_steps + 1, n, 2))
+        out[0] = pos
+        dest = gen.uniform(0, 1, size=(n, 2)) * [self.width, self.height]
+        speed = gen.uniform(self.v_min, self.v_max, size=n)
+        pause = np.zeros(n, dtype=int)
+        cur = pos.copy()
+        for t in range(1, n_steps + 1):
+            vec = dest - cur
+            dist = np.linalg.norm(vec, axis=1)
+            arrived = dist <= speed
+            moving = ~arrived & (pause == 0)
+            step = np.zeros_like(cur)
+            nz = moving & (dist > 0)
+            step[nz] = vec[nz] / dist[nz, None] * speed[nz, None]
+            cur = cur + step
+            # Arrivals snap to the destination, then pause and re-target.
+            cur[arrived & (pause == 0)] = dest[arrived & (pause == 0)]
+            newly = arrived & (pause == 0)
+            pause[newly] = self.pause_steps
+            done_pausing = arrived & (pause > 0)
+            pause[done_pausing] -= 1
+            retarget = arrived & (pause == 0)
+            k = int(retarget.sum())
+            if k:
+                dest[retarget] = gen.uniform(0, 1, size=(k, 2)) * [
+                    self.width,
+                    self.height,
+                ]
+                speed[retarget] = gen.uniform(self.v_min, self.v_max, size=k)
+            out[t] = cur
+        return out
+
+
+class RandomWalkMobility(MobilityModel):
+    """Gaussian random walk with reflection at the field boundary."""
+
+    def __init__(
+        self, step_sigma: float = 0.03, width: float = 1.0, height: float = 1.0
+    ) -> None:
+        super().__init__(width, height)
+        self.step_sigma = check_positive(step_sigma, "step_sigma")
+
+    def trajectory(
+        self, initial: np.ndarray, n_steps: int, rng: RNGLike = None
+    ) -> np.ndarray:
+        pos = self._check(initial, n_steps)
+        gen = as_generator(rng)
+        n = len(pos)
+        out = np.empty((n_steps + 1, n, 2))
+        out[0] = pos
+        cur = pos.copy()
+        for t in range(1, n_steps + 1):
+            cur = cur + gen.normal(0, self.step_sigma, size=(n, 2))
+            # Reflect off the boundary (at most a few bounces per step).
+            for axis, limit in ((0, self.width), (1, self.height)):
+                over = cur[:, axis] > limit
+                cur[over, axis] = 2 * limit - cur[over, axis]
+                under = cur[:, axis] < 0
+                cur[under, axis] = -cur[under, axis]
+                np.clip(cur[:, axis], 0.0, limit, out=cur[:, axis])
+            out[t] = cur
+        return out

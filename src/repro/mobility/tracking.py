@@ -1,0 +1,290 @@
+"""Sequential localization of mobile networks.
+
+* :class:`SequentialGridTracker` — the Bayesian network tracker: each time
+  step's posterior, diffused through a bounded-speed motion kernel, becomes
+  the next step's *pre-knowledge prior*.  This is the temporal face of the
+  paper's idea: yesterday's inference is today's pre-knowledge.
+* :class:`MCLTracker` — Monte-Carlo Localization (Hu & Evans 2004), the
+  classic range-free particle baseline: predict within max speed, filter by
+  anchor-connectivity constraints, resample.
+
+Both consume a trajectory ``(T+1, n, 2)`` from :mod:`repro.mobility.models`
+plus the static scenario pieces (radio, ranging, anchors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bnloc import GridBPConfig, GridBPLocalizer
+from repro.core.grid import Grid2D
+from repro.measurement.measurements import observe
+from repro.measurement.ranging import RangingModel
+from repro.network.radio import RadioModel
+from repro.network.topology import WSNetwork
+from repro.priors.base import PositionPrior
+from repro.priors.belief import GridBeliefPrior
+from repro.utils.rng import RNGLike, as_generator
+
+__all__ = ["TrackingResult", "SequentialGridTracker", "MCLTracker"]
+
+
+@dataclass
+class TrackingResult:
+    """Per-step estimates for a mobile network.
+
+    Attributes
+    ----------
+    estimates:
+        ``(T+1, n, 2)`` estimated positions (NaN where unlocalized).
+    localized:
+        ``(T+1, n)`` boolean mask.
+    method:
+        Tracker name.
+    """
+
+    estimates: np.ndarray
+    localized: np.ndarray
+    method: str
+    extras: dict = field(default_factory=dict)
+
+    def errors(self, trajectory: np.ndarray) -> np.ndarray:
+        """``(T+1, n)`` per-step per-node errors (NaN where unlocalized)."""
+        traj = np.asarray(trajectory, dtype=np.float64)
+        if traj.shape != self.estimates.shape:
+            raise ValueError("trajectory shape mismatch")
+        err = np.linalg.norm(self.estimates - traj, axis=2)
+        err[~self.localized] = np.nan
+        return err
+
+    def mean_error_per_step(self, trajectory: np.ndarray, unknown_mask: np.ndarray) -> np.ndarray:
+        err = self.errors(trajectory)[:, unknown_mask]
+        with np.errstate(invalid="ignore"):
+            return np.nanmean(err, axis=1)
+
+
+class SequentialGridTracker:
+    """Grid Bayesian tracker: posterior → motion diffusion → next prior.
+
+    Parameters
+    ----------
+    radio, ranging:
+        Observation models applied at every step.
+    motion_sigma:
+        Std of the per-step displacement assumed by the motion kernel
+        (the pre-knowledge about node dynamics).
+    config:
+        Grid BP settings reused each step.
+    """
+
+    def __init__(
+        self,
+        radio: RadioModel,
+        ranging: RangingModel | None,
+        motion_sigma: float = 0.05,
+        config: GridBPConfig | None = None,
+    ) -> None:
+        if motion_sigma <= 0:
+            raise ValueError("motion_sigma must be positive")
+        self.radio = radio
+        self.ranging = ranging
+        self.motion_sigma = float(motion_sigma)
+        self.config = config if config is not None else GridBPConfig(max_iterations=8)
+
+    def track(
+        self,
+        trajectory: np.ndarray,
+        anchor_mask: np.ndarray,
+        width: float = 1.0,
+        height: float = 1.0,
+        rng: RNGLike = None,
+    ) -> TrackingResult:
+        traj = np.asarray(trajectory, dtype=np.float64)
+        if traj.ndim != 3 or traj.shape[2] != 2:
+            raise ValueError("trajectory must have shape (T+1, n, 2)")
+        gen = as_generator(rng)
+        anchor_mask = np.asarray(anchor_mask, dtype=bool)
+        T1, n, _ = traj.shape
+        grid = Grid2D(self.config.grid_size, self.config.grid_size, width, height)
+
+        estimates = np.full((T1, n, 2), np.nan)
+        localized = np.zeros((T1, n), dtype=bool)
+        prior: PositionPrior | None = None
+        for t in range(T1):
+            net = WSNetwork(
+                positions=traj[t],
+                anchor_mask=anchor_mask,
+                adjacency=self.radio.adjacency(traj[t], gen),
+                width=width,
+                height=height,
+                radio_range=self.radio.range_,
+            )
+            ms = observe(net, self.ranging, gen)
+            loc = GridBPLocalizer(prior=prior, radio=self.radio, config=self.config)
+            res = loc.localize(ms, gen)
+            estimates[t] = res.estimates
+            localized[t] = res.localized_mask
+            # Diffuse the posterior through the motion model into the next
+            # step's prior.
+            prior = GridBeliefPrior(
+                grid, res.extras["beliefs"], diffusion_sigma=self.motion_sigma
+            )
+        return TrackingResult(estimates, localized, "seq-grid-bp")
+
+
+class MCLTracker:
+    """Monte-Carlo Localization for mobile range-free networks.
+
+    Per step and node: particles move by at most ``v_max`` (uniform in the
+    disk), are filtered by the observed anchor constraints — within ``r``
+    of every one-hop anchor, within ``2r`` of every two-hop anchor, outside
+    ``r`` of every silent anchor (negative evidence, optional) — and are
+    resampled until the cloud refills (bounded retries).
+
+    Parameters
+    ----------
+    radio:
+        Link model (its ``range_`` provides ``r``).
+    v_max:
+        Per-step maximum displacement assumed by prediction.
+    n_particles:
+        Cloud size per node.
+    use_negative_evidence:
+        Apply the silent-anchor exclusion constraint.
+    max_resample_rounds:
+        Prediction/filter retries per step before giving up and keeping
+        the unfiltered predictions (rare, low-anchor corner case).
+    """
+
+    def __init__(
+        self,
+        radio: RadioModel,
+        v_max: float = 0.08,
+        n_particles: int = 100,
+        use_negative_evidence: bool = True,
+        max_resample_rounds: int = 20,
+    ) -> None:
+        if v_max <= 0:
+            raise ValueError("v_max must be positive")
+        if n_particles < 10:
+            raise ValueError("n_particles must be >= 10")
+        if max_resample_rounds < 1:
+            raise ValueError("max_resample_rounds must be >= 1")
+        self.radio = radio
+        self.v_max = float(v_max)
+        self.n_particles = int(n_particles)
+        self.use_negative_evidence = bool(use_negative_evidence)
+        self.max_resample_rounds = int(max_resample_rounds)
+
+    # ------------------------------------------------------------------ #
+    def _constraints_ok(
+        self,
+        pts: np.ndarray,
+        one_hop: np.ndarray,
+        two_hop: np.ndarray,
+        silent: np.ndarray,
+        r: float,
+    ) -> np.ndarray:
+        ok = np.ones(len(pts), dtype=bool)
+        for a in one_hop:
+            ok &= np.linalg.norm(pts - a, axis=1) <= r
+        for a in two_hop:
+            ok &= np.linalg.norm(pts - a, axis=1) <= 2 * r
+        if self.use_negative_evidence:
+            for a in silent:
+                ok &= np.linalg.norm(pts - a, axis=1) > r
+        return ok
+
+    def track(
+        self,
+        trajectory: np.ndarray,
+        anchor_mask: np.ndarray,
+        width: float = 1.0,
+        height: float = 1.0,
+        rng: RNGLike = None,
+    ) -> TrackingResult:
+        traj = np.asarray(trajectory, dtype=np.float64)
+        if traj.ndim != 3 or traj.shape[2] != 2:
+            raise ValueError("trajectory must have shape (T+1, n, 2)")
+        gen = as_generator(rng)
+        anchor_mask = np.asarray(anchor_mask, dtype=bool)
+        T1, n, _ = traj.shape
+        r = self.radio.range_
+        unknowns = np.flatnonzero(~anchor_mask)
+        anchors = np.flatnonzero(anchor_mask)
+
+        clouds = {
+            int(u): np.column_stack(
+                [
+                    gen.uniform(0, width, size=self.n_particles),
+                    gen.uniform(0, height, size=self.n_particles),
+                ]
+            )
+            for u in unknowns
+        }
+        estimates = np.full((T1, n, 2), np.nan)
+        localized = np.zeros((T1, n), dtype=bool)
+        estimates[:, anchor_mask] = traj[:, anchor_mask]
+        localized[:, anchor_mask] = True
+
+        for t in range(T1):
+            adj = self.radio.adjacency(traj[t], gen)
+            for u in unknowns:
+                u = int(u)
+                heard = [a for a in anchors if adj[u, a]]
+                two_hop = {
+                    int(a)
+                    for v in np.flatnonzero(adj[u])
+                    if not anchor_mask[v]
+                    for a in anchors
+                    if adj[v, a] and not adj[u, a]
+                }
+                one_pos = traj[t][heard] if heard else np.zeros((0, 2))
+                two_pos = (
+                    traj[t][sorted(two_hop)] if two_hop else np.zeros((0, 2))
+                )
+                silent = [a for a in anchors if not adj[u, a]]
+                sil_pos = traj[t][silent] if silent else np.zeros((0, 2))
+
+                kept = np.zeros((0, 2))
+                cloud = clouds[u]
+                for _ in range(self.max_resample_rounds):
+                    base = cloud[gen.integers(0, len(cloud), size=self.n_particles)]
+                    if t > 0:
+                        theta = gen.uniform(0, 2 * np.pi, size=self.n_particles)
+                        rad = self.v_max * np.sqrt(
+                            gen.uniform(0, 1, size=self.n_particles)
+                        )
+                        base = base + np.column_stack(
+                            [rad * np.cos(theta), rad * np.sin(theta)]
+                        )
+                    np.clip(base[:, 0], 0, width, out=base[:, 0])
+                    np.clip(base[:, 1], 0, height, out=base[:, 1])
+                    ok = self._constraints_ok(base, one_pos, two_pos, sil_pos, r)
+                    kept = np.concatenate([kept, base[ok]])
+                    if len(kept) >= self.n_particles:
+                        kept = kept[: self.n_particles]
+                        break
+                if len(kept) == 0:
+                    # Constraints unsatisfiable from the current cloud
+                    # (kidnapped-node case): re-seed from the constraint
+                    # region around heard anchors, or keep predictions.
+                    if len(one_pos):
+                        center = one_pos.mean(axis=0)
+                        kept = center + gen.uniform(
+                            -r, r, size=(self.n_particles, 2)
+                        )
+                        ok = self._constraints_ok(kept, one_pos, two_pos, sil_pos, r)
+                        if ok.any():
+                            kept = kept[ok]
+                    else:
+                        kept = cloud
+                if len(kept) < self.n_particles:
+                    idx = gen.integers(0, len(kept), size=self.n_particles)
+                    kept = kept[idx]
+                clouds[u] = kept
+                estimates[t, u] = kept.mean(axis=0)
+                localized[t, u] = True
+        return TrackingResult(estimates, localized, "mcl")

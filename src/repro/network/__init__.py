@@ -1,0 +1,41 @@
+"""Wireless-sensor-network simulation substrate.
+
+Provides node deployment models, radio propagation/link models, and the
+:class:`~repro.network.topology.WSNetwork` connectivity structure that all
+localizers consume.
+"""
+
+from repro.network.deployment import (
+    DeploymentModel,
+    UniformDeployment,
+    GridDeployment,
+    GaussianClusterDeployment,
+    CShapeDeployment,
+    deploy,
+)
+from repro.network.radio import (
+    RadioModel,
+    UnitDiskRadio,
+    QuasiUnitDiskRadio,
+    LogNormalShadowingRadio,
+    IrregularRadio,
+)
+from repro.network.topology import WSNetwork
+from repro.network.generator import NetworkConfig, generate_network
+
+__all__ = [
+    "DeploymentModel",
+    "UniformDeployment",
+    "GridDeployment",
+    "GaussianClusterDeployment",
+    "CShapeDeployment",
+    "deploy",
+    "RadioModel",
+    "UnitDiskRadio",
+    "QuasiUnitDiskRadio",
+    "LogNormalShadowingRadio",
+    "IrregularRadio",
+    "WSNetwork",
+    "NetworkConfig",
+    "generate_network",
+]

@@ -1,0 +1,295 @@
+"""Node deployment models.
+
+A deployment model places *n* sensor nodes inside the rectangular field
+``[0, width] × [0, height]``.  Besides drawing positions, each model can
+report its own density over a grid (:meth:`DeploymentModel.density_map`),
+which is exactly the "pre-knowledge" the Bayesian localizer consumes as a
+deployment prior: if the operator knows nodes were dropped along a flight
+line or around cluster points, that knowledge becomes a prior distribution
+over positions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "DeploymentModel",
+    "UniformDeployment",
+    "GridDeployment",
+    "GaussianClusterDeployment",
+    "CShapeDeployment",
+    "deploy",
+]
+
+
+class DeploymentModel(ABC):
+    """Base class: a distribution over node positions in a rectangle."""
+
+    def __init__(self, width: float = 1.0, height: float = 1.0) -> None:
+        self.width = check_positive(width, "width")
+        self.height = check_positive(height, "height")
+
+    @abstractmethod
+    def sample(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        """Draw ``(n, 2)`` node positions."""
+
+    @abstractmethod
+    def log_density(self, points: np.ndarray) -> np.ndarray:
+        """Unnormalized log-density of the deployment at ``(m, 2)`` points.
+
+        Used to build the matching deployment prior (pre-knowledge).  May
+        return ``-inf`` for points outside the support.
+        """
+
+    def density_map(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Normalized density over the grid ``xs × ys`` (shape ``(len(ys), len(xs))``)."""
+        gx, gy = np.meshgrid(np.asarray(xs), np.asarray(ys))
+        pts = np.column_stack([gx.ravel(), gy.ravel()])
+        logd = self.log_density(pts).reshape(gy.shape)
+        # Shift for numerical stability before exponentiating.
+        finite = np.isfinite(logd)
+        if not finite.any():
+            raise ValueError("deployment density is zero everywhere on grid")
+        out = np.zeros_like(logd)
+        out[finite] = np.exp(logd[finite] - logd[finite].max())
+        total = out.sum()
+        return out / total
+
+    def _check_n(self, n: int) -> int:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        return int(n)
+
+
+class UniformDeployment(DeploymentModel):
+    """Independent uniform placement over the whole field."""
+
+    def sample(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        n = self._check_n(n)
+        gen = as_generator(rng)
+        pts = gen.uniform(0.0, 1.0, size=(n, 2))
+        pts[:, 0] *= self.width
+        pts[:, 1] *= self.height
+        return pts
+
+    def log_density(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        inside = (
+            (pts[:, 0] >= 0)
+            & (pts[:, 0] <= self.width)
+            & (pts[:, 1] >= 0)
+            & (pts[:, 1] <= self.height)
+        )
+        return np.where(inside, 0.0, -np.inf)
+
+
+class GridDeployment(DeploymentModel):
+    """Planned grid placement with Gaussian placement jitter.
+
+    Models the common "nodes were *meant* to be on a grid but landed nearby"
+    scenario (e.g. aerial drops at waypoints): strong pre-knowledge, because
+    the intended grid is known to the operator.
+    """
+
+    def __init__(
+        self,
+        width: float = 1.0,
+        height: float = 1.0,
+        jitter: float = 0.03,
+    ) -> None:
+        super().__init__(width, height)
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        self.jitter = float(jitter)
+
+    def grid_points(self, n: int) -> np.ndarray:
+        """The intended (pre-jitter) grid positions for *n* nodes."""
+        n = self._check_n(n)
+        cols = int(np.ceil(np.sqrt(n * self.width / self.height)))
+        cols = max(cols, 1)
+        rows = int(np.ceil(n / cols))
+        xs = (np.arange(cols) + 0.5) * self.width / cols
+        ys = (np.arange(rows) + 0.5) * self.height / rows
+        gx, gy = np.meshgrid(xs, ys)
+        pts = np.column_stack([gx.ravel(), gy.ravel()])
+        return pts[:n]
+
+    def sample(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        gen = as_generator(rng)
+        pts = self.grid_points(n)
+        if self.jitter > 0:
+            pts = pts + gen.normal(0.0, self.jitter, size=pts.shape)
+        np.clip(pts[:, 0], 0.0, self.width, out=pts[:, 0])
+        np.clip(pts[:, 1], 0.0, self.height, out=pts[:, 1])
+        return pts
+
+    def log_density(self, points: np.ndarray) -> np.ndarray:
+        # Marginal over which grid point a node belongs to: a mixture of
+        # isotropic Gaussians centred at the full grid.  Uses a generous
+        # default of 100 grid points, matching a typical network size.
+        pts = np.asarray(points, dtype=np.float64)
+        centers = self.grid_points(100)
+        sigma = max(self.jitter, 1e-3)
+        d2 = (
+            (pts[:, None, 0] - centers[None, :, 0]) ** 2
+            + (pts[:, None, 1] - centers[None, :, 1]) ** 2
+        )
+        # log-sum-exp over mixture components
+        z = -d2 / (2 * sigma**2)
+        m = z.max(axis=1, keepdims=True)
+        logd = m[:, 0] + np.log(np.exp(z - m).sum(axis=1))
+        inside = (
+            (pts[:, 0] >= 0)
+            & (pts[:, 0] <= self.width)
+            & (pts[:, 1] >= 0)
+            & (pts[:, 1] <= self.height)
+        )
+        return np.where(inside, logd, -np.inf)
+
+
+class GaussianClusterDeployment(DeploymentModel):
+    """Mixture-of-Gaussians placement around known drop points.
+
+    ``centers`` are the drop/cluster coordinates; ``sigma`` the spread per
+    cluster; ``weights`` optional mixture weights.  Samples falling outside
+    the field are re-drawn (truncated mixture).
+    """
+
+    def __init__(
+        self,
+        centers: np.ndarray,
+        sigma: float = 0.1,
+        weights: np.ndarray | None = None,
+        width: float = 1.0,
+        height: float = 1.0,
+    ) -> None:
+        super().__init__(width, height)
+        self.centers = np.asarray(centers, dtype=np.float64)
+        if self.centers.ndim != 2 or self.centers.shape[1] != 2:
+            raise ValueError("centers must have shape (k, 2)")
+        if len(self.centers) == 0:
+            raise ValueError("need at least one cluster center")
+        self.sigma = check_positive(sigma, "sigma")
+        if weights is None:
+            weights = np.full(len(self.centers), 1.0 / len(self.centers))
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(self.centers),):
+            raise ValueError("weights must match number of centers")
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+        self.weights = weights / weights.sum()
+
+    def sample(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        n = self._check_n(n)
+        gen = as_generator(rng)
+        out = np.empty((n, 2))
+        filled = 0
+        # Rejection-sample the truncation; each round fills most slots.
+        while filled < n:
+            need = n - filled
+            comp = gen.choice(len(self.centers), size=need, p=self.weights)
+            cand = self.centers[comp] + gen.normal(0, self.sigma, size=(need, 2))
+            ok = (
+                (cand[:, 0] >= 0)
+                & (cand[:, 0] <= self.width)
+                & (cand[:, 1] >= 0)
+                & (cand[:, 1] <= self.height)
+            )
+            kept = cand[ok]
+            out[filled : filled + len(kept)] = kept
+            filled += len(kept)
+        return out
+
+    def log_density(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        d2 = (
+            (pts[:, None, 0] - self.centers[None, :, 0]) ** 2
+            + (pts[:, None, 1] - self.centers[None, :, 1]) ** 2
+        )
+        z = np.log(self.weights)[None, :] - d2 / (2 * self.sigma**2)
+        m = z.max(axis=1, keepdims=True)
+        logd = m[:, 0] + np.log(np.exp(z - m).sum(axis=1))
+        inside = (
+            (pts[:, 0] >= 0)
+            & (pts[:, 0] <= self.width)
+            & (pts[:, 1] >= 0)
+            & (pts[:, 1] <= self.height)
+        )
+        return np.where(inside, logd, -np.inf)
+
+
+class CShapeDeployment(DeploymentModel):
+    """Uniform placement over a C-shaped (concave) region.
+
+    The classic stress test for hop-count and MDS localizers: shortest paths
+    bend around the void, so hop distance badly over-estimates Euclidean
+    distance.  The C is the field minus a rectangular notch cut from the
+    right edge at mid-height.
+
+    Parameters
+    ----------
+    notch_width, notch_height:
+        Fractions (of field width/height) of the removed rectangle.
+    """
+
+    def __init__(
+        self,
+        width: float = 1.0,
+        height: float = 1.0,
+        notch_width: float = 0.6,
+        notch_height: float = 0.4,
+    ) -> None:
+        super().__init__(width, height)
+        if not (0 < notch_width < 1) or not (0 < notch_height < 1):
+            raise ValueError("notch fractions must lie strictly in (0, 1)")
+        self.notch_width = float(notch_width)
+        self.notch_height = float(notch_height)
+
+    def _in_notch(self, pts: np.ndarray) -> np.ndarray:
+        x0 = self.width * (1.0 - self.notch_width)
+        y0 = self.height * (0.5 - self.notch_height / 2)
+        y1 = self.height * (0.5 + self.notch_height / 2)
+        return (pts[:, 0] >= x0) & (pts[:, 1] >= y0) & (pts[:, 1] <= y1)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Mask of points inside the C-shaped support."""
+        pts = np.asarray(points, dtype=np.float64)
+        inside_box = (
+            (pts[:, 0] >= 0)
+            & (pts[:, 0] <= self.width)
+            & (pts[:, 1] >= 0)
+            & (pts[:, 1] <= self.height)
+        )
+        return inside_box & ~self._in_notch(pts)
+
+    def sample(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        n = self._check_n(n)
+        gen = as_generator(rng)
+        out = np.empty((n, 2))
+        filled = 0
+        while filled < n:
+            need = n - filled
+            # Oversample to amortize rejection of the notch area.
+            cand = gen.uniform(0, 1, size=(2 * need, 2))
+            cand[:, 0] *= self.width
+            cand[:, 1] *= self.height
+            kept = cand[self.contains(cand)][:need]
+            out[filled : filled + len(kept)] = kept
+            filled += len(kept)
+        return out
+
+    def log_density(self, points: np.ndarray) -> np.ndarray:
+        return np.where(self.contains(np.asarray(points, dtype=np.float64)), 0.0, -np.inf)
+
+
+def deploy(model: DeploymentModel, n: int, rng: RNGLike = None) -> np.ndarray:
+    """Convenience wrapper: draw *n* positions from *model*."""
+    if not isinstance(model, DeploymentModel):
+        raise TypeError("model must be a DeploymentModel")
+    return model.sample(n, rng)

@@ -1,0 +1,157 @@
+"""One-call network generation from a declarative config.
+
+:func:`generate_network` wires together a deployment model, a radio model,
+and an anchor-selection policy into a ready-to-localize
+:class:`~repro.network.topology.WSNetwork`.  This is the entry point the
+experiment harness and the examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.deployment import DeploymentModel, UniformDeployment
+from repro.network.radio import RadioModel, UnitDiskRadio
+from repro.network.topology import WSNetwork
+from repro.utils.rng import RNGLike, as_generator
+
+__all__ = ["NetworkConfig", "generate_network", "select_anchors"]
+
+
+@dataclass
+class NetworkConfig:
+    """Declarative description of a random network draw.
+
+    Attributes
+    ----------
+    n_nodes:
+        Total node count (anchors included).
+    anchor_ratio:
+        Fraction of nodes that are anchors (at least 3 anchors enforced,
+        since 2-D localization is ambiguous below that).
+    deployment:
+        Deployment model; default uniform over the unit square.
+    radio:
+        Radio/link model; default unit disk with range 0.2.
+    anchor_placement:
+        ``"random"`` — uniform choice among nodes;
+        ``"perimeter"`` — prefer nodes near the field boundary (common in
+        practice: anchors placed along accessible edges);
+        ``"spread"`` — greedy max-min dispersion (well-separated anchors).
+    require_connected:
+        If ``True``, redraw until the connectivity graph is a single
+        component (up to ``max_redraws`` attempts).
+    """
+
+    n_nodes: int = 100
+    anchor_ratio: float = 0.1
+    deployment: DeploymentModel = field(default_factory=UniformDeployment)
+    radio: RadioModel = field(default_factory=lambda: UnitDiskRadio(0.2))
+    anchor_placement: str = "random"
+    require_connected: bool = False
+    max_redraws: int = 50
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 4:
+            raise ValueError("need at least 4 nodes (3 anchors + 1 unknown)")
+        if not (0.0 < self.anchor_ratio < 1.0):
+            raise ValueError("anchor_ratio must lie in (0, 1)")
+        if self.anchor_placement not in ("random", "perimeter", "spread"):
+            raise ValueError(
+                f"unknown anchor_placement {self.anchor_placement!r}"
+            )
+
+    @property
+    def n_anchors(self) -> int:
+        return max(3, int(round(self.anchor_ratio * self.n_nodes)))
+
+
+def select_anchors(
+    positions: np.ndarray,
+    n_anchors: int,
+    placement: str = "random",
+    rng: RNGLike = None,
+    width: float = 1.0,
+    height: float = 1.0,
+) -> np.ndarray:
+    """Choose anchor indices among deployed nodes.
+
+    Returns a boolean mask of length ``len(positions)``.
+    """
+    n = len(positions)
+    if not (0 < n_anchors < n):
+        raise ValueError(
+            f"n_anchors must lie in (0, {n}), got {n_anchors}"
+        )
+    gen = as_generator(rng)
+    mask = np.zeros(n, dtype=bool)
+    if placement == "random":
+        mask[gen.choice(n, size=n_anchors, replace=False)] = True
+    elif placement == "perimeter":
+        # Distance to the nearest field edge; pick the most peripheral, with
+        # small random jitter to break ties between equally-edgy nodes.
+        edge_dist = np.minimum.reduce(
+            [
+                positions[:, 0],
+                width - positions[:, 0],
+                positions[:, 1],
+                height - positions[:, 1],
+            ]
+        )
+        noisy = edge_dist + gen.uniform(0, 1e-9, size=n)
+        mask[np.argsort(noisy)[:n_anchors]] = True
+    elif placement == "spread":
+        # Greedy max-min dispersion starting from a random node.
+        chosen = [int(gen.integers(n))]
+        d = np.linalg.norm(positions - positions[chosen[0]], axis=1)
+        while len(chosen) < n_anchors:
+            nxt = int(np.argmax(d))
+            chosen.append(nxt)
+            d = np.minimum(d, np.linalg.norm(positions - positions[nxt], axis=1))
+        mask[chosen] = True
+    else:
+        raise ValueError(f"unknown placement {placement!r}")
+    return mask
+
+
+def generate_network(config: NetworkConfig, rng: RNGLike = None) -> WSNetwork:
+    """Draw a :class:`WSNetwork` according to *config*.
+
+    Raises
+    ------
+    RuntimeError
+        If ``require_connected`` and no connected draw is found within
+        ``max_redraws`` attempts (a sign the density/range is too low).
+    """
+    gen = as_generator(rng)
+    attempts = config.max_redraws if config.require_connected else 1
+    last = None
+    for _ in range(attempts):
+        positions = config.deployment.sample(config.n_nodes, gen)
+        adjacency = config.radio.adjacency(positions, gen)
+        anchor_mask = select_anchors(
+            positions,
+            config.n_anchors,
+            config.anchor_placement,
+            gen,
+            config.deployment.width,
+            config.deployment.height,
+        )
+        net = WSNetwork(
+            positions=positions,
+            anchor_mask=anchor_mask,
+            adjacency=adjacency,
+            width=config.deployment.width,
+            height=config.deployment.height,
+            radio_range=config.radio.range_,
+        )
+        if not config.require_connected or net.is_connected():
+            return net
+        last = net
+    raise RuntimeError(
+        f"no connected network in {attempts} draws "
+        f"(mean degree of last draw: {last.mean_degree():.2f}); "
+        "increase radio range or node density"
+    )

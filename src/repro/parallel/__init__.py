@@ -1,0 +1,16 @@
+"""Parallel and distributed-execution substrate.
+
+* :mod:`repro.parallel.executor` — the Monte-Carlo trial runner: maps a
+  trial function over independent child seeds, serially or on a process
+  pool, with identical results either way (the mpi4py-style "independent
+  streams per worker" discipline from the HPC guides).
+* :mod:`repro.parallel.messaging` — a synchronous-round message-passing
+  simulator of the *distributed* BP deployment: per-node mailboxes, real
+  counted messages/bytes, and bit-identical beliefs to the centralized
+  solver (tested).
+"""
+
+from repro.parallel.executor import TrialExecutor, run_trials
+from repro.parallel.messaging import DistributedBPSimulator, RoundStats
+
+__all__ = ["TrialExecutor", "run_trials", "DistributedBPSimulator", "RoundStats"]

@@ -1,0 +1,228 @@
+"""Distributed execution of the Bayesian-network localizer.
+
+:class:`DistributedBPSimulator` runs the *same* grid-BP computation as
+:class:`~repro.core.bnloc.GridBPLocalizer`, but organized the way a real
+deployment executes it: every sensor node is an agent with an inbox; in
+each synchronous round an agent reads the belief messages its neighbors
+sent last round, computes one outgoing message per neighbor, and delivers
+them.  Nothing is shared — an agent sees only its own measurements, its
+prior, and its mailbox.
+
+This makes the communication cost *measured rather than modeled*
+(:class:`RoundStats` counts actual deliveries and payload bytes per round)
+and demonstrates that the algorithm is genuinely distributable: the test
+suite asserts the final beliefs match the centralized solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bnloc import _MSG_FLOOR, GridBPConfig, GridBPLocalizer
+from repro.core.grid import Grid2D
+from repro.core.potentials import RangingPotentialCache, connectivity_potential
+from repro.core.result import LocalizationResult
+from repro.measurement.measurements import MeasurementSet
+from repro.network.radio import RadioModel, UnitDiskRadio
+from repro.priors.base import PositionPrior
+from repro.priors.deployment import UniformPrior
+
+__all__ = ["DistributedBPSimulator", "RoundStats", "SensorNodeAgent"]
+
+
+@dataclass
+class RoundStats:
+    """Per-round communication and convergence accounting."""
+
+    round_index: int
+    messages: int
+    bytes: int
+    max_residual: float
+
+
+class SensorNodeAgent:
+    """One unknown node's local state in the distributed execution."""
+
+    def __init__(self, node_id: int, log_phi: np.ndarray) -> None:
+        self.node_id = int(node_id)
+        self.log_phi = log_phi
+        #: incoming message per neighbor id (previous round)
+        self.inbox: dict[int, np.ndarray] = {}
+        #: pairwise potential per neighbor id (sparse, symmetric)
+        self.psi: dict[int, object] = {}
+
+    def add_neighbor(self, other: int, psi, K: int) -> None:
+        """*psi* is the oriented operator: outgoing message = psi @ h."""
+        self.psi[int(other)] = psi
+        self.inbox[int(other)] = np.full(K, 1.0 / K)
+
+    def compute_outgoing(self, damping: float) -> dict[int, np.ndarray]:
+        """One message per neighbor, from the current inbox."""
+        total = self.log_phi.copy()
+        for m in self.inbox.values():
+            total += np.log(m)
+        out: dict[int, np.ndarray] = {}
+        K = len(self.log_phi)
+        for other, psi in self.psi.items():
+            h = total - np.log(self.inbox[other])
+            h -= h.max()
+            msg = psi.dot(np.exp(h))
+            s = msg.sum()
+            msg = msg / s if s > 0 else np.full(K, 1.0 / K)
+            if damping > 0:
+                # Damp against what *we last sent* to this neighbor; the
+                # agent remembers it in _last_sent.
+                prev = self._last_sent.get(other)
+                if prev is not None:
+                    msg = (1 - damping) * msg + damping * prev
+                    msg = msg / msg.sum()
+            np.maximum(msg, _MSG_FLOOR, out=msg)
+            out[other] = msg
+        self._last_sent.update(out)
+        return out
+
+    _last_sent: dict[int, np.ndarray]
+
+    def reset_memory(self, K: int) -> None:
+        self._last_sent = {o: np.full(K, 1.0 / K) for o in self.psi}
+
+    def belief(self) -> np.ndarray:
+        acc = self.log_phi.copy()
+        for m in self.inbox.values():
+            acc += np.log(m)
+        acc -= acc.max()
+        b = np.exp(acc)
+        return b / b.sum()
+
+
+class DistributedBPSimulator:
+    """Synchronous-round distributed grid BP with mailbox accounting.
+
+    Parameters mirror :class:`~repro.core.bnloc.GridBPLocalizer`; the
+    computation is identical, only the execution model differs.
+    """
+
+    name = "distributed-grid-bp"
+
+    def __init__(
+        self,
+        prior: PositionPrior | None = None,
+        radio: RadioModel | None = None,
+        config: GridBPConfig | None = None,
+    ) -> None:
+        self.prior = prior
+        self.radio = radio
+        self.config = config if config is not None else GridBPConfig()
+
+    def run(self, measurements: MeasurementSet) -> tuple[LocalizationResult, list[RoundStats]]:
+        ms = measurements
+        cfg = self.config
+        grid = Grid2D(cfg.grid_size, cfg.grid_size, ms.width, ms.height)
+        prior = self.prior if self.prior is not None else UniformPrior(ms.width, ms.height)
+        radio = self.radio if self.radio is not None else UnitDiskRadio(ms.radio_range)
+        K = grid.n_cells
+
+        # Local knowledge phase: each node folds anchor broadcasts and its
+        # prior into a unary potential (reuses the centralized code — the
+        # math is per-node local either way).
+        helper = GridBPLocalizer(prior=prior, radio=radio, config=cfg)
+        unknowns = ms.unknown_ids
+        log_phi = helper._node_potentials(ms, grid, prior, radio, unknowns)
+        agents = {
+            int(u): SensorNodeAgent(int(u), log_phi[ui])
+            for ui, u in enumerate(unknowns)
+        }
+
+        if ms.has_ranging:
+            cache = RangingPotentialCache(
+                grid,
+                ms.ranging,
+                radio if cfg.use_connectivity_in_ranging else None,
+                blur_sigma=cfg.cell_blur_fraction * grid.cell_diagonal,
+            )
+        conn_psi = None
+        anchor_broadcasts = 0
+        for i, j in ms.edges():
+            i, j = int(i), int(j)
+            if ms.anchor_mask[i] and ms.anchor_mask[j]:
+                continue
+            if ms.anchor_mask[i] or ms.anchor_mask[j]:
+                anchor_broadcasts += 1
+                continue
+            if ms.has_ranging:
+                psi = cache.get(ms.observed_distances[i, j])
+            else:
+                if conn_psi is None:
+                    from scipy import sparse
+
+                    conn_psi = sparse.csr_matrix(
+                        connectivity_potential(grid.pairwise_center_distances(), radio)
+                    )
+                psi = conn_psi
+            if ms.has_bearings:
+                from scipy import sparse
+
+                from repro.core.potentials import pairwise_bearing_potential
+
+                bpsi = pairwise_bearing_potential(
+                    grid,
+                    ms.observed_bearings[i, j],
+                    ms.observed_bearings[j, i],
+                    ms.bearing_model,
+                )
+                combined = sparse.csr_matrix(psi.multiply(bpsi))
+                agents[i].add_neighbor(j, sparse.csr_matrix(combined.T), K)
+                agents[j].add_neighbor(i, combined, K)
+            else:
+                agents[i].add_neighbor(j, psi, K)
+                agents[j].add_neighbor(i, psi, K)
+        for a in agents.values():
+            a.reset_memory(K)
+
+        stats: list[RoundStats] = []
+        converged = False
+        n_round = 0
+        msg_bytes = K * 8
+        for n_round in range(1, cfg.max_iterations + 1):
+            outboxes = {
+                u: agent.compute_outgoing(cfg.damping)
+                for u, agent in agents.items()
+            }
+            max_res = 0.0
+            n_msgs = 0
+            for u, out in outboxes.items():
+                for other, msg in out.items():
+                    prev = agents[other].inbox[u]
+                    max_res = max(max_res, float(np.abs(msg - prev).max()))
+                    agents[other].inbox[u] = msg
+                    n_msgs += 1
+            stats.append(RoundStats(n_round, n_msgs, n_msgs * msg_bytes, max_res))
+            if max_res < cfg.tol:
+                converged = True
+                break
+
+        estimates = np.full((ms.n_nodes, 2), np.nan)
+        estimates[ms.anchor_mask] = ms.anchor_positions
+        mask = ms.anchor_mask.copy()
+        beliefs = {}
+        for u, agent in agents.items():
+            b = agent.belief()
+            beliefs[u] = b
+            estimates[u] = (
+                grid.expectation(b) if cfg.estimator == "mmse" else grid.map_estimate(b)
+            )
+            mask[u] = True
+        total_msgs = anchor_broadcasts + sum(s.messages for s in stats)
+        result = LocalizationResult(
+            estimates=estimates,
+            localized_mask=mask,
+            method=self.name,
+            n_iterations=n_round,
+            converged=converged,
+            messages_sent=total_msgs,
+            bytes_sent=anchor_broadcasts * 2 * 8 + sum(s.bytes for s in stats),
+            extras={"beliefs": beliefs, "grid": grid},
+        )
+        return result, stats

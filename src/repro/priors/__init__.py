@@ -1,0 +1,36 @@
+"""Pre-knowledge priors over node positions.
+
+The "pre-knowledge" of the paper title: whatever the operator knows about
+where nodes are *before* any measurement — deployment patterns, per-node
+intended drop points, restricted regions — expressed as a prior density
+that the Bayesian-network localizer multiplies into each node's unary
+potential.
+
+Priors evaluate on a :class:`~repro.core.grid.Grid2D` (for the discrete BN
+localizer) and pointwise (for particle methods), and compose by product.
+"""
+
+from repro.priors.base import PositionPrior
+from repro.priors.deployment import (
+    UniformPrior,
+    GaussianPrior,
+    MixturePrior,
+    DeploymentPrior,
+    PerNodePrior,
+    RegionPrior,
+)
+from repro.priors.composition import ProductPrior, combine
+from repro.priors.belief import GridBeliefPrior
+
+__all__ = [
+    "GridBeliefPrior",
+    "PositionPrior",
+    "UniformPrior",
+    "GaussianPrior",
+    "MixturePrior",
+    "DeploymentPrior",
+    "PerNodePrior",
+    "RegionPrior",
+    "ProductPrior",
+    "combine",
+]

@@ -1,0 +1,42 @@
+"""Prior composition.
+
+Independent pieces of pre-knowledge combine by multiplying densities
+(adding log-densities): e.g. a deployment density × a region restriction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.priors.base import PositionPrior
+
+__all__ = ["ProductPrior", "combine"]
+
+
+class ProductPrior(PositionPrior):
+    """Product of component priors (sum of log-densities)."""
+
+    def __init__(self, components: Sequence[PositionPrior]) -> None:
+        components = list(components)
+        if not components:
+            raise ValueError("need at least one component prior")
+        for c in components:
+            if not isinstance(c, PositionPrior):
+                raise TypeError(f"{type(c).__name__} is not a PositionPrior")
+        self.components = components
+
+    def log_density(self, node: int, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        total = np.zeros(len(pts))
+        for c in self.components:
+            total = total + c.log_density(node, pts)
+        return total
+
+
+def combine(*priors: PositionPrior) -> PositionPrior:
+    """Combine priors by product; a single prior is returned unchanged."""
+    if len(priors) == 1:
+        return priors[0]
+    return ProductPrior(priors)

@@ -1,0 +1,41 @@
+"""Shared utilities: deterministic RNG handling, 2-D geometry kernels,
+argument validation, and plain-text table rendering.
+
+These helpers are deliberately dependency-light; every other subpackage in
+:mod:`repro` builds on them.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators, spawn_seeds
+from repro.utils.geometry import (
+    pairwise_distances,
+    distances_to,
+    distance,
+    clip_to_box,
+    points_in_box,
+    polygon_contains,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_positions,
+    check_in_range,
+)
+from repro.utils.tables import format_table, format_series
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "pairwise_distances",
+    "distances_to",
+    "distance",
+    "clip_to_box",
+    "points_in_box",
+    "polygon_contains",
+    "check_positive",
+    "check_probability",
+    "check_positions",
+    "check_in_range",
+    "format_table",
+    "format_series",
+]

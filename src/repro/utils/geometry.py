@@ -1,0 +1,118 @@
+"""Vectorized 2-D geometry kernels.
+
+All functions operate on ``(n, 2)`` float arrays of point coordinates and are
+pure NumPy — no Python-level loops over points (see the HPC guide: vectorize,
+avoid copies, keep arrays contiguous).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pairwise_distances",
+    "distances_to",
+    "distance",
+    "clip_to_box",
+    "points_in_box",
+    "polygon_contains",
+    "bounding_box",
+]
+
+
+def _as_points(points: np.ndarray, name: str = "points") -> np.ndarray:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"{name} must have shape (n, 2), got {pts.shape}")
+    return pts
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Dense symmetric Euclidean distance matrix for ``(n, 2)`` points.
+
+    O(n²) memory; fine for the network sizes this simulator targets
+    (n ≲ a few thousand).
+    """
+    pts = _as_points(points)
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def distances_to(points: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Distances from each of ``(n, 2)`` *points* to a single 2-D *target*."""
+    pts = _as_points(points)
+    tgt = np.asarray(target, dtype=np.float64)
+    if tgt.shape != (2,):
+        raise ValueError(f"target must have shape (2,), got {tgt.shape}")
+    diff = pts - tgt
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two 2-D points."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != (2,) or b.shape != (2,):
+        raise ValueError("distance expects two points of shape (2,)")
+    return float(np.hypot(a[0] - b[0], a[1] - b[1]))
+
+
+def clip_to_box(points: np.ndarray, width: float, height: float) -> np.ndarray:
+    """Clamp points into the axis-aligned box ``[0, width] × [0, height]``."""
+    pts = _as_points(points).copy()
+    np.clip(pts[:, 0], 0.0, float(width), out=pts[:, 0])
+    np.clip(pts[:, 1], 0.0, float(height), out=pts[:, 1])
+    return pts
+
+
+def points_in_box(points: np.ndarray, width: float, height: float) -> np.ndarray:
+    """Boolean mask of points inside (inclusive) ``[0, width] × [0, height]``."""
+    pts = _as_points(points)
+    return (
+        (pts[:, 0] >= 0.0)
+        & (pts[:, 0] <= width)
+        & (pts[:, 1] >= 0.0)
+        & (pts[:, 1] <= height)
+    )
+
+
+def polygon_contains(vertices: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Vectorized even-odd (ray casting) point-in-polygon test.
+
+    Parameters
+    ----------
+    vertices:
+        ``(m, 2)`` polygon vertices in order (closed implicitly).
+    points:
+        ``(n, 2)`` query points.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean mask of length *n*.  Points exactly on an edge may land on
+        either side; callers that care should buffer the polygon.
+    """
+    verts = _as_points(vertices, "vertices")
+    if len(verts) < 3:
+        raise ValueError("polygon needs at least 3 vertices")
+    pts = _as_points(points)
+    x, y = pts[:, 0], pts[:, 1]
+    inside = np.zeros(len(pts), dtype=bool)
+    x1, y1 = verts[:, 0], verts[:, 1]
+    x2, y2 = np.roll(x1, -1), np.roll(y1, -1)
+    for xa, ya, xb, yb in zip(x1, y1, x2, y2):  # loop over edges, not points
+        crosses = (ya > y) != (yb > y)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            xint = xa + (y - ya) * (xb - xa) / (yb - ya)
+        inside ^= crosses & (x < xint)
+    return inside
+
+
+def bounding_box(points: np.ndarray) -> tuple[float, float, float, float]:
+    """Return ``(xmin, ymin, xmax, ymax)`` of a non-empty point set."""
+    pts = _as_points(points)
+    if len(pts) == 0:
+        raise ValueError("bounding_box of empty point set")
+    mins = pts.min(axis=0)
+    maxs = pts.max(axis=0)
+    return float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1])

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment reports and benchmark output.
+
+The benchmark harness prints paper-style tables/series with these helpers so
+results are readable straight from ``pytest benchmarks/ --benchmark-only``
+output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with *precision* decimals; all other values via
+    ``str``.  Raises if any row length differs from the header length.
+    """
+    rows = [list(r) for r in rows]
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    cells = [[_fmt_cell(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[j]) for r in cells)) if cells else len(str(h))
+        for j, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render one x-axis column plus one column per named series.
+
+    This mirrors how a paper figure's data would appear as a table: one row
+    per x value, one column per curve.
+    """
+    n = len(x_values)
+    for name, values in series.items():
+        if len(values) != n:
+            raise ValueError(
+                f"series {name!r} has {len(values)} values, expected {n}"
+            )
+    headers = [x_name, *series.keys()]
+    rows = [
+        [x_values[i], *(series[name][i] for name in series)] for i in range(n)
+    ]
+    return format_table(headers, rows, precision=precision, title=title)

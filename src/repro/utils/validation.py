@@ -1,0 +1,59 @@
+"""Small argument-validation helpers used across the library.
+
+They raise early with actionable messages so errors surface at API
+boundaries rather than deep inside vectorized kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_in_range",
+    "check_positions",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate ``value > 0`` and return it as ``float``."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate ``value >= 0`` and return it as ``float``."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be non-negative and finite, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate ``0 <= value <= 1`` and return it as ``float``."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str) -> float:
+    """Validate ``lo <= value <= hi`` and return it as ``float``."""
+    value = float(value)
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value}")
+    return value
+
+
+def check_positions(positions: np.ndarray, name: str = "positions") -> np.ndarray:
+    """Validate an ``(n, 2)`` finite float position array and return it."""
+    pos = np.asarray(positions, dtype=np.float64)
+    if pos.ndim != 2 or pos.shape[1] != 2:
+        raise ValueError(f"{name} must have shape (n, 2), got {pos.shape}")
+    if not np.all(np.isfinite(pos)):
+        raise ValueError(f"{name} contains non-finite coordinates")
+    return pos

@@ -1,0 +1,127 @@
+"""Plain-text visualization.
+
+No plotting library is assumed, so the visual tools render to monospace
+text: a field map of the network (anchors, nodes, estimates, links), a
+belief heat map over the grid, and an error summary sparkline.  Meant for
+examples, debugging sessions, and CLI output — each function returns a
+string.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import LocalizationResult
+from repro.network.topology import WSNetwork
+
+__all__ = ["render_network", "render_belief", "render_error_bars"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_network(
+    network: WSNetwork,
+    result: LocalizationResult | None = None,
+    cols: int = 60,
+    rows: int = 24,
+) -> str:
+    """ASCII map of the field.
+
+    Legend: ``A`` anchor, ``o`` node true position, ``x`` estimate,
+    ``8`` estimate on top of its true cell (good), ``?`` unlocalized.
+    When both a node and an anchor share a character cell the anchor wins.
+    """
+    if cols < 10 or rows < 5:
+        raise ValueError("canvas too small (min 10×5)")
+    canvas = [[" "] * cols for _ in range(rows)]
+
+    def cell(p) -> tuple[int, int] | None:
+        cx = int(p[0] / network.width * (cols - 1))
+        cy = int(p[1] / network.height * (rows - 1))
+        if not (0 <= cx < cols and 0 <= cy < rows):
+            return None
+        return rows - 1 - cy, cx  # y grows upward on screen
+
+    # Estimates first, truths next, anchors last (priority order).
+    if result is not None:
+        for u in np.flatnonzero(~network.anchor_mask):
+            if not result.localized_mask[u]:
+                continue
+            pos = cell(result.estimates[u])
+            if pos:
+                canvas[pos[0]][pos[1]] = "x"
+    for u in np.flatnonzero(~network.anchor_mask):
+        pos = cell(network.positions[u])
+        if pos is None:
+            continue
+        if result is not None and not result.localized_mask[u]:
+            canvas[pos[0]][pos[1]] = "?"
+        elif canvas[pos[0]][pos[1]] == "x":
+            canvas[pos[0]][pos[1]] = "8"
+        else:
+            canvas[pos[0]][pos[1]] = "o"
+    for a in network.anchor_ids:
+        pos = cell(network.positions[int(a)])
+        if pos:
+            canvas[pos[0]][pos[1]] = "A"
+
+    border = "+" + "-" * cols + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in canvas)
+    legend = "A=anchor  o=node  x=estimate  8=estimate-on-node  ?=unlocalized"
+    return f"{border}\n{body}\n{border}\n{legend}"
+
+
+def render_belief(
+    grid,
+    belief: np.ndarray,
+    true_position: np.ndarray | None = None,
+) -> str:
+    """ASCII heat map of one node's belief over the grid.
+
+    Shades scale with the belief mass per cell; ``T`` marks the true
+    position's cell when given.
+    """
+    b = np.asarray(belief, dtype=np.float64)
+    if b.shape != (grid.n_cells,):
+        raise ValueError(f"belief must have shape ({grid.n_cells},)")
+    if b.max() <= 0:
+        raise ValueError("belief has no mass")
+    scaled = b / b.max()
+    chars = [
+        _SHADES[min(int(v * (len(_SHADES) - 1) + 0.5), len(_SHADES) - 1)]
+        for v in scaled
+    ]
+    rows = []
+    for r in range(grid.ny - 1, -1, -1):  # y grows upward
+        rows.append("".join(chars[r * grid.nx : (r + 1) * grid.nx]))
+    if true_position is not None:
+        k = int(grid.cell_of(np.asarray(true_position, dtype=np.float64))[0])
+        r, c = divmod(k, grid.nx)
+        display_row = grid.ny - 1 - r
+        line = list(rows[display_row])
+        line[c] = "T"
+        rows[display_row] = "".join(line)
+    border = "+" + "-" * grid.nx + "+"
+    return border + "\n" + "\n".join("|" + r + "|" for r in rows) + "\n" + border
+
+
+def render_error_bars(
+    labels: list[str],
+    values: list[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per labeled value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return ""
+    if any(v < 0 or not np.isfinite(v) for v in values):
+        raise ValueError("values must be finite and non-negative")
+    peak = max(values) or 1.0
+    label_w = max(len(s) for s in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        bar = "#" * max(int(v / peak * width + 0.5), 1 if v > 0 else 0)
+        lines.append(f"{label.ljust(label_w)} |{bar} {v:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Tests for CRLB-driven anchor placement."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import greedy_crlb_anchors, mean_crlb
+from repro.measurement import GaussianRanging
+from repro.network import NetworkConfig, UnitDiskRadio, WSNetwork, generate_network
+from repro.network.generator import select_anchors
+
+RANGING = GaussianRanging(0.02)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_network(
+        NetworkConfig(
+            n_nodes=40,
+            anchor_ratio=0.1,
+            radio=UnitDiskRadio(0.3),
+            require_connected=True,
+        ),
+        rng=3,
+    )
+
+
+class TestGreedyCRLBAnchors:
+    def test_places_requested_count(self, net):
+        mask = greedy_crlb_anchors(
+            net.positions, net.adjacency, 4, RANGING, 0.3, rng=0
+        )
+        assert mask.sum() == 4
+
+    def test_beats_random_placement_in_bound(self, net):
+        opt = greedy_crlb_anchors(net.positions, net.adjacency, 4, RANGING, 0.3, rng=0)
+        bounds_rand = []
+        for s in range(5):
+            rand = select_anchors(net.positions, 4, "random", rng=s)
+            bounds_rand.append(
+                mean_crlb(
+                    WSNetwork(net.positions, rand, net.adjacency, radio_range=0.3),
+                    RANGING,
+                )
+            )
+        bound_opt = mean_crlb(
+            WSNetwork(net.positions, opt, net.adjacency, radio_range=0.3), RANGING
+        )
+        assert bound_opt <= min(bounds_rand) + 1e-9
+
+    def test_monotone_improvement_with_more_anchors(self, net):
+        bounds = []
+        for k in (2, 4, 6):
+            mask = greedy_crlb_anchors(
+                net.positions, net.adjacency, k, RANGING, 0.3, rng=0
+            )
+            bounds.append(
+                mean_crlb(
+                    WSNetwork(net.positions, mask, net.adjacency, radio_range=0.3),
+                    RANGING,
+                )
+            )
+        assert bounds[0] > bounds[1] > bounds[2]
+
+    def test_candidates_respected(self, net):
+        candidates = np.arange(10)
+        mask = greedy_crlb_anchors(
+            net.positions,
+            net.adjacency,
+            3,
+            RANGING,
+            0.3,
+            candidates=candidates,
+            rng=0,
+        )
+        assert mask.sum() == 3
+        assert not mask[10:].any()
+
+    def test_reproducible(self, net):
+        a = greedy_crlb_anchors(net.positions, net.adjacency, 3, RANGING, 0.3, rng=7)
+        b = greedy_crlb_anchors(net.positions, net.adjacency, 3, RANGING, 0.3, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self, net):
+        with pytest.raises(ValueError):
+            greedy_crlb_anchors(net.positions, net.adjacency, 0, RANGING, 0.3)
+        with pytest.raises(ValueError):
+            greedy_crlb_anchors(
+                net.positions, net.adjacency, net.n_nodes, RANGING, 0.3
+            )
+        with pytest.raises(ValueError):
+            greedy_crlb_anchors(
+                net.positions, np.zeros((3, 3), bool), 3, RANGING, 0.3
+            )
+        with pytest.raises(ValueError):
+            greedy_crlb_anchors(
+                net.positions,
+                net.adjacency,
+                3,
+                RANGING,
+                0.3,
+                candidates=np.array([999]),
+            )
+        with pytest.raises(ValueError):
+            greedy_crlb_anchors(
+                net.positions,
+                net.adjacency,
+                3,
+                RANGING,
+                0.3,
+                candidates=np.array([0, 1]),
+            )
+
+
+class TestMeanCRLB:
+    def test_finite_with_prior_regularization(self, net):
+        # even with a single anchor the regularized bound is finite
+        mask = np.zeros(net.n_nodes, dtype=bool)
+        mask[0] = True
+        b = mean_crlb(
+            WSNetwork(net.positions, mask, net.adjacency, radio_range=0.3), RANGING
+        )
+        assert np.isfinite(b) and b > 0
+
+    def test_decreases_with_lower_noise(self, net):
+        w = WSNetwork(
+            net.positions, net.anchor_mask, net.adjacency, radio_range=0.3
+        )
+        assert mean_crlb(w, GaussianRanging(0.01)) < mean_crlb(
+            w, GaussianRanging(0.05)
+        )

@@ -1,0 +1,281 @@
+"""Unit and integration tests for the baseline localizers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CentroidLocalizer,
+    DVHopLocalizer,
+    MDSMAPLocalizer,
+    MLELocalizer,
+    MultilaterationLocalizer,
+    WeightedCentroidLocalizer,
+    lateration,
+)
+from repro.baselines.mds import classical_mds, procrustes_align
+from repro.measurement import ConnectivityOnly, GaussianRanging, observe
+from repro.network import NetworkConfig, UnitDiskRadio, WSNetwork, generate_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_network(
+        NetworkConfig(
+            n_nodes=80,
+            anchor_ratio=0.15,
+            radio=UnitDiskRadio(0.22),
+            require_connected=True,
+        ),
+        rng=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def ranged(net):
+    return observe(net, GaussianRanging(0.01), rng=4)
+
+
+@pytest.fixture(scope="module")
+def rangefree(net):
+    return observe(net, ConnectivityOnly(), rng=4)
+
+
+def mean_err(result, net):
+    err = result.errors(net.positions)
+    return float(np.nanmean(err[~net.anchor_mask]))
+
+
+class TestLateration:
+    def test_exact_recovery_zero_noise(self):
+        truth = np.array([0.4, 0.6])
+        refs = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        d = np.linalg.norm(refs - truth, axis=1)
+        est = lateration(refs, d)
+        np.testing.assert_allclose(est, truth, atol=1e-9)
+
+    def test_weights_prefer_good_measurements(self):
+        truth = np.array([0.5, 0.5])
+        refs = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        d = np.linalg.norm(refs - truth, axis=1)
+        d_bad = d.copy()
+        d_bad[3] += 0.3  # one gross outlier
+        w = np.array([1.0, 1.0, 1.0, 1e-6])
+        est = lateration(refs, d_bad, w)
+        est_unw = lateration(refs, d_bad)
+        assert np.linalg.norm(est - truth) < np.linalg.norm(est_unw - truth)
+
+    def test_collinear_rejected(self):
+        refs = np.array([[0.0, 0.0], [0.5, 0.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            lateration(refs, np.array([0.5, 0.2, 0.5]))
+
+    def test_input_validation(self):
+        refs = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            lateration(refs[:2], np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            lateration(refs, np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            lateration(refs, np.array([0.1, -0.2, 0.3]))
+        with pytest.raises(ValueError):
+            lateration(refs, np.array([0.1, 0.2, 0.3]), weights=np.array([1.0, 0.0, 1.0]))
+
+    def test_no_refine_close_to_refined(self):
+        truth = np.array([0.3, 0.7])
+        refs = np.array([[0.0, 0.0], [1.0, 0.1], [0.2, 1.0], [0.9, 0.9]])
+        d = np.linalg.norm(refs - truth, axis=1)
+        a = lateration(refs, d, refine=False)
+        b = lateration(refs, d, refine=True)
+        assert np.linalg.norm(a - b) < 1e-6
+
+
+class TestCentroid:
+    def test_runs_and_covers(self, net, rangefree):
+        res = CentroidLocalizer().localize(rangefree)
+        assert res.method == "centroid"
+        assert res.localized_mask[net.anchor_mask].all()
+        assert mean_err(res, net) < 0.35
+
+    def test_single_anchor_neighbor_estimates_anchor_position(self):
+        # 3 anchors in a line + 1 unknown connected to one anchor only
+        positions = np.array([[0.0, 0.0], [0.5, 0.5], [1.0, 1.0], [0.1, 0.0]])
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 3] = adj[3, 0] = True
+        net = WSNetwork(positions, np.array([True, True, True, False]), adj, radio_range=0.2)
+        ms = observe(net, ConnectivityOnly())
+        res = CentroidLocalizer().localize(ms)
+        np.testing.assert_allclose(res.estimates[3], positions[0])
+
+    def test_unreachable_node_unlocalized(self):
+        positions = np.array([[0.0, 0.0], [0.2, 0.0], [0.4, 0.0], [0.9, 0.9]])
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = adj[1, 0] = adj[1, 2] = adj[2, 1] = True
+        net = WSNetwork(positions, np.array([True, True, True, False]), adj, radio_range=0.25)
+        res = CentroidLocalizer().localize(observe(net))
+        assert not res.localized_mask[3]
+        assert np.isnan(res.estimates[3]).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CentroidLocalizer(max_hops=0)
+        with pytest.raises(ValueError):
+            WeightedCentroidLocalizer(epsilon=0)
+
+
+class TestWeightedCentroid:
+    def test_beats_or_matches_plain_centroid(self, net, ranged):
+        plain = CentroidLocalizer().localize(ranged)
+        weighted = WeightedCentroidLocalizer().localize(ranged)
+        assert mean_err(weighted, net) <= mean_err(plain, net) + 0.02
+
+    def test_rangefree_fallback(self, net, rangefree):
+        res = WeightedCentroidLocalizer().localize(rangefree)
+        assert mean_err(res, net) < 0.35
+
+
+class TestDVHop:
+    def test_accuracy_band(self, net, rangefree):
+        res = DVHopLocalizer().localize(rangefree)
+        # DV-Hop typically achieves ~0.3-0.5 r on uniform networks
+        assert mean_err(res, net) < 0.5 * net.radio_range * 3
+
+    def test_collinear_chain_hop_size_exact(self):
+        # Anchors at both ends of a chain: hop size = spacing exactly.
+        n = 6
+        spacing = 0.1
+        positions = np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+        adj = np.zeros((n, n), dtype=bool)
+        for i in range(n - 1):
+            adj[i, i + 1] = adj[i + 1, i] = True
+        mask = np.zeros(n, dtype=bool)
+        mask[[0, n - 1]] = True
+        # add a third off-axis anchor so lateration is well-posed
+        positions = np.vstack([positions, [0.25, 0.1]])
+        adj = np.pad(adj, ((0, 1), (0, 1)))
+        adj[2, n] = adj[n, 2] = True
+        adj[3, n] = adj[n, 3] = True
+        mask = np.append(mask, True)
+        net = WSNetwork(positions, mask, adj, radio_range=0.15)
+        res = DVHopLocalizer().localize(observe(net))
+        err = res.errors(net.positions)
+        assert np.nanmean(err[~mask]) < 0.1
+
+    def test_needs_two_anchors(self):
+        positions = np.array([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0], [0.3, 0.0]])
+        adj = np.zeros((4, 4), dtype=bool)
+        for i in range(3):
+            adj[i, i + 1] = adj[i + 1, i] = True
+        # WSNetwork requires >=1 anchors via config; build directly with 1
+        net = WSNetwork(positions, np.array([True, False, False, False]), adj, radio_range=0.15)
+        with pytest.raises(ValueError):
+            DVHopLocalizer().localize(observe(net))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DVHopLocalizer(min_anchors=2)
+
+
+class TestMDSMAP:
+    def test_accuracy_with_ranging(self, net, ranged):
+        res = MDSMAPLocalizer().localize(ranged)
+        assert mean_err(res, net) < 0.5 * net.radio_range * 2
+
+    def test_classical_mds_recovers_euclidean(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(size=(12, 2))
+        from repro.utils.geometry import pairwise_distances
+
+        D = pairwise_distances(pts)
+        rel = classical_mds(D)
+        R, s, t = procrustes_align(rel, pts)
+        np.testing.assert_allclose(s * rel @ R + t, pts, atol=1e-8)
+
+    def test_procrustes_recovers_similarity(self):
+        rng = np.random.default_rng(1)
+        src = rng.uniform(size=(8, 2))
+        ang = 0.7
+        R_true = np.array([[np.cos(ang), -np.sin(ang)], [np.sin(ang), np.cos(ang)]])
+        tgt = 1.7 * src @ R_true + np.array([0.3, -0.2])
+        R, s, t = procrustes_align(src, tgt)
+        np.testing.assert_allclose(s, 1.7, atol=1e-9)
+        np.testing.assert_allclose(s * src @ R + t, tgt, atol=1e-9)
+
+    def test_mds_validation(self):
+        with pytest.raises(ValueError):
+            classical_mds(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            classical_mds(np.full((4, 4), np.inf))
+        with pytest.raises(ValueError):
+            procrustes_align(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_component_without_anchors_unlocalized(self):
+        positions = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [0.05, 0.05],
+             [0.9, 0.9], [0.95, 0.9]]
+        )
+        adj = np.zeros((6, 6), dtype=bool)
+        for i, j in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 5)]:
+            adj[i, j] = adj[j, i] = True
+        mask = np.array([True, True, True, False, False, False])
+        net = WSNetwork(positions, mask, adj, radio_range=0.15)
+        res = MDSMAPLocalizer().localize(observe(net, GaussianRanging(0.005), rng=0))
+        assert res.localized_mask[3]
+        assert not res.localized_mask[4] and not res.localized_mask[5]
+
+
+class TestMultilateration:
+    def test_low_noise_high_accuracy_where_covered(self, net, ranged):
+        res = MultilaterationLocalizer().localize(ranged)
+        err = res.errors(net.positions)
+        unknown_localized = res.localized_mask & ~net.anchor_mask
+        if unknown_localized.any():
+            assert np.nanmean(err[unknown_localized]) < 0.1
+
+    def test_rejects_rangefree(self, rangefree):
+        with pytest.raises(ValueError):
+            MultilaterationLocalizer().localize(rangefree)
+
+    def test_promotion_extends_coverage(self, net, ranged):
+        one_round = MultilaterationLocalizer(max_rounds=1).localize(ranged)
+        many = MultilaterationLocalizer(max_rounds=10).localize(ranged)
+        assert many.localized_mask.sum() >= one_round.localized_mask.sum()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultilaterationLocalizer(min_references=2)
+        with pytest.raises(ValueError):
+            MultilaterationLocalizer(max_rounds=0)
+
+
+class TestMLE:
+    def test_beats_its_initializer(self, net, ranged):
+        init = WeightedCentroidLocalizer()
+        res = MLELocalizer(initializer=init).localize(ranged, rng=0)
+        assert mean_err(res, net) < mean_err(init.localize(ranged), net)
+
+    def test_prior_map_variant(self, net, ranged):
+        from repro.priors import PerNodePrior
+
+        prior = PerNodePrior(net.positions, sigma=0.05)
+        res = MLELocalizer(prior=prior).localize(ranged, rng=0)
+        base = MLELocalizer().localize(ranged, rng=0)
+        assert mean_err(res, net) <= mean_err(base, net)
+
+    def test_rejects_rangefree(self, rangefree):
+        with pytest.raises(ValueError):
+            MLELocalizer().localize(rangefree)
+
+    def test_rejects_non_pernode_prior(self):
+        from repro.priors import UniformPrior
+
+        with pytest.raises(TypeError):
+            MLELocalizer(prior=UniformPrior())
+
+    def test_full_coverage(self, net, ranged):
+        res = MLELocalizer().localize(ranged, rng=0)
+        assert res.localized_mask.all()
+
+    def test_reproducible(self, ranged):
+        a = MLELocalizer().localize(ranged, rng=5)
+        b = MLELocalizer().localize(ranged, rng=5)
+        np.testing.assert_array_equal(a.estimates, b.estimates)

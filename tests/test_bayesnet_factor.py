@@ -1,0 +1,183 @@
+"""Unit and property tests for repro.bayesnet.factor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesnet.factor import DiscreteFactor
+
+
+def random_factor(rng, variables, cards):
+    vals = rng.uniform(0.1, 1.0, size=tuple(cards))
+    return DiscreteFactor(variables, cards, vals)
+
+
+class TestConstruction:
+    def test_basic(self):
+        f = DiscreteFactor(["a", "b"], [2, 3], np.ones((2, 3)))
+        assert f.cardinalities == (2, 3)
+        assert f.cardinality("b") == 3
+        assert f.scope() == {"a", "b"}
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            DiscreteFactor(["a", "a"], [2, 2], np.ones((2, 2)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DiscreteFactor(["a"], [2], np.array([1.0, -0.1]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            DiscreteFactor(["a"], [2], np.array([1.0, np.nan]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DiscreteFactor(["a", "b"], [2, 3], np.ones((3, 2)))
+
+    def test_rejects_zero_cardinality(self):
+        with pytest.raises(ValueError):
+            DiscreteFactor(["a"], [0], np.ones(0))
+
+    def test_copy_independent(self):
+        f = DiscreteFactor(["a"], [2], np.array([0.3, 0.7]))
+        g = f.copy()
+        g.values[0] = 99.0
+        assert f.values[0] == 0.3
+
+
+class TestProduct:
+    def test_known_product(self):
+        f = DiscreteFactor(["a"], [2], np.array([1.0, 2.0]))
+        g = DiscreteFactor(["b"], [2], np.array([3.0, 4.0]))
+        h = f.product(g)
+        np.testing.assert_allclose(h.values, [[3, 4], [6, 8]])
+        assert h.variables == ("a", "b")
+
+    def test_shared_variable(self):
+        f = DiscreteFactor(["a", "b"], [2, 2], np.arange(4).reshape(2, 2) + 1.0)
+        g = DiscreteFactor(["b"], [2], np.array([10.0, 100.0]))
+        h = f.product(g)
+        np.testing.assert_allclose(h.values, [[10, 200], [30, 400]])
+
+    def test_commutative_up_to_axes(self):
+        rng = np.random.default_rng(0)
+        f = random_factor(rng, ["a", "b"], [2, 3])
+        g = random_factor(rng, ["b", "c"], [3, 2])
+        assert f.product(g).same_distribution(g.product(f))
+
+    def test_cardinality_mismatch(self):
+        f = DiscreteFactor(["a"], [2], np.ones(2))
+        g = DiscreteFactor(["a"], [3], np.ones(3))
+        with pytest.raises(ValueError):
+            f.product(g)
+
+    def test_type_check(self):
+        f = DiscreteFactor(["a"], [2], np.ones(2))
+        with pytest.raises(TypeError):
+            f.product(np.ones(2))
+
+    @given(st.integers(2, 4), st.integers(2, 4), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_associative(self, ca, cb, seed):
+        rng = np.random.default_rng(seed)
+        f = random_factor(rng, ["a"], [ca])
+        g = random_factor(rng, ["a", "b"], [ca, cb])
+        h = random_factor(rng, ["b"], [cb])
+        left = f.product(g).product(h)
+        right = f.product(g.product(h))
+        assert left.same_distribution(right)
+
+
+class TestMarginalize:
+    def test_known(self):
+        f = DiscreteFactor(["a", "b"], [2, 2], np.array([[1.0, 2.0], [3.0, 4.0]]))
+        m = f.marginalize(["b"])
+        np.testing.assert_allclose(m.values, [3.0, 7.0])
+        assert m.variables == ("a",)
+
+    def test_order_independent(self):
+        rng = np.random.default_rng(1)
+        f = random_factor(rng, ["a", "b", "c"], [2, 3, 2])
+        m1 = f.marginalize(["a"]).marginalize(["c"])
+        m2 = f.marginalize(["c"]).marginalize(["a"])
+        m3 = f.marginalize(["a", "c"])
+        np.testing.assert_allclose(m1.values, m2.values)
+        np.testing.assert_allclose(m1.values, m3.values)
+
+    def test_total_mass_preserved(self):
+        rng = np.random.default_rng(2)
+        f = random_factor(rng, ["a", "b"], [3, 4])
+        assert f.marginalize(["b"]).values.sum() == pytest.approx(f.values.sum())
+
+    def test_errors(self):
+        f = DiscreteFactor(["a"], [2], np.ones(2))
+        with pytest.raises(ValueError):
+            f.marginalize(["z"])
+        with pytest.raises(ValueError):
+            f.marginalize(["a"])
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_marginal_of_product_consistency(self, seed):
+        # sum_b f(a) g(b) = f(a) * sum_b g(b)
+        rng = np.random.default_rng(seed)
+        f = random_factor(rng, ["a"], [3])
+        g = random_factor(rng, ["b"], [4])
+        joint = f.product(g).marginalize(["b"])
+        expected = f.values * g.values.sum()
+        np.testing.assert_allclose(joint.values, expected, rtol=1e-10)
+
+
+class TestMaximizeReduceNormalize:
+    def test_maximize(self):
+        f = DiscreteFactor(["a", "b"], [2, 2], np.array([[1.0, 5.0], [3.0, 2.0]]))
+        m = f.maximize(["b"])
+        np.testing.assert_allclose(m.values, [5.0, 3.0])
+
+    def test_reduce(self):
+        f = DiscreteFactor(["a", "b"], [2, 3], np.arange(6, dtype=float).reshape(2, 3))
+        r = f.reduce({"b": 1})
+        np.testing.assert_allclose(r.values, [1.0, 4.0])
+        assert r.variables == ("a",)
+
+    def test_reduce_ignores_out_of_scope(self):
+        f = DiscreteFactor(["a"], [2], np.array([1.0, 2.0]))
+        r = f.reduce({"z": 0})
+        np.testing.assert_allclose(r.values, f.values)
+
+    def test_reduce_full_scope_rejected(self):
+        f = DiscreteFactor(["a"], [2], np.ones(2))
+        with pytest.raises(ValueError):
+            f.reduce({"a": 0})
+
+    def test_reduce_out_of_range(self):
+        f = DiscreteFactor(["a", "b"], [2, 2], np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            f.reduce({"b": 5})
+
+    def test_normalize(self):
+        f = DiscreteFactor(["a"], [4], np.array([1.0, 1.0, 1.0, 1.0]))
+        n = f.normalize()
+        np.testing.assert_allclose(n.values, 0.25)
+
+    def test_normalize_zero_mass(self):
+        f = DiscreteFactor(["a"], [2], np.zeros(2))
+        with pytest.raises(ValueError):
+            f.normalize()
+
+    def test_value_at_and_argmax(self):
+        f = DiscreteFactor(["a", "b"], [2, 2], np.array([[0.1, 0.9], [0.5, 0.2]]))
+        assert f.value_at({"a": 0, "b": 1}) == pytest.approx(0.9)
+        assert f.argmax() == {"a": 0, "b": 1}
+
+    def test_value_at_missing_var(self):
+        f = DiscreteFactor(["a", "b"], [2, 2], np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            f.value_at({"a": 0})
+
+    def test_same_distribution_different_scope(self):
+        f = DiscreteFactor(["a"], [2], np.ones(2))
+        g = DiscreteFactor(["b"], [2], np.ones(2))
+        assert not f.same_distribution(g)

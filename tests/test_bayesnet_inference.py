@@ -1,0 +1,448 @@
+"""Inference-engine tests: CPDs, BNs, variable elimination, BP, junction tree.
+
+The central validation strategy: random small Bayesian networks are built
+with hypothesis, and every inference engine must agree with brute-force
+enumeration (the oracle).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesnet.beliefprop import BeliefPropagation
+from repro.bayesnet.cpd import TabularCPD
+from repro.bayesnet.discrete_bn import BayesianNetwork
+from repro.bayesnet.elimination import (
+    min_degree_order,
+    min_fill_order,
+    variable_elimination,
+)
+from repro.bayesnet.factor import DiscreteFactor
+from repro.bayesnet.graph import FactorGraph
+from repro.bayesnet.junction import JunctionTree
+
+
+def random_chain_bn(rng, n_vars=4, card=2):
+    """X0 -> X1 -> ... chain with random CPDs."""
+    cpds = [TabularCPD(0, card, _rand_dist(rng, card))]
+    for i in range(1, n_vars):
+        table = np.stack([_rand_dist(rng, card) for _ in range(card)], axis=1)
+        cpds.append(TabularCPD(i, card, table, evidence=[i - 1], evidence_cards=[card]))
+    return BayesianNetwork(cpds)
+
+
+def random_tree_bn(rng, n_vars=5, card=2):
+    """Random-tree-structured BN: parent(i) uniform among earlier nodes."""
+    cpds = [TabularCPD(0, card, _rand_dist(rng, card))]
+    for i in range(1, n_vars):
+        p = int(rng.integers(0, i))
+        table = np.stack([_rand_dist(rng, card) for _ in range(card)], axis=1)
+        cpds.append(TabularCPD(i, card, table, evidence=[p], evidence_cards=[card]))
+    return BayesianNetwork(cpds)
+
+
+def _rand_dist(rng, card):
+    p = rng.uniform(0.1, 1.0, size=card)
+    return p / p.sum()
+
+
+# --------------------------------------------------------------------- #
+# CPDs
+# --------------------------------------------------------------------- #
+class TestTabularCPD:
+    def test_uniform(self):
+        cpd = TabularCPD.uniform("x", 4)
+        np.testing.assert_allclose(cpd.table, 0.25)
+
+    def test_from_prior(self):
+        cpd = TabularCPD.from_prior("x", [0.2, 0.8])
+        assert cpd.cardinality == 2
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            TabularCPD("x", 2, np.array([0.5, 0.6]))
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(ValueError):
+            TabularCPD("x", 2, np.ones((2, 2)) / 2, evidence=["x"], evidence_cards=[2])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            TabularCPD("x", 2, np.ones(3) / 3)
+
+    def test_to_factor(self):
+        table = np.array([[0.9, 0.4], [0.1, 0.6]])
+        cpd = TabularCPD("y", 2, table, evidence=["x"], evidence_cards=[2])
+        f = cpd.to_factor()
+        assert f.variables == ("y", "x")
+        np.testing.assert_allclose(f.values, table)
+
+    def test_sample_distribution(self):
+        rng = np.random.default_rng(0)
+        cpd = TabularCPD.from_prior("x", [0.3, 0.7])
+        draws = [cpd.sample({}, rng) for _ in range(3000)]
+        assert np.mean(draws) == pytest.approx(0.7, abs=0.03)
+
+
+# --------------------------------------------------------------------- #
+# BayesianNetwork
+# --------------------------------------------------------------------- #
+class TestBayesianNetwork:
+    def test_topological_order(self):
+        bn = random_chain_bn(np.random.default_rng(0), 4)
+        order = bn.topological_order()
+        assert order.index(0) < order.index(1) < order.index(3)
+
+    def test_cycle_detection(self):
+        a = TabularCPD("a", 2, np.ones((2, 2)) / 2, evidence=["b"], evidence_cards=[2])
+        b = TabularCPD("b", 2, np.ones((2, 2)) / 2, evidence=["a"], evidence_cards=[2])
+        with pytest.raises(ValueError):
+            BayesianNetwork([a, b]).validate()
+
+    def test_missing_parent(self):
+        a = TabularCPD("a", 2, np.ones((2, 2)) / 2, evidence=["z"], evidence_cards=[2])
+        with pytest.raises(ValueError):
+            BayesianNetwork([a]).validate()
+
+    def test_duplicate_cpd(self):
+        bn = BayesianNetwork([TabularCPD.uniform("a", 2)])
+        with pytest.raises(ValueError):
+            bn.add_cpd(TabularCPD.uniform("a", 2))
+
+    def test_joint_sums_to_one(self):
+        bn = random_tree_bn(np.random.default_rng(1), 4)
+        total = 0.0
+        import itertools
+
+        for states in itertools.product(range(2), repeat=4):
+            total += bn.joint_probability(dict(enumerate(states)))
+        assert total == pytest.approx(1.0)
+
+    def test_sampling_matches_marginal(self):
+        rng = np.random.default_rng(2)
+        bn = random_chain_bn(rng, 3)
+        marg = bn.brute_force_marginal(2)
+        samples = bn.sample(4000, rng=3)
+        freq = np.bincount([s[2] for s in samples], minlength=2) / 4000
+        np.testing.assert_allclose(freq, marg.values, atol=0.03)
+
+    def test_brute_force_with_evidence(self):
+        bn = random_chain_bn(np.random.default_rng(4), 3)
+        post = bn.brute_force_marginal(0, evidence={2: 1})
+        assert post.values.sum() == pytest.approx(1.0)
+
+    def test_brute_force_rejects_query_in_evidence(self):
+        bn = random_chain_bn(np.random.default_rng(4), 3)
+        with pytest.raises(ValueError):
+            bn.brute_force_marginal(0, evidence={0: 1})
+
+
+# --------------------------------------------------------------------- #
+# Variable elimination vs brute force
+# --------------------------------------------------------------------- #
+class TestVariableElimination:
+    @given(st.integers(0, 200), st.integers(3, 6), st.integers(2, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, seed, n_vars, card):
+        rng = np.random.default_rng(seed)
+        bn = random_tree_bn(rng, n_vars, card)
+        q = int(rng.integers(0, n_vars))
+        result = variable_elimination(bn.to_factors(), [q])
+        oracle = bn.brute_force_marginal(q)
+        np.testing.assert_allclose(result.values, oracle.values, atol=1e-9)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force_with_evidence(self, seed):
+        rng = np.random.default_rng(seed)
+        bn = random_tree_bn(rng, 5, 2)
+        q = 0
+        ev = {4: int(rng.integers(0, 2))}
+        result = variable_elimination(bn.to_factors(), [q], evidence=ev)
+        oracle = bn.brute_force_marginal(q, evidence=ev)
+        np.testing.assert_allclose(result.values, oracle.values, atol=1e-9)
+
+    def test_joint_query(self):
+        bn = random_chain_bn(np.random.default_rng(7), 4)
+        joint = variable_elimination(bn.to_factors(), [0, 3])
+        assert joint.variables == (0, 3)
+        assert joint.values.sum() == pytest.approx(1.0)
+        m0 = variable_elimination(bn.to_factors(), [0])
+        np.testing.assert_allclose(joint.marginalize([3]).values, m0.values, atol=1e-9)
+
+    def test_explicit_order(self):
+        bn = random_chain_bn(np.random.default_rng(8), 4)
+        r1 = variable_elimination(bn.to_factors(), [0], order=[1, 2, 3])
+        r2 = variable_elimination(bn.to_factors(), [0], order=[3, 2, 1])
+        np.testing.assert_allclose(r1.values, r2.values, atol=1e-12)
+
+    def test_bad_order_rejected(self):
+        bn = random_chain_bn(np.random.default_rng(8), 3)
+        with pytest.raises(ValueError):
+            variable_elimination(bn.to_factors(), [0], order=[1])
+
+    def test_query_evidence_overlap_rejected(self):
+        bn = random_chain_bn(np.random.default_rng(8), 3)
+        with pytest.raises(ValueError):
+            variable_elimination(bn.to_factors(), [0], evidence={0: 0})
+
+    def test_unknown_query_rejected(self):
+        bn = random_chain_bn(np.random.default_rng(8), 3)
+        with pytest.raises(ValueError):
+            variable_elimination(bn.to_factors(), ["nope"])
+
+    def test_orderings_cover_all(self):
+        bn = random_tree_bn(np.random.default_rng(9), 6)
+        factors = bn.to_factors()
+        for fn in (min_fill_order, min_degree_order):
+            order = fn(factors, range(6))
+            assert sorted(order) == list(range(6))
+
+
+# --------------------------------------------------------------------- #
+# Belief propagation
+# --------------------------------------------------------------------- #
+class TestBeliefPropagation:
+    @given(st.integers(0, 200), st.integers(3, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_on_trees(self, seed, n_vars):
+        rng = np.random.default_rng(seed)
+        bn = random_tree_bn(rng, n_vars, 2)
+        graph = FactorGraph(bn.to_factors())
+        result = BeliefPropagation(graph, max_iterations=2 * n_vars + 5).run()
+        assert result.converged
+        for v in range(n_vars):
+            oracle = bn.brute_force_marginal(v)
+            np.testing.assert_allclose(result.belief(v), oracle.values, atol=1e-6)
+
+    def test_evidence_handling(self):
+        rng = np.random.default_rng(3)
+        bn = random_chain_bn(rng, 4)
+        graph = FactorGraph(bn.to_factors())
+        ev = {3: 1}
+        result = BeliefPropagation(graph, max_iterations=20).run(evidence=ev)
+        oracle = bn.brute_force_marginal(0, evidence=ev)
+        np.testing.assert_allclose(result.belief(0), oracle.values, atol=1e-6)
+        np.testing.assert_allclose(result.belief(3), [0.0, 1.0])
+
+    def test_loopy_converges_reasonably(self):
+        # 2x2 grid MRF with moderate couplings: loopy BP should converge and
+        # be close to the exact marginals.
+        rng = np.random.default_rng(5)
+        pair = lambda: DiscreteFactor(  # noqa: E731
+            ("", ""), (2, 2), rng.uniform(0.5, 1.5, size=(2, 2))
+        )
+        fs = []
+        edges = [(0, 1), (1, 3), (3, 2), (2, 0)]
+        for i, j in edges:
+            vals = rng.uniform(0.5, 1.5, size=(2, 2))
+            fs.append(DiscreteFactor((i, j), (2, 2), vals))
+        graph = FactorGraph(fs)
+        assert not graph.is_tree()
+        result = BeliefPropagation(graph, max_iterations=200, damping=0.3).run()
+        assert result.converged
+        exact = variable_elimination(fs, [0])
+        np.testing.assert_allclose(result.belief(0), exact.values, atol=0.05)
+
+    def test_max_product_map(self):
+        rng = np.random.default_rng(6)
+        bn = random_chain_bn(rng, 4)
+        factors = bn.to_factors()
+        graph = FactorGraph(factors)
+        result = BeliefPropagation(graph, max_iterations=30, max_product=True).run()
+        states = result.map_states()
+        # compare against exhaustive MAP
+        import itertools
+
+        best, best_p = None, -1
+        for assign in itertools.product(range(2), repeat=4):
+            p = bn.joint_probability(dict(enumerate(assign)))
+            if p > best_p:
+                best, best_p = dict(enumerate(assign)), p
+        assert states == best
+
+    def test_residuals_monotone_ish_on_tree(self):
+        bn = random_chain_bn(np.random.default_rng(8), 5)
+        graph = FactorGraph(bn.to_factors())
+        result = BeliefPropagation(graph, max_iterations=30).run()
+        assert result.residuals[-1] < result.residuals[0]
+
+    def test_param_validation(self):
+        bn = random_chain_bn(np.random.default_rng(8), 3)
+        graph = FactorGraph(bn.to_factors())
+        with pytest.raises(ValueError):
+            BeliefPropagation(graph, max_iterations=0)
+        with pytest.raises(ValueError):
+            BeliefPropagation(graph, damping=1.0)
+        with pytest.raises(ValueError):
+            BeliefPropagation(graph, tol=0)
+
+
+# --------------------------------------------------------------------- #
+# FactorGraph structure
+# --------------------------------------------------------------------- #
+class TestFactorGraph:
+    def test_tree_detection(self):
+        bn = random_chain_bn(np.random.default_rng(0), 4)
+        assert FactorGraph(bn.to_factors()).is_tree()
+
+    def test_loop_detection(self):
+        fs = [
+            DiscreteFactor((0, 1), (2, 2), np.ones((2, 2))),
+            DiscreteFactor((1, 2), (2, 2), np.ones((2, 2))),
+            DiscreteFactor((2, 0), (2, 2), np.ones((2, 2))),
+        ]
+        assert not FactorGraph(fs).is_tree()
+
+    def test_components(self):
+        fs = [
+            DiscreteFactor((0, 1), (2, 2), np.ones((2, 2))),
+            DiscreteFactor((2,), (2,), np.ones(2)),
+        ]
+        comps = FactorGraph(fs).components()
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2]]
+
+    def test_inconsistent_cardinality(self):
+        fs = [
+            DiscreteFactor((0,), (2,), np.ones(2)),
+            DiscreteFactor((0,), (3,), np.ones(3)),
+        ]
+        with pytest.raises(ValueError):
+            FactorGraph(fs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FactorGraph([])
+
+
+# --------------------------------------------------------------------- #
+# Junction tree vs brute force
+# --------------------------------------------------------------------- #
+class TestJunctionTree:
+    @given(st.integers(0, 120), st.integers(3, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_brute_force(self, seed, n_vars):
+        rng = np.random.default_rng(seed)
+        bn = random_tree_bn(rng, n_vars, 2)
+        jt = JunctionTree(bn.to_factors())
+        for v in range(n_vars):
+            oracle = bn.brute_force_marginal(v)
+            np.testing.assert_allclose(
+                jt.query(v).values, oracle.values, atol=1e-9
+            )
+
+    def test_loopy_model_exact(self):
+        # A loop (where plain BP is approximate) — junction tree stays exact.
+        rng = np.random.default_rng(5)
+        fs = []
+        for i, j in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            fs.append(
+                DiscreteFactor((i, j), (2, 2), rng.uniform(0.2, 2.0, size=(2, 2)))
+            )
+        jt = JunctionTree(fs)
+        for v in range(4):
+            exact = variable_elimination(fs, [v])
+            np.testing.assert_allclose(jt.query(v).values, exact.values, atol=1e-9)
+
+    def test_evidence(self):
+        rng = np.random.default_rng(9)
+        bn = random_tree_bn(rng, 5, 2)
+        jt = JunctionTree(bn.to_factors())
+        ev = {4: 1}
+        oracle = bn.brute_force_marginal(1, evidence=ev)
+        np.testing.assert_allclose(jt.query(1, evidence=ev).values, oracle.values, atol=1e-9)
+
+    def test_evidence_validation(self):
+        bn = random_chain_bn(np.random.default_rng(1), 3)
+        jt = JunctionTree(bn.to_factors())
+        with pytest.raises(ValueError):
+            jt.query(0, evidence={0: 1})
+        with pytest.raises(ValueError):
+            jt.query(0, evidence={"zz": 1})
+        with pytest.raises(ValueError):
+            jt.query(0, evidence={2: 7})
+
+    def test_disconnected_rejected(self):
+        fs = [
+            DiscreteFactor((0,), (2,), np.ones(2)),
+            DiscreteFactor((1,), (2,), np.ones(2)),
+        ]
+        with pytest.raises(ValueError):
+            JunctionTree(fs)
+
+    def test_single_clique(self):
+        f = DiscreteFactor((0, 1), (2, 2), np.array([[0.1, 0.2], [0.3, 0.4]]))
+        jt = JunctionTree([f])
+        np.testing.assert_allclose(jt.query(0).values, [0.3, 0.7])
+
+
+# --------------------------------------------------------------------- #
+# Sampling-based inference vs brute force
+# --------------------------------------------------------------------- #
+class TestSamplingInference:
+    from repro.bayesnet.sampling import gibbs_sampling, likelihood_weighting
+
+    def test_likelihood_weighting_matches_brute_force(self):
+        from repro.bayesnet.sampling import likelihood_weighting
+
+        rng = np.random.default_rng(11)
+        bn = random_tree_bn(rng, 5, 2)
+        ev = {4: 1}
+        approx = likelihood_weighting(bn, 0, evidence=ev, n_samples=20000, rng=12)
+        oracle = bn.brute_force_marginal(0, evidence=ev)
+        np.testing.assert_allclose(approx.values, oracle.values, atol=0.03)
+
+    def test_likelihood_weighting_no_evidence(self):
+        from repro.bayesnet.sampling import likelihood_weighting
+
+        bn = random_chain_bn(np.random.default_rng(13), 4)
+        approx = likelihood_weighting(bn, 3, n_samples=20000, rng=14)
+        oracle = bn.brute_force_marginal(3)
+        np.testing.assert_allclose(approx.values, oracle.values, atol=0.03)
+
+    def test_gibbs_matches_brute_force(self):
+        from repro.bayesnet.sampling import gibbs_sampling
+
+        rng = np.random.default_rng(15)
+        bn = random_tree_bn(rng, 5, 2)
+        ev = {4: 0}
+        approx = gibbs_sampling(
+            bn, 1, evidence=ev, n_samples=8000, burn_in=500, rng=16
+        )
+        oracle = bn.brute_force_marginal(1, evidence=ev)
+        np.testing.assert_allclose(approx.values, oracle.values, atol=0.04)
+
+    def test_gibbs_no_evidence(self):
+        from repro.bayesnet.sampling import gibbs_sampling
+
+        bn = random_chain_bn(np.random.default_rng(17), 3)
+        approx = gibbs_sampling(bn, 2, n_samples=8000, burn_in=500, rng=18)
+        oracle = bn.brute_force_marginal(2)
+        np.testing.assert_allclose(approx.values, oracle.values, atol=0.04)
+
+    def test_samplers_reproducible(self):
+        from repro.bayesnet.sampling import gibbs_sampling, likelihood_weighting
+
+        bn = random_chain_bn(np.random.default_rng(19), 3)
+        a = likelihood_weighting(bn, 0, n_samples=500, rng=7)
+        b = likelihood_weighting(bn, 0, n_samples=500, rng=7)
+        np.testing.assert_array_equal(a.values, b.values)
+        c = gibbs_sampling(bn, 0, n_samples=300, burn_in=50, rng=7)
+        d = gibbs_sampling(bn, 0, n_samples=300, burn_in=50, rng=7)
+        np.testing.assert_array_equal(c.values, d.values)
+
+    def test_validation(self):
+        from repro.bayesnet.sampling import gibbs_sampling, likelihood_weighting
+
+        bn = random_chain_bn(np.random.default_rng(20), 3)
+        with pytest.raises(ValueError):
+            likelihood_weighting(bn, 0, evidence={0: 1})
+        with pytest.raises(ValueError):
+            likelihood_weighting(bn, 0, n_samples=0)
+        with pytest.raises(ValueError):
+            gibbs_sampling(bn, 0, evidence={0: 1})
+        with pytest.raises(ValueError):
+            gibbs_sampling(bn, 0, burn_in=-1)
+        with pytest.raises(ValueError):
+            gibbs_sampling(bn, 0, evidence={0: 0, 1: 0, 2: 0})

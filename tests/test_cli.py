@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.nodes == 100
+        assert args.anchor_ratio == 0.1
+        assert args.command == "run"
+
+    def test_sweep_requires_param_and_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+        args = build_parser().parse_args(
+            ["sweep", "--param", "anchor_ratio", "--values", "0.1,0.2"]
+        )
+        assert args.param == "anchor_ratio"
+
+    def test_sweep_rejects_unknown_param(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--param", "color", "--values", "1"]
+            )
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "bn-pk" in out and "ICPP 2007" in out
+
+    def test_run_small(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--nodes", "40",
+                "--trials", "1",
+                "--methods", "bn,centroid",
+                "--grid-size", "10",
+                "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bn" in out and "centroid" in out and "mean/r" in out
+
+    def test_run_unknown_method(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--methods", "oracle", "--trials", "1"])
+
+    def test_run_empty_methods(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--methods", ",", "--trials", "1"])
+
+    def test_sweep_small(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--param", "anchor_ratio",
+                "--values", "0.15,0.3",
+                "--nodes", "40",
+                "--trials", "1",
+                "--methods", "bn",
+                "--grid-size", "10",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "anchor_ratio" in out
+        assert "0.150" in out and "0.300" in out
+
+    def test_sweep_bad_values(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep",
+                    "--param", "anchor_ratio",
+                    "--values", "a,b",
+                    "--methods", "bn",
+                ]
+            )
+
+    def test_sweep_empty_values(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep",
+                    "--param", "anchor_ratio",
+                    "--values", ",",
+                    "--methods", "bn",
+                ]
+            )
+
+    def test_pk_error_zero_disables_prior(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--nodes", "40",
+                "--trials", "1",
+                "--methods", "bn-pk",
+                "--pk-error", "0",
+                "--grid-size", "10",
+            ]
+        )
+        assert rc == 0
+
+    def test_nlos_option(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--nodes", "40",
+                "--trials", "1",
+                "--methods", "bn",
+                "--nlos-fraction", "0.3",
+                "--grid-size", "10",
+            ]
+        )
+        assert rc == 0
+
+    def test_run_with_map(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--nodes", "35",
+                "--trials", "1",
+                "--methods", "bn",
+                "--grid-size", "10",
+                "--map",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "A=anchor" in out
+        assert "mean/r" in out

@@ -1,0 +1,351 @@
+"""Tests for the extension features: belief priors, multi-resolution
+solving, continuous refinement, the serial BP schedule, and the DOI radio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Grid2D,
+    GridBPConfig,
+    GridBPLocalizer,
+    MultiResolutionLocalizer,
+    refine_estimates,
+)
+from repro.measurement import ConnectivityOnly, GaussianRanging, observe
+from repro.network import IrregularRadio, NetworkConfig, UnitDiskRadio, generate_network
+from repro.priors import GridBeliefPrior
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_network(
+        NetworkConfig(
+            n_nodes=60,
+            anchor_ratio=0.15,
+            radio=UnitDiskRadio(0.25),
+            require_connected=True,
+        ),
+        rng=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def ms(net):
+    return observe(net, GaussianRanging(0.02), rng=8)
+
+
+def mean_err(result, net):
+    return float(np.nanmean(result.errors(net.positions)[~net.anchor_mask]))
+
+
+class TestGridBeliefPrior:
+    GRID = Grid2D(10)
+
+    def _delta_belief(self, cell):
+        b = np.zeros(self.GRID.n_cells)
+        b[cell] = 1.0
+        return b
+
+    def test_same_grid_passthrough(self):
+        b = np.random.default_rng(0).uniform(size=self.GRID.n_cells)
+        prior = GridBeliefPrior(self.GRID, {3: b}, floor=0.0)
+        w = prior.grid_weights(3, self.GRID)
+        np.testing.assert_allclose(w, b / b.sum())
+
+    def test_unknown_node_flat(self):
+        prior = GridBeliefPrior(self.GRID, {0: self._delta_belief(5)})
+        w = prior.grid_weights(42, self.GRID)
+        np.testing.assert_allclose(w, 1.0 / self.GRID.n_cells)
+
+    def test_floor_keeps_support_everywhere(self):
+        prior = GridBeliefPrior(self.GRID, {0: self._delta_belief(5)}, floor=1e-3)
+        w = prior.grid_weights(0, self.GRID)
+        assert (w > 0).all()
+        assert np.argmax(w) == 5
+
+    def test_diffusion_spreads(self):
+        tight = GridBeliefPrior(self.GRID, {0: self._delta_belief(44)}, floor=0.0)
+        wide = GridBeliefPrior(
+            self.GRID, {0: self._delta_belief(44)}, diffusion_sigma=0.2, floor=0.0
+        )
+        assert wide.grid_weights(0, self.GRID).max() < tight.grid_weights(0, self.GRID).max()
+
+    def test_cross_resolution_transfer(self):
+        fine = Grid2D(20)
+        prior = GridBeliefPrior(self.GRID, {0: self._delta_belief(44)}, floor=0.0)
+        w = prior.grid_weights(0, fine)
+        assert w.shape == (fine.n_cells,)
+        assert w.sum() == pytest.approx(1.0)
+        peak_fine = fine.centers[np.argmax(w)]
+        peak_coarse = self.GRID.centers[44]
+        assert np.linalg.norm(peak_fine - peak_coarse) < self.GRID.cell_diagonal
+
+    def test_log_density_matches_cells(self):
+        prior = GridBeliefPrior(self.GRID, {0: self._delta_belief(7)}, floor=0.0)
+        ld = prior.log_density(0, self.GRID.centers[[7, 8]])
+        assert ld[0] > ld[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridBeliefPrior(self.GRID, {0: np.zeros(self.GRID.n_cells)})
+        with pytest.raises(ValueError):
+            GridBeliefPrior(self.GRID, {0: np.ones(5)})
+        with pytest.raises(ValueError):
+            GridBeliefPrior(self.GRID, {}, diffusion_sigma=-1)
+        with pytest.raises(ValueError):
+            GridBeliefPrior(self.GRID, {}, floor=1.0)
+
+
+class TestMultiResolutionLocalizer:
+    def test_accuracy_comparable_to_fine_single(self, net, ms):
+        single = GridBPLocalizer(
+            config=GridBPConfig(grid_size=20, max_iterations=10)
+        ).localize(ms)
+        multi = MultiResolutionLocalizer(levels=(10, 20)).localize(ms)
+        assert mean_err(multi, net) < mean_err(single, net) + 0.02
+
+    def test_method_name_and_accounting(self, ms):
+        res = MultiResolutionLocalizer(levels=(8, 16)).localize(ms)
+        assert res.method == "grid-bp-multires"
+        assert res.messages_sent > 0
+        assert res.localized_mask.all()
+
+    def test_single_level_equals_plain(self, ms):
+        multi = MultiResolutionLocalizer(
+            levels=(15,), iterations_per_level=(10,)
+        ).localize(ms)
+        plain = GridBPLocalizer(
+            config=GridBPConfig(grid_size=15, max_iterations=10)
+        ).localize(ms)
+        np.testing.assert_allclose(multi.estimates, plain.estimates)
+
+    def test_prior_at_coarse_level_helps(self, net, ms):
+        from repro.priors import PerNodePrior
+
+        prior = PerNodePrior(net.positions, sigma=0.05)
+        with_pk = MultiResolutionLocalizer(prior=prior, levels=(8, 16)).localize(ms)
+        without = MultiResolutionLocalizer(levels=(8, 16)).localize(ms)
+        assert mean_err(with_pk, net) < mean_err(without, net) + 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiResolutionLocalizer(levels=())
+        with pytest.raises(ValueError):
+            MultiResolutionLocalizer(levels=(16, 8))
+        with pytest.raises(ValueError):
+            MultiResolutionLocalizer(levels=(8, 16), iterations_per_level=(3,))
+        with pytest.raises(ValueError):
+            MultiResolutionLocalizer(levels=(8,), iterations_per_level=(0,))
+
+
+class TestRefineEstimates:
+    def test_improves_grid_estimate(self, net, ms):
+        res = GridBPLocalizer(
+            config=GridBPConfig(grid_size=15, max_iterations=10)
+        ).localize(ms)
+        refined = refine_estimates(ms, res)
+        assert mean_err(refined, net) < mean_err(res, net)
+        assert refined.method.endswith("+refine")
+
+    def test_does_not_mutate_input(self, ms):
+        res = GridBPLocalizer(
+            config=GridBPConfig(grid_size=12, max_iterations=5)
+        ).localize(ms)
+        before = res.estimates.copy()
+        refine_estimates(ms, res)
+        np.testing.assert_array_equal(res.estimates, before)
+
+    def test_max_step_bounds_motion(self, ms):
+        res = GridBPLocalizer(
+            config=GridBPConfig(grid_size=12, max_iterations=5)
+        ).localize(ms)
+        refined = refine_estimates(ms, res, max_step=0.01)
+        moved = np.linalg.norm(refined.estimates - res.estimates, axis=1)
+        assert moved.max() <= 0.01 + 1e-9
+
+    def test_rejects_rangefree(self, net):
+        ms_conn = observe(net, ConnectivityOnly(), rng=0)
+        res = GridBPLocalizer(
+            config=GridBPConfig(grid_size=12, max_iterations=3)
+        ).localize(ms_conn)
+        with pytest.raises(ValueError):
+            refine_estimates(ms_conn, res)
+
+    def test_validation(self, ms):
+        res = GridBPLocalizer(
+            config=GridBPConfig(grid_size=12, max_iterations=3)
+        ).localize(ms)
+        with pytest.raises(ValueError):
+            refine_estimates(ms, res, n_sweeps=0)
+        with pytest.raises(ValueError):
+            refine_estimates(ms, res, max_step=0.0)
+
+
+class TestSerialSchedule:
+    def test_serial_propagates_within_one_sweep(self, net, ms):
+        # After a single sweep, serial (Gauss–Seidel) has already moved
+        # information across multiple hops, so its answer differs from the
+        # one-round flooding schedule and is a usable estimate.
+        serial = GridBPLocalizer(
+            config=GridBPConfig(grid_size=15, max_iterations=1, schedule="serial")
+        ).localize(ms)
+        sync = GridBPLocalizer(
+            config=GridBPConfig(grid_size=15, max_iterations=1, schedule="sync")
+        ).localize(ms)
+        assert not np.allclose(serial.estimates, sync.estimates)
+        assert mean_err(serial, net) < 0.15
+
+    def test_both_schedules_reach_similar_answers(self, net, ms):
+        serial = GridBPLocalizer(
+            config=GridBPConfig(grid_size=15, max_iterations=15, schedule="serial")
+        ).localize(ms)
+        sync = GridBPLocalizer(
+            config=GridBPConfig(grid_size=15, max_iterations=15, schedule="sync")
+        ).localize(ms)
+        assert abs(mean_err(serial, net) - mean_err(sync, net)) < 0.02
+
+    def test_deterministic(self, ms):
+        cfg = GridBPConfig(grid_size=12, max_iterations=5, schedule="serial")
+        a = GridBPLocalizer(config=cfg).localize(ms)
+        b = GridBPLocalizer(config=cfg).localize(ms)
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            GridBPConfig(schedule="random")
+
+
+class TestIrregularRadio:
+    POS = np.random.default_rng(3).uniform(size=(40, 2))
+
+    def test_symmetric_no_selfloops(self):
+        adj = IrregularRadio(0.25, doi=0.3).adjacency(self.POS, rng=0)
+        assert np.array_equal(adj, adj.T)
+        assert not adj.diagonal().any()
+
+    def test_doi_zero_is_unit_disk(self):
+        adj = IrregularRadio(0.25, doi=0.0).adjacency(self.POS, rng=0)
+        disk = UnitDiskRadio(0.25).adjacency(self.POS, rng=0)
+        np.testing.assert_array_equal(adj, disk)
+
+    def test_links_bounded_by_extremes(self):
+        radio = IrregularRadio(0.2, doi=0.3)
+        adj = radio.adjacency(self.POS, rng=1)
+        from repro.utils.geometry import pairwise_distances
+
+        d = pairwise_distances(self.POS)
+        assert not adj[d > 0.2 * 1.3].any()
+        inner = (d <= 0.2 * 0.7) & ~np.eye(len(self.POS), dtype=bool)
+        assert adj[inner].all()
+
+    def test_p_detect_ramp(self):
+        radio = IrregularRadio(0.2, doi=0.5)
+        p = radio.p_detect(np.array([0.05, 0.2, 0.35]))
+        assert p[0] == 1.0
+        assert 0.0 < p[1] < 1.0
+        assert p[2] == 0.0
+
+    def test_reproducible(self):
+        radio = IrregularRadio(0.25, doi=0.2)
+        np.testing.assert_array_equal(
+            radio.adjacency(self.POS, rng=5), radio.adjacency(self.POS, rng=5)
+        )
+
+    def test_localization_end_to_end(self):
+        net = generate_network(
+            NetworkConfig(
+                n_nodes=60,
+                anchor_ratio=0.15,
+                radio=IrregularRadio(0.25, doi=0.2),
+                require_connected=True,
+            ),
+            rng=2,
+        )
+        ms = observe(net, GaussianRanging(0.02), rng=3)
+        res = GridBPLocalizer(
+            config=GridBPConfig(grid_size=15, max_iterations=8)
+        ).localize(ms)
+        assert mean_err(res, net) < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IrregularRadio(0.2, doi=1.0)
+        with pytest.raises(ValueError):
+            IrregularRadio(0.2, n_harmonics=0)
+        with pytest.raises(NotImplementedError):
+            IrregularRadio(0.2).adjacency_from_distances(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            IrregularRadio(0.2).adjacency(np.zeros((3, 3)))
+
+
+class TestMaxProduct:
+    def test_joint_map_reasonable(self, net, ms):
+        cfg = GridBPConfig(
+            grid_size=15, max_iterations=8, max_product=True, estimator="map"
+        )
+        res = GridBPLocalizer(config=cfg).localize(ms)
+        assert res.localized_mask.all()
+        assert mean_err(res, net) < 0.15
+
+    def test_differs_from_sum_product(self, ms):
+        mp = GridBPLocalizer(
+            config=GridBPConfig(grid_size=15, max_iterations=8, max_product=True)
+        ).localize(ms)
+        sp = GridBPLocalizer(
+            config=GridBPConfig(grid_size=15, max_iterations=8, max_product=False)
+        ).localize(ms)
+        assert not np.allclose(mp.estimates, sp.estimates)
+
+    def test_matches_exhaustive_on_tiny_chain(self):
+        # 1 anchor - 1 unknown - 1 unknown chain on a coarse grid: the
+        # max-product argmax must equal the exhaustive joint MAP.
+        import itertools
+
+        from repro.core.grid import Grid2D
+        from repro.measurement import observe as _observe
+        from repro.network import WSNetwork
+
+        positions = np.array([[0.1, 0.5], [0.35, 0.5], [0.6, 0.5]])
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = adj[1, 0] = adj[1, 2] = adj[2, 1] = True
+        netc = WSNetwork(
+            positions, np.array([True, False, False]), adj, radio_range=0.4
+        )
+        msc = _observe(netc, GaussianRanging(0.02), rng=0)
+        cfg = GridBPConfig(
+            grid_size=6,
+            max_iterations=20,
+            max_product=True,
+            estimator="map",
+            use_negative_evidence=False,
+            tol=1e-12,
+        )
+        loc = GridBPLocalizer(config=cfg)
+        res = loc.localize(msc)
+
+        # exhaustive joint MAP over the same potentials
+        grid = res.extras["grid"]
+        from repro.core.potentials import (
+            anchor_ranging_potential,
+            pairwise_ranging_potential,
+        )
+        from repro.network import UnitDiskRadio as UDR
+
+        radio = UDR(0.4)
+        blur = cfg.cell_blur_fraction * grid.cell_diagonal
+        phi1 = anchor_ranging_potential(
+            grid, positions[0], msc.observed_distances[1, 0], msc.ranging,
+            radio, blur_sigma=blur,
+        )
+        psi = pairwise_ranging_potential(
+            grid.pairwise_center_distances(),
+            msc.observed_distances[1, 2],
+            msc.ranging,
+            radio,
+            blur_sigma=blur,
+        )
+        joint = phi1[:, None] * psi
+        k1, k2 = np.unravel_index(np.argmax(joint), joint.shape)
+        np.testing.assert_allclose(res.estimates[1], grid.centers[k1], atol=1e-9)
+        np.testing.assert_allclose(res.estimates[2], grid.centers[k2], atol=1e-9)

@@ -1,0 +1,203 @@
+"""Unit tests for repro.core.grid and repro.core.potentials."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D
+from repro.core.potentials import (
+    RangingPotentialCache,
+    anchor_connectivity_potential,
+    anchor_ranging_potential,
+    connectivity_potential,
+    negative_anchor_potential,
+    pairwise_ranging_potential,
+)
+from repro.measurement.ranging import GaussianRanging
+from repro.network.radio import UnitDiskRadio
+
+
+class TestGrid2D:
+    def test_centers_layout(self):
+        g = Grid2D(2, 2)
+        np.testing.assert_allclose(
+            g.centers, [[0.25, 0.25], [0.75, 0.25], [0.25, 0.75], [0.75, 0.75]]
+        )
+
+    def test_rectangular_field(self):
+        g = Grid2D(4, 2, width=2.0, height=1.0)
+        assert g.n_cells == 8
+        assert g.cell_width == pytest.approx(0.5)
+        assert g.cell_height == pytest.approx(0.5)
+        assert (g.centers[:, 0] <= 2.0).all()
+
+    def test_pairwise_cached_and_symmetric(self):
+        g = Grid2D(5)
+        d = g.pairwise_center_distances()
+        assert d is g.pairwise_center_distances()
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+    def test_distances_to_point(self):
+        g = Grid2D(3)
+        d = g.distances_to_point(np.array([0.5, 0.5]))
+        assert d[4] == pytest.approx(0.0)  # center cell of 3x3
+
+    def test_cell_of_round_trip(self):
+        g = Grid2D(10)
+        cells = g.cell_of(g.centers)
+        np.testing.assert_array_equal(cells, np.arange(g.n_cells))
+
+    def test_cell_of_clips(self):
+        g = Grid2D(4)
+        assert g.cell_of(np.array([[-1.0, -1.0]]))[0] == 0
+        assert g.cell_of(np.array([[5.0, 5.0]]))[0] == g.n_cells - 1
+
+    def test_expectation_delta(self):
+        g = Grid2D(6)
+        w = np.zeros(g.n_cells)
+        w[7] = 1.0
+        np.testing.assert_allclose(g.expectation(w), g.centers[7])
+
+    def test_expectation_uniform_is_field_center(self):
+        g = Grid2D(8)
+        w = np.full(g.n_cells, 1.0)
+        np.testing.assert_allclose(g.expectation(w), [0.5, 0.5])
+
+    def test_covariance_positive_semidefinite(self):
+        g = Grid2D(8)
+        rng = np.random.default_rng(0)
+        w = rng.uniform(size=g.n_cells)
+        cov = g.covariance(w)
+        eig = np.linalg.eigvalsh(cov)
+        assert (eig >= -1e-12).all()
+
+    def test_map_estimate(self):
+        g = Grid2D(5)
+        w = np.zeros(g.n_cells)
+        w[13] = 2.0
+        np.testing.assert_allclose(g.map_estimate(w), g.centers[13])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid2D(1)
+        with pytest.raises(ValueError):
+            Grid2D(5).expectation(np.ones(7))
+        with pytest.raises(ValueError):
+            Grid2D(5).expectation(np.zeros(25))
+        with pytest.raises(ValueError):
+            Grid2D(5).distances_to_point(np.zeros(3))
+
+
+class TestPotentials:
+    GRID = Grid2D(12)
+    RANGING = GaussianRanging(0.05)
+    RADIO = UnitDiskRadio(0.25)
+
+    def test_pairwise_peak_at_observed_distance(self):
+        D = self.GRID.pairwise_center_distances()
+        psi = pairwise_ranging_potential(D, 0.3, self.RANGING)
+        # max entries should be where |D - 0.3| minimal
+        best = np.unravel_index(np.argmax(psi), psi.shape)
+        assert abs(D[best] - 0.3) < self.GRID.cell_diagonal
+
+    def test_pairwise_radio_masks_out_of_range(self):
+        D = self.GRID.pairwise_center_distances()
+        psi = pairwise_ranging_potential(D, 0.2, self.RANGING, self.RADIO)
+        assert (psi[D > 0.25] == 0).all()
+
+    def test_pairwise_outlier_falls_back_to_link_evidence(self):
+        # An observed distance inconsistent with the link constraint (a
+        # gross NLOS outlier) must not zero the factor: the range is
+        # discarded and the link-only potential kept.
+        D = self.GRID.pairwise_center_distances()
+        psi = pairwise_ranging_potential(
+            D, 0.2, GaussianRanging(0.001), UnitDiskRadio(0.05)
+        )
+        np.testing.assert_array_equal(
+            psi > 0, UnitDiskRadio(0.05).p_detect(D) > 0
+        )
+
+    def test_pairwise_without_radio_always_has_mass(self):
+        # Without a link model the likelihood is max-shifted before
+        # exponentiation, so even an absurd observed distance keeps its
+        # best-fitting cells at weight 1 (relative likelihood).
+        D = self.GRID.pairwise_center_distances()
+        psi = pairwise_ranging_potential(D, 1e3, GaussianRanging(1e-3))
+        assert psi.max() == pytest.approx(1.0)
+
+    def test_connectivity_potential(self):
+        D = self.GRID.pairwise_center_distances()
+        psi = connectivity_potential(D, self.RADIO)
+        assert (psi[D <= 0.25] == 1.0).all()
+        assert (psi[D > 0.25] == 0.0).all()
+
+    def test_anchor_ranging_annulus(self):
+        pot = anchor_ranging_potential(
+            self.GRID, np.array([0.5, 0.5]), 0.3, self.RANGING
+        )
+        d = self.GRID.distances_to_point(np.array([0.5, 0.5]))
+        near_annulus = np.abs(d - 0.3) < 0.03
+        far = np.abs(d - 0.3) > 0.2
+        assert pot[near_annulus].min() > pot[far].max()
+
+    def test_anchor_connectivity_disk(self):
+        pot = anchor_connectivity_potential(
+            self.GRID, np.array([0.5, 0.5]), self.RADIO
+        )
+        d = self.GRID.distances_to_point(np.array([0.5, 0.5]))
+        assert (pot[d <= 0.25] == 1.0).all()
+        assert (pot[d > 0.25] == 0.0).all()
+
+    def test_negative_anchor_pushes_out(self):
+        pot = negative_anchor_potential(self.GRID, np.array([0.5, 0.5]), self.RADIO)
+        d = self.GRID.distances_to_point(np.array([0.5, 0.5]))
+        assert (pot[d <= 0.25] == 0.0).all()
+        assert (pot[d > 0.25] == 1.0).all()
+
+    def test_negative_anchor_full_coverage_raises(self):
+        with pytest.raises(ValueError):
+            negative_anchor_potential(
+                self.GRID, np.array([0.5, 0.5]), UnitDiskRadio(5.0)
+            )
+
+
+class TestRangingPotentialCache:
+    GRID = Grid2D(10)
+    RANGING = GaussianRanging(0.05)
+
+    def test_sharing(self):
+        cache = RangingPotentialCache(self.GRID, self.RANGING)
+        a = cache.get(0.200)
+        b = cache.get(0.2001)  # same quantum bucket
+        assert a is b
+        assert cache.n_cached == 1
+        cache.get(0.35)
+        assert cache.n_cached == 2
+
+    def test_matches_dense_computation(self):
+        cache = RangingPotentialCache(self.GRID, self.RANGING, truncate=0.0)
+        q = cache.quantum
+        d_obs = 7 * q  # exactly on a quantum point: no rounding error
+        sparse_psi = cache.get(d_obs).toarray()
+        dense = pairwise_ranging_potential(
+            self.GRID.pairwise_center_distances(), d_obs, self.RANGING
+        )
+        np.testing.assert_allclose(sparse_psi, dense, atol=1e-12)
+
+    def test_truncation_sparsifies(self):
+        cache = RangingPotentialCache(self.GRID, self.RANGING, truncate=1e-3)
+        psi = cache.get(0.3)
+        assert psi.nnz < self.GRID.n_cells**2
+
+    def test_invalid_distance(self):
+        cache = RangingPotentialCache(self.GRID, self.RANGING)
+        with pytest.raises(ValueError):
+            cache.get(-0.1)
+        with pytest.raises(ValueError):
+            cache.get(float("nan"))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RangingPotentialCache(self.GRID, self.RANGING, truncate=1.0)
+        with pytest.raises(ValueError):
+            RangingPotentialCache(self.GRID, self.RANGING, quantum=0.0)

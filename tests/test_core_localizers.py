@@ -1,0 +1,261 @@
+"""Integration-grade tests for the core localizers (grid BP, NBP, pipeline).
+
+These run small fixed-seed networks end-to-end and assert the statistical
+behaviours the method must exhibit: beats-uniform-guessing accuracy,
+pre-knowledge improving accuracy, negative evidence helping, convergence,
+and the Localizer interface contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CooperativeLocalizer,
+    GridBPConfig,
+    GridBPLocalizer,
+    NBPConfig,
+    NBPLocalizer,
+)
+from repro.core.result import LocalizationResult
+from repro.measurement import ConnectivityOnly, GaussianRanging, observe
+from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+from repro.priors import GaussianPrior, PerNodePrior, UniformPrior
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_network(
+        NetworkConfig(
+            n_nodes=60,
+            anchor_ratio=0.15,
+            radio=UnitDiskRadio(0.25),
+            require_connected=True,
+        ),
+        rng=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def measurements(net):
+    return observe(net, GaussianRanging(0.02), rng=8)
+
+
+SMALL_CFG = GridBPConfig(grid_size=15, max_iterations=10)
+
+
+def mean_unknown_error(result, net):
+    err = result.errors(net.positions)
+    return float(np.nanmean(err[~net.anchor_mask]))
+
+
+class TestGridBPLocalizer:
+    def test_localizes_all_unknowns(self, net, measurements):
+        result = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
+        assert result.localized_mask.all()
+        assert np.isfinite(result.estimates).all()
+
+    def test_accuracy_beats_field_center_guess(self, net, measurements):
+        result = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
+        err = mean_unknown_error(result, net)
+        center_guess = np.linalg.norm(
+            net.positions[~net.anchor_mask] - [0.5, 0.5], axis=1
+        ).mean()
+        assert err < 0.6 * center_guess
+
+    def test_anchor_rows_exact(self, net, measurements):
+        result = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
+        np.testing.assert_allclose(
+            result.estimates[net.anchor_mask], net.positions[net.anchor_mask]
+        )
+
+    def test_pre_knowledge_improves_accuracy(self, net, measurements):
+        base = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
+        prior = PerNodePrior(net.positions, sigma=0.08)
+        pk = GridBPLocalizer(prior=prior, config=SMALL_CFG).localize(measurements)
+        assert mean_unknown_error(pk, net) < mean_unknown_error(base, net)
+
+    def test_deterministic(self, measurements):
+        a = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
+        b = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+
+    def test_connectivity_only_mode(self, net):
+        ms = observe(net, ConnectivityOnly(), rng=1)
+        result = GridBPLocalizer(config=SMALL_CFG).localize(ms)
+        assert result.localized_mask.all()
+        # range-free is coarser than ranged but must beat random placement
+        err = mean_unknown_error(result, net)
+        assert err < 0.3
+
+    def test_ranging_beats_connectivity_only(self, net, measurements):
+        ranged = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
+        ms_conn = observe(net, ConnectivityOnly(), rng=1)
+        conn = GridBPLocalizer(config=SMALL_CFG).localize(ms_conn)
+        assert mean_unknown_error(ranged, net) < mean_unknown_error(conn, net)
+
+    def test_negative_evidence_helps_range_free(self, net):
+        ms = observe(net, ConnectivityOnly(), rng=1)
+        cfg_on = GridBPConfig(grid_size=15, max_iterations=10, use_negative_evidence=True)
+        cfg_off = GridBPConfig(grid_size=15, max_iterations=10, use_negative_evidence=False)
+        on = GridBPLocalizer(config=cfg_on).localize(ms)
+        off = GridBPLocalizer(config=cfg_off).localize(ms)
+        assert mean_unknown_error(on, net) <= mean_unknown_error(off, net) + 0.01
+
+    def test_trace_recorded(self, measurements):
+        cfg = GridBPConfig(grid_size=15, max_iterations=6, record_trace=True, tol=1e-12)
+        result = GridBPLocalizer(config=cfg).localize(measurements)
+        # trace[0] is the unary-only (iteration 0) snapshot
+        assert len(result.trace) == result.n_iterations + 1
+        assert result.trace[0].shape == result.estimates.shape
+
+    def test_convergence_trace_improves(self, net, measurements):
+        cfg = GridBPConfig(grid_size=15, max_iterations=10, record_trace=True, tol=1e-12)
+        result = GridBPLocalizer(config=cfg).localize(measurements)
+        unknown = ~net.anchor_mask
+        # Cooperation must improve on the unary-only (iteration 0) estimate.
+        first = np.linalg.norm(
+            result.trace[0][unknown] - net.positions[unknown], axis=1
+        ).mean()
+        last = np.linalg.norm(
+            result.trace[-1][unknown] - net.positions[unknown], axis=1
+        ).mean()
+        assert last < first
+
+    def test_message_accounting(self, measurements):
+        result = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
+        assert result.messages_sent > 0
+        assert result.bytes_sent == result.messages_sent * 15 * 15 * 8
+
+    def test_map_estimator_on_cell_centers(self, measurements):
+        cfg = GridBPConfig(grid_size=15, max_iterations=6, estimator="map")
+        result = GridBPLocalizer(config=cfg).localize(measurements)
+        grid = result.extras["grid"]
+        unknowns = measurements.unknown_ids
+        est = result.estimates[unknowns]
+        cells = grid.cell_of(est)
+        np.testing.assert_allclose(grid.centers[cells], est, atol=1e-9)
+
+    def test_beliefs_are_distributions(self, measurements):
+        result = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
+        for b in result.extras["beliefs"].values():
+            assert b.shape == (15 * 15,)
+            assert b.sum() == pytest.approx(1.0)
+            assert (b >= 0).all()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GridBPConfig(grid_size=1)
+        with pytest.raises(ValueError):
+            GridBPConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            GridBPConfig(damping=1.0)
+        with pytest.raises(ValueError):
+            GridBPConfig(estimator="median")
+
+    def test_zero_support_prior_raises(self, measurements):
+        # a prior whose support misses the entire field is a modelling error
+        from repro.priors import RegionPrior
+
+        prior = RegionPrior(lambda pts: pts[:, 0] > 5.0)
+        with pytest.raises(ValueError):
+            GridBPLocalizer(prior=prior, config=SMALL_CFG).localize(measurements)
+
+    def test_badly_wrong_prior_degrades_gracefully(self, net, measurements):
+        # A confident but wrong prior pulls estimates toward its mean; the
+        # result is worse than no prior, yet still finite and well-formed.
+        prior = GaussianPrior([0.0, 0.0], 0.05)
+        wrong = GridBPLocalizer(prior=prior, config=SMALL_CFG).localize(measurements)
+        base = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
+        assert np.isfinite(wrong.estimates).all()
+        assert mean_unknown_error(wrong, net) > mean_unknown_error(base, net)
+
+
+class TestNBPLocalizer:
+    def test_localizes_all_unknowns(self, net, measurements):
+        cfg = NBPConfig(n_particles=100, n_iterations=3)
+        result = NBPLocalizer(config=cfg).localize(measurements, rng=0)
+        assert result.localized_mask.all()
+
+    def test_reasonable_accuracy(self, net, measurements):
+        cfg = NBPConfig(n_particles=150, n_iterations=5)
+        result = NBPLocalizer(config=cfg).localize(measurements, rng=0)
+        assert mean_unknown_error(result, net) < 0.2
+
+    def test_prior_improves(self, net, measurements):
+        cfg = NBPConfig(n_particles=150, n_iterations=4)
+        base = NBPLocalizer(config=cfg).localize(measurements, rng=0)
+        prior = PerNodePrior(net.positions, sigma=0.05)
+        pk = NBPLocalizer(prior=prior, config=cfg).localize(measurements, rng=0)
+        assert mean_unknown_error(pk, net) < mean_unknown_error(base, net)
+
+    def test_reproducible_with_seed(self, measurements):
+        cfg = NBPConfig(n_particles=80, n_iterations=2)
+        a = NBPLocalizer(config=cfg).localize(measurements, rng=5)
+        b = NBPLocalizer(config=cfg).localize(measurements, rng=5)
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+
+    def test_rejects_range_free(self, net):
+        ms = observe(net, ConnectivityOnly(), rng=0)
+        with pytest.raises(ValueError):
+            NBPLocalizer().localize(ms)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NBPConfig(n_particles=5)
+        with pytest.raises(ValueError):
+            NBPConfig(n_iterations=0)
+        with pytest.raises(ValueError):
+            NBPConfig(proposal_boost=0)
+
+
+class TestCooperativeLocalizer:
+    def test_run_pipeline(self, net):
+        loc = CooperativeLocalizer("grid-bp", grid_config=SMALL_CFG)
+        result = loc.run(net, GaussianRanging(0.02), rng=3)
+        assert isinstance(result, LocalizationResult)
+        assert result.method == "grid-bp"
+
+    def test_evaluate_returns_errors(self, net):
+        loc = CooperativeLocalizer("grid-bp", grid_config=SMALL_CFG)
+        result, err = loc.evaluate(net, GaussianRanging(0.02), rng=3)
+        assert err.shape == (net.n_nodes,)
+        np.testing.assert_allclose(err[net.anchor_mask], 0.0, atol=1e-12)
+
+    def test_nbp_method(self, net):
+        loc = CooperativeLocalizer(
+            "nbp", nbp_config=NBPConfig(n_particles=80, n_iterations=2)
+        )
+        result = loc.run(net, GaussianRanging(0.02), rng=3)
+        assert result.method == "nbp"
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            CooperativeLocalizer("kalman")
+
+    def test_run_reproducible(self, net):
+        loc = CooperativeLocalizer("grid-bp", grid_config=SMALL_CFG)
+        a = loc.run(net, GaussianRanging(0.02), rng=9)
+        b = loc.run(net, GaussianRanging(0.02), rng=9)
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+
+
+class TestLocalizationResult:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalizationResult(np.zeros((3, 3)), np.ones(3, bool), "m")
+        with pytest.raises(ValueError):
+            LocalizationResult(np.zeros((3, 2)), np.ones(2, bool), "m")
+        est = np.full((3, 2), np.nan)
+        with pytest.raises(ValueError):
+            LocalizationResult(est, np.ones(3, bool), "m")
+
+    def test_errors_nan_for_unlocalized(self):
+        est = np.array([[0.0, 0.0], [np.nan, np.nan]])
+        res = LocalizationResult(est, np.array([True, False]), "m")
+        err = res.errors(np.zeros((2, 2)))
+        assert err[0] == 0.0 and np.isnan(err[1])
+
+    def test_errors_shape_check(self):
+        res = LocalizationResult(np.zeros((2, 2)), np.ones(2, bool), "m")
+        with pytest.raises(ValueError):
+            res.errors(np.zeros((3, 2)))

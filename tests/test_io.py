@@ -1,0 +1,89 @@
+"""Round-trip tests for repro.io."""
+
+import numpy as np
+import pytest
+
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.io import (
+    load_network_json,
+    load_network_npz,
+    network_from_dict,
+    network_to_dict,
+    result_to_dict,
+    save_network_json,
+    save_network_npz,
+    save_result_json,
+)
+from repro.measurement import GaussianRanging, observe
+from repro.network import NetworkConfig, generate_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_network(NetworkConfig(n_nodes=30, anchor_ratio=0.2), rng=0)
+
+
+def assert_networks_equal(a, b):
+    np.testing.assert_allclose(a.positions, b.positions)
+    np.testing.assert_array_equal(a.anchor_mask, b.anchor_mask)
+    np.testing.assert_array_equal(a.adjacency, b.adjacency)
+    assert a.width == b.width and a.height == b.height
+    assert a.radio_range == b.radio_range
+
+
+class TestNetworkRoundTrip:
+    def test_dict_round_trip(self, net):
+        assert_networks_equal(net, network_from_dict(network_to_dict(net)))
+
+    def test_json_round_trip(self, net, tmp_path):
+        p = tmp_path / "net.json"
+        save_network_json(net, p)
+        assert_networks_equal(net, load_network_json(p))
+
+    def test_npz_round_trip(self, net, tmp_path):
+        p = tmp_path / "net.npz"
+        save_network_npz(net, p)
+        assert_networks_equal(net, load_network_npz(p))
+
+    def test_missing_key(self):
+        with pytest.raises(ValueError):
+            network_from_dict({"positions": [[0, 0]]})
+
+    def test_bad_edges(self, net):
+        d = network_to_dict(net)
+        d["edges"] = [[0, 999]]
+        with pytest.raises(ValueError):
+            network_from_dict(d)
+
+    def test_edgeless_network(self):
+        d = {
+            "positions": [[0.1, 0.1], [0.9, 0.9], [0.5, 0.5], [0.2, 0.8]],
+            "anchor_mask": [1, 1, 1, 0],
+            "edges": [],
+        }
+        net = network_from_dict(d)
+        assert not net.adjacency.any()
+
+
+class TestResultSerialization:
+    def test_result_to_dict(self, net, tmp_path):
+        ms = observe(net, GaussianRanging(0.02), rng=1)
+        res = GridBPLocalizer(config=GridBPConfig(grid_size=10, max_iterations=3)).localize(ms)
+        d = result_to_dict(res)
+        assert d["method"] == "grid-bp"
+        assert len(d["estimates"]) == net.n_nodes
+        assert d["messages_sent"] > 0
+        p = tmp_path / "res.json"
+        save_result_json(res, p)
+        import json
+
+        loaded = json.loads(p.read_text())
+        assert loaded["method"] == "grid-bp"
+
+    def test_unlocalized_nodes_become_null(self):
+        from repro.core.result import LocalizationResult
+
+        est = np.array([[0.5, 0.5], [np.nan, np.nan]])
+        res = LocalizationResult(est, np.array([True, False]), "m")
+        d = result_to_dict(res)
+        assert d["estimates"][1] == [None, None]

@@ -1,0 +1,201 @@
+"""Tests for angle-of-arrival measurements and bearing-augmented inference."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid2D, GridBPConfig, GridBPLocalizer
+from repro.core.potentials import anchor_bearing_potential, pairwise_bearing_potential
+from repro.measurement import (
+    BearingModel,
+    ConnectivityOnly,
+    GaussianRanging,
+    observe,
+    true_bearings,
+    wrap_angle,
+)
+from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+from repro.parallel import DistributedBPSimulator
+
+
+class TestWrapAngle:
+    def test_identity_in_range(self):
+        np.testing.assert_allclose(wrap_angle(np.array([0.5, -0.5])), [0.5, -0.5])
+
+    def test_wraps(self):
+        assert wrap_angle(np.array([np.pi + 0.1]))[0] == pytest.approx(-np.pi + 0.1)
+        assert wrap_angle(np.array([2 * np.pi]))[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestTrueBearings:
+    def test_known_geometry(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        B = true_bearings(pts)
+        assert B[0, 1] == pytest.approx(0.0)
+        assert B[1, 0] == pytest.approx(np.pi)
+        assert B[0, 2] == pytest.approx(np.pi / 2)
+
+    def test_antisymmetry(self):
+        pts = np.random.default_rng(0).uniform(size=(10, 2))
+        B = true_bearings(pts)
+        iu = np.triu_indices(10, k=1)
+        np.testing.assert_allclose(
+            wrap_angle(B[iu] - (B.T[iu] + np.pi)), 0.0, atol=1e-12
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            true_bearings(np.zeros((3, 3)))
+
+
+class TestBearingModel:
+    def test_noise_scale(self):
+        model = BearingModel(sigma_rad=0.1)
+        obs = model.observe(np.zeros(5000), rng=0)
+        assert abs(np.std(obs) - 0.1) < 0.01
+
+    def test_likelihood_peak_at_truth(self):
+        model = BearingModel(sigma_rad=0.2)
+        cand = np.linspace(-np.pi, np.pi, 721)
+        ll = model.log_likelihood(0.7, cand)
+        assert abs(cand[np.argmax(ll)] - 0.7) < 0.01
+
+    def test_likelihood_periodic(self):
+        model = BearingModel(sigma_rad=0.3)
+        a = model.log_likelihood(0.1, np.array([0.2]))
+        b = model.log_likelihood(0.1 + 2 * np.pi, np.array([0.2]))
+        np.testing.assert_allclose(a, b)
+
+    def test_likelihood_normalized(self):
+        model = BearingModel(sigma_rad=0.25)
+        theta = np.linspace(-np.pi, np.pi, 10001)
+        integral = np.trapezoid(np.exp(model.log_likelihood(0.0, theta)), theta)
+        assert integral == pytest.approx(1.0, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BearingModel(sigma_rad=0.0)
+
+
+class TestGridBearings:
+    def test_pairwise_bearings_antisymmetric(self):
+        grid = Grid2D(6)
+        B = grid.pairwise_center_bearings()
+        assert B is grid.pairwise_center_bearings()  # cached
+        iu = np.triu_indices(grid.n_cells, k=1)
+        np.testing.assert_allclose(
+            wrap_angle(B[iu] - (B.T[iu] + np.pi)), 0.0, atol=1e-12
+        )
+
+    def test_bearings_to_point(self):
+        grid = Grid2D(4)
+        b = grid.bearings_to_point(np.array([10.0, 0.5]))
+        # a point far to the right: all bearings ≈ 0
+        assert np.abs(b).max() < 0.1
+
+
+class TestBearingPotentials:
+    GRID = Grid2D(12)
+    MODEL = BearingModel(0.1)
+
+    def test_pairwise_peak_along_bearing(self):
+        psi = pairwise_bearing_potential(self.GRID, 0.0, np.nan, self.MODEL)
+        ki, kj = np.unravel_index(np.argmax(psi), psi.shape)
+        d = self.GRID.centers[kj] - self.GRID.centers[ki]
+        assert abs(np.arctan2(d[1], d[0])) < 0.2
+
+    def test_both_directions_sharper(self):
+        one = pairwise_bearing_potential(self.GRID, 0.5, np.nan, self.MODEL)
+        both = pairwise_bearing_potential(
+            self.GRID, 0.5, wrap_angle(np.array([0.5 + np.pi]))[0], self.MODEL
+        )
+        # normalized to max 1; the two-sided version concentrates more
+        assert both.sum() < one.sum()
+
+    def test_missing_both_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_bearing_potential(self.GRID, np.nan, np.nan, self.MODEL)
+
+    def test_anchor_potential_ray(self):
+        anchor = np.array([0.5, 0.5])
+        # node measured the anchor due east => node is WEST of the anchor
+        pot = anchor_bearing_potential(self.GRID, anchor, 0.0, np.nan, self.MODEL)
+        best = self.GRID.centers[np.argmax(pot)]
+        assert best[0] < 0.5
+        assert abs(best[1] - 0.5) < 0.15
+
+    def test_anchor_potential_from_anchor_side(self):
+        anchor = np.array([0.5, 0.5])
+        # anchor measured the node due north => node is NORTH of the anchor
+        pot = anchor_bearing_potential(
+            self.GRID, anchor, np.nan, np.pi / 2, self.MODEL
+        )
+        best = self.GRID.centers[np.argmax(pot)]
+        assert best[1] > 0.5
+
+    def test_anchor_missing_both_raises(self):
+        with pytest.raises(ValueError):
+            anchor_bearing_potential(
+                self.GRID, np.array([0.5, 0.5]), np.nan, np.nan, self.MODEL
+            )
+
+
+class TestAoALocalization:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return generate_network(
+            NetworkConfig(
+                n_nodes=60,
+                anchor_ratio=0.12,
+                radio=UnitDiskRadio(0.25),
+                require_connected=True,
+            ),
+            rng=6,
+        )
+
+    CFG = GridBPConfig(grid_size=15, max_iterations=8)
+
+    def _err(self, net, ms):
+        res = GridBPLocalizer(config=self.CFG).localize(ms)
+        return float(np.nanmean(res.errors(net.positions)[~net.anchor_mask]))
+
+    def test_observe_bearings_shape(self, net):
+        ms = observe(net, GaussianRanging(0.02), rng=1, bearings=BearingModel(0.1))
+        assert ms.has_bearings
+        assert np.isfinite(ms.observed_bearings[ms.adjacency]).all()
+        assert np.isnan(ms.observed_bearings[~ms.adjacency]).all()
+
+    def test_bearings_improve_ranging(self, net):
+        base = observe(net, GaussianRanging(0.05), rng=1)
+        with_aoa = observe(
+            net, GaussianRanging(0.05), rng=1, bearings=BearingModel(0.1)
+        )
+        assert self._err(net, with_aoa) < self._err(net, base)
+
+    def test_aoa_only_localizes(self, net):
+        ms = observe(net, ConnectivityOnly(), rng=1, bearings=BearingModel(0.1))
+        err = self._err(net, ms)
+        assert err < 0.3 * net.radio_range * 3
+
+    def test_distributed_matches_centralized_with_bearings(self, net):
+        ms = observe(net, GaussianRanging(0.02), rng=2, bearings=BearingModel(0.15))
+        central = GridBPLocalizer(config=self.CFG).localize(ms)
+        dist, _ = DistributedBPSimulator(config=self.CFG).run(ms)
+        np.testing.assert_allclose(dist.estimates, central.estimates, atol=1e-6)
+
+    def test_measurement_set_validation(self, net):
+        ms = observe(net, GaussianRanging(0.02), rng=1, bearings=BearingModel(0.1))
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(ms, bearing_model=None)
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                ms, observed_bearings=np.zeros((3, 3))
+            )
+
+    def test_reproducible(self, net):
+        a = observe(net, GaussianRanging(0.02), rng=9, bearings=BearingModel(0.1))
+        b = observe(net, GaussianRanging(0.02), rng=9, bearings=BearingModel(0.1))
+        np.testing.assert_array_equal(
+            a.observed_bearings[a.adjacency], b.observed_bearings[b.adjacency]
+        )

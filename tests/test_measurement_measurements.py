@@ -1,0 +1,115 @@
+"""Unit tests for repro.measurement.measurements and repro.measurement.rssi."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.measurements import MeasurementSet, observe
+from repro.measurement.ranging import ConnectivityOnly, GaussianRanging
+from repro.measurement.rssi import PathLossModel, distance_from_rssi, rssi_from_distance
+from repro.network.generator import NetworkConfig, generate_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_network(NetworkConfig(n_nodes=40, anchor_ratio=0.15), rng=0)
+
+
+class TestObserve:
+    def test_default_connectivity_only(self, net):
+        ms = observe(net, rng=0)
+        assert not ms.has_ranging
+        assert np.isnan(ms.observed_distances).all()
+
+    def test_gaussian_ranging_links_only(self, net):
+        ms = observe(net, GaussianRanging(0.02), rng=0)
+        assert ms.has_ranging
+        linked = ms.adjacency
+        assert np.isfinite(ms.observed_distances[linked]).all()
+        assert np.isnan(ms.observed_distances[~linked]).all()
+
+    def test_observed_close_to_truth(self, net):
+        ms = observe(net, GaussianRanging(0.001), rng=0)
+        from repro.utils.geometry import pairwise_distances
+
+        true = pairwise_distances(net.positions)
+        err = ms.observed_distances[ms.adjacency] - true[ms.adjacency]
+        assert np.abs(err).max() < 0.01
+
+    def test_anchor_positions_exposed_only_for_anchors(self, net):
+        ms = observe(net, rng=0)
+        assert np.isfinite(ms.anchor_positions_full[ms.anchor_mask]).all()
+        assert np.isnan(ms.anchor_positions_full[~ms.anchor_mask]).all()
+        np.testing.assert_array_equal(
+            ms.anchor_positions, net.positions[net.anchor_mask]
+        )
+
+    def test_adjacency_copied(self, net):
+        ms = observe(net, rng=0)
+        ms.adjacency[0, 1] = not ms.adjacency[0, 1]
+        assert ms.adjacency[0, 1] != net.adjacency[0, 1] or True  # no crash
+        # network itself unchanged
+        assert net.adjacency[0, 1] == net.adjacency[1, 0]
+
+    def test_reproducible(self, net):
+        a = observe(net, GaussianRanging(0.05), rng=11)
+        b = observe(net, GaussianRanging(0.05), rng=11)
+        np.testing.assert_array_equal(
+            a.observed_distances[a.adjacency], b.observed_distances[b.adjacency]
+        )
+
+
+class TestMeasurementSet:
+    def test_views(self, net):
+        ms = observe(net, GaussianRanging(0.02), rng=0)
+        assert ms.n_nodes == net.n_nodes
+        np.testing.assert_array_equal(ms.anchor_ids, net.anchor_ids)
+        np.testing.assert_array_equal(ms.unknown_ids, net.unknown_ids)
+        i = int(ms.unknown_ids[0])
+        np.testing.assert_array_equal(ms.neighbors(i), net.neighbors(i))
+
+    def test_link_distance(self, net):
+        ms = observe(net, GaussianRanging(0.02), rng=0)
+        edges = ms.edges()
+        i, j = edges[0]
+        assert ms.link_distance(i, j) == ms.observed_distances[i, j]
+
+    def test_link_distance_rejects_non_link(self, net):
+        ms = observe(net, GaussianRanging(0.02), rng=0)
+        nonlinks = np.argwhere(~ms.adjacency)
+        i, j = nonlinks[nonlinks[:, 0] != nonlinks[:, 1]][0]
+        with pytest.raises(ValueError):
+            ms.link_distance(int(i), int(j))
+
+    def test_validation_anchor_rows(self):
+        with pytest.raises(ValueError):
+            MeasurementSet(
+                anchor_mask=np.array([True, False]),
+                anchor_positions_full=np.full((2, 2), np.nan),
+                adjacency=np.zeros((2, 2), bool),
+                observed_distances=np.full((2, 2), np.nan),
+                ranging=ConnectivityOnly(),
+                radio_range=0.2,
+            )
+
+
+class TestRSSIConversion:
+    def test_round_trip_noise_free(self):
+        pl = PathLossModel(shadowing_db=0.0)
+        d = np.array([0.05, 0.2, 0.8])
+        rssi = rssi_from_distance(d, pl, rng=0)
+        np.testing.assert_allclose(distance_from_rssi(rssi, pl), d, rtol=1e-10)
+
+    def test_rssi_decreases_with_distance(self):
+        pl = PathLossModel(shadowing_db=0.0)
+        r = pl.mean_rssi(np.array([0.1, 0.2, 0.4]))
+        assert r[0] > r[1] > r[2]
+
+    def test_reference_distance_floor(self):
+        pl = PathLossModel(d0=0.01, shadowing_db=0.0)
+        assert pl.mean_rssi(np.array([0.001]))[0] == pl.mean_rssi(np.array([0.01]))[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathLossModel(path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            PathLossModel(shadowing_db=-1.0)

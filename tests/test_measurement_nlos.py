@@ -1,0 +1,177 @@
+"""Tests for NLOS contamination and the robust mixture likelihood."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.measurement import (
+    ConnectivityOnly,
+    GaussianRanging,
+    NLOSRanging,
+    RobustRanging,
+    observe,
+)
+from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+
+
+class TestNLOSRanging:
+    BASE = GaussianRanging(0.01)
+
+    def test_positive_bias_on_contaminated(self):
+        model = NLOSRanging(self.BASE, nlos_fraction=1.0, bias_mean=0.2)
+        obs = model.observe(np.full(3000, 0.5), rng=0)
+        # every measurement biased by Exp(0.2): mean ≈ 0.7
+        assert obs.mean() == pytest.approx(0.7, abs=0.02)
+        assert (obs > 0.45).all()
+
+    def test_zero_fraction_is_clean(self):
+        model = NLOSRanging(self.BASE, nlos_fraction=0.0, bias_mean=0.2)
+        obs = model.observe(np.full(3000, 0.5), rng=0)
+        assert abs(obs.mean() - 0.5) < 0.01
+
+    def test_contamination_fraction(self):
+        model = NLOSRanging(self.BASE, nlos_fraction=0.3, bias_mean=0.5)
+        obs = model.observe(np.full(4000, 0.5), rng=0)
+        # biased measurements are well separated from clean ones at this scale
+        contaminated = (obs - 0.5) > 0.05
+        assert abs(contaminated.mean() - 0.3 * np.exp(-0.1)) < 0.05
+
+    def test_symmetric_matrix(self):
+        model = NLOSRanging(self.BASE, nlos_fraction=0.5, bias_mean=0.1)
+        d = np.full((8, 8), 0.4)
+        np.fill_diagonal(d, 0)
+        obs = model.observe(d, rng=1)
+        np.testing.assert_allclose(obs, obs.T)
+
+    def test_likelihood_delegates_to_base(self):
+        model = NLOSRanging(self.BASE, nlos_fraction=0.3, bias_mean=0.1)
+        cand = np.linspace(0.1, 1.0, 50)
+        np.testing.assert_allclose(
+            model.log_likelihood(0.5, cand), self.BASE.log_likelihood(0.5, cand)
+        )
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            NLOSRanging("gaussian", 0.2, 0.1)
+        with pytest.raises(ValueError):
+            NLOSRanging(ConnectivityOnly(), 0.2, 0.1)
+        with pytest.raises(ValueError):
+            NLOSRanging(self.BASE, nlos_fraction=1.5)
+        with pytest.raises(ValueError):
+            NLOSRanging(self.BASE, bias_mean=0.0)
+
+
+class TestRobustRanging:
+    BASE = GaussianRanging(0.02)
+
+    def test_likelihood_heavier_right_tail(self):
+        robust = RobustRanging(self.BASE, nlos_fraction=0.2, bias_mean=0.1)
+        # an observation far ABOVE the candidate is plausible (NLOS)...
+        above = robust.log_likelihood(0.8, np.array([0.5]))[0]
+        base_above = self.BASE.log_likelihood(0.8, np.array([0.5]))[0]
+        assert above > base_above + 10
+        # ...but an observation far BELOW is not (bias is positive-only)
+        below = robust.log_likelihood(0.2, np.array([0.5]))[0]
+        assert below < above
+
+    def test_likelihood_normalized(self):
+        robust = RobustRanging(self.BASE, nlos_fraction=0.3, bias_mean=0.1)
+        obs = np.linspace(-0.5, 3.0, 14001)
+        ll = robust.log_likelihood(obs, 0.5)
+        integral = np.trapezoid(np.exp(ll), obs)
+        assert integral == pytest.approx(1.0, abs=5e-3)
+
+    def test_small_fraction_approaches_base_in_probability(self):
+        # In probability space a vanishing mixture weight is negligible;
+        # (log space still differs deep in the tails, where the heavier
+        # NLOS component dominates the base's super-exponential decay —
+        # that's the point of the mixture).
+        robust = RobustRanging(self.BASE, nlos_fraction=1e-9, bias_mean=0.1)
+        cand = np.linspace(0.2, 0.8, 30)
+        np.testing.assert_allclose(
+            np.exp(robust.log_likelihood(0.5, cand)),
+            np.exp(self.BASE.log_likelihood(0.5, cand)),
+            atol=1e-6,
+        )
+
+    def test_sigma_inflated(self):
+        robust = RobustRanging(self.BASE, nlos_fraction=0.3, bias_mean=0.1)
+        s = robust.sigma_at(np.array([0.5]))
+        assert s[0] > self.BASE.sigma_at(np.array([0.5]))[0]
+
+    def test_observe_delegates(self):
+        robust = RobustRanging(self.BASE, 0.3, 0.1)
+        d = np.full(50, 0.4)
+        np.testing.assert_allclose(
+            robust.observe(d, rng=7), self.BASE.observe(d, rng=7)
+        )
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            RobustRanging(123, 0.2, 0.1)
+        with pytest.raises(ValueError):
+            RobustRanging(ConnectivityOnly(), 0.2, 0.1)
+
+
+class TestNLOSLocalizationIntegration:
+    def test_bayesian_survives_heavy_nlos(self):
+        net = generate_network(
+            NetworkConfig(
+                n_nodes=60,
+                anchor_ratio=0.15,
+                radio=UnitDiskRadio(0.25),
+                require_connected=True,
+            ),
+            rng=4,
+        )
+        base = GaussianRanging(0.02)
+        ms = observe(net, NLOSRanging(base, 0.5, 0.2), rng=5)
+        cfg = GridBPConfig(grid_size=15, max_iterations=8)
+        # unaware inference must not crash on gross outliers (the factor
+        # falls back to link-only evidence) and stays usable
+        res = GridBPLocalizer(config=cfg).localize(ms)
+        err = res.errors(net.positions)[~net.anchor_mask]
+        assert np.nanmean(err) < 0.5 * net.radio_range * 3
+
+    def test_aware_at_least_as_good_at_heavy_contamination(self):
+        errs_unaware, errs_aware = [], []
+        base = GaussianRanging(0.02)
+        for s in range(3):
+            net = generate_network(
+                NetworkConfig(
+                    n_nodes=60,
+                    anchor_ratio=0.15,
+                    radio=UnitDiskRadio(0.25),
+                    require_connected=True,
+                ),
+                rng=10 + s,
+            )
+            ms = observe(net, NLOSRanging(base, 0.5, 0.2), rng=20 + s)
+            cfg = GridBPConfig(grid_size=15, max_iterations=8)
+            unknown = ~net.anchor_mask
+            unaware = GridBPLocalizer(config=cfg).localize(ms)
+            ms_aware = dataclasses.replace(
+                ms, ranging=RobustRanging(base, 0.5, 0.2)
+            )
+            aware = GridBPLocalizer(config=cfg).localize(ms_aware)
+            errs_unaware.append(np.nanmean(unaware.errors(net.positions)[unknown]))
+            errs_aware.append(np.nanmean(aware.errors(net.positions)[unknown]))
+        assert np.mean(errs_aware) <= np.mean(errs_unaware) + 0.01
+
+    def test_scenario_config_integration(self):
+        from repro.experiments import ScenarioConfig, build_scenario
+        from repro.measurement.nlos import NLOSRanging as N
+
+        cfg = ScenarioConfig(n_nodes=40, nlos_fraction=0.3)
+        net, ms, _ = build_scenario(cfg, seed=0)
+        assert isinstance(ms.ranging, N)
+        robust = cfg.make_robust_ranging()
+        assert isinstance(robust, RobustRanging)
+        with pytest.raises(ValueError):
+            ScenarioConfig(nlos_fraction=2.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(nlos_fraction=0.2, ranging="none")
+        with pytest.raises(ValueError):
+            ScenarioConfig(nlos_bias_ratio=0.0)

@@ -1,0 +1,167 @@
+"""Unit and property tests for repro.measurement.ranging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurement.ranging import (
+    ConnectivityOnly,
+    GaussianRanging,
+    ProportionalGaussianRanging,
+    RSSIRanging,
+    TOARanging,
+)
+from repro.measurement.rssi import PathLossModel
+
+pos_dist = st.floats(min_value=0.01, max_value=2.0, allow_nan=False)
+
+
+class TestGaussianRanging:
+    def test_observation_noise_scale(self):
+        model = GaussianRanging(sigma=0.05)
+        d = np.full(4000, 0.5)
+        obs = model.observe(d, rng=0)
+        err = obs - d
+        assert abs(err.mean()) < 0.005
+        assert abs(err.std() - 0.05) < 0.005
+
+    def test_symmetric_matrix_observation(self):
+        model = GaussianRanging(sigma=0.1)
+        d = np.abs(np.random.default_rng(0).uniform(0.2, 0.8, size=(6, 6)))
+        d = (d + d.T) / 2
+        obs = model.observe(d, rng=1)
+        np.testing.assert_allclose(obs, obs.T)
+
+    def test_nonnegative(self):
+        model = GaussianRanging(sigma=1.0)
+        obs = model.observe(np.full(500, 0.01), rng=0)
+        assert (obs >= 0).all()
+
+    def test_likelihood_peak_at_truth(self):
+        model = GaussianRanging(sigma=0.05)
+        cand = np.linspace(0.1, 0.9, 200)
+        ll = model.log_likelihood(0.5, cand)
+        assert abs(cand[np.argmax(ll)] - 0.5) < 0.01
+
+    def test_likelihood_normalized(self):
+        model = GaussianRanging(sigma=0.05)
+        obs = np.linspace(-1, 2, 6001)
+        ll = model.log_likelihood(obs, 0.5)
+        integral = np.trapezoid(np.exp(ll), obs)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_sigma_at(self):
+        model = GaussianRanging(sigma=0.07)
+        np.testing.assert_array_equal(
+            model.sigma_at(np.array([0.1, 0.9])), [0.07, 0.07]
+        )
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianRanging(sigma=0)
+
+    @given(pos_dist, pos_dist)
+    @settings(max_examples=30, deadline=None)
+    def test_likelihood_symmetric_in_error(self, d, delta):
+        model = GaussianRanging(sigma=0.1)
+        hi = model.log_likelihood(d + delta, d)
+        lo = model.log_likelihood(max(d - delta, 0.0), d)
+        if d - delta >= 0:
+            assert hi == pytest.approx(lo, rel=1e-9)
+
+
+class TestProportionalGaussianRanging:
+    def test_noise_grows_with_distance(self):
+        model = ProportionalGaussianRanging(ratio=0.1)
+        near = model.observe(np.full(3000, 0.1), rng=0) - 0.1
+        far = model.observe(np.full(3000, 1.0), rng=1) - 1.0
+        assert far.std() > near.std() * 5
+
+    def test_zero_ratio_nearly_exact(self):
+        model = ProportionalGaussianRanging(ratio=0.0, floor=1e-6)
+        d = np.array([0.3, 0.7])
+        obs = model.observe(d, rng=0)
+        np.testing.assert_allclose(obs, d, atol=1e-4)
+
+    def test_likelihood_finite(self):
+        model = ProportionalGaussianRanging(ratio=0.1)
+        ll = model.log_likelihood(0.5, np.linspace(0.0, 1.0, 50))
+        assert np.isfinite(ll).all()
+
+    def test_sigma_at(self):
+        model = ProportionalGaussianRanging(ratio=0.1, floor=0.001)
+        np.testing.assert_allclose(model.sigma_at(np.array([1.0])), [0.101])
+
+
+class TestTOARanging:
+    def test_bias_shifts_mean(self):
+        model = TOARanging(sigma_time=0.01, mean_delay=0.05, speed=1.0)
+        obs = model.observe(np.full(4000, 0.5), rng=0)
+        assert obs.mean() == pytest.approx(0.55, abs=0.01)
+
+    def test_no_delay_unbiased(self):
+        model = TOARanging(sigma_time=0.02)
+        obs = model.observe(np.full(4000, 0.5), rng=0)
+        assert obs.mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_likelihood_peak_accounts_for_bias(self):
+        model = TOARanging(sigma_time=0.01, mean_delay=0.05)
+        cand = np.linspace(0.3, 0.7, 400)
+        # observed 0.55 with bias 0.05 -> true distance most likely 0.5
+        ll = model.log_likelihood(0.55, cand)
+        assert abs(cand[np.argmax(ll)] - 0.5) < 0.01
+
+    def test_symmetric_matrix(self):
+        model = TOARanging(sigma_time=0.01, mean_delay=0.02)
+        d = np.full((5, 5), 0.4)
+        np.fill_diagonal(d, 0)
+        obs = model.observe(d, rng=0)
+        np.testing.assert_allclose(obs, obs.T)
+
+
+class TestRSSIRanging:
+    def test_multiplicative_error(self):
+        model = RSSIRanging(PathLossModel(shadowing_db=4.0))
+        near = model.observe(np.full(3000, 0.1), rng=0)
+        far = model.observe(np.full(3000, 1.0), rng=1)
+        # ratio error roughly constant in log space
+        assert abs(np.std(np.log(near)) - np.std(np.log(far))) < 0.02
+
+    def test_log_sigma_matches_theory(self):
+        pl = PathLossModel(path_loss_exponent=3.0, shadowing_db=6.0)
+        model = RSSIRanging(pl)
+        obs = model.observe(np.full(8000, 0.5), rng=0)
+        assert np.std(np.log(obs)) == pytest.approx(model.log_sigma, rel=0.05)
+
+    def test_likelihood_peak_near_truth(self):
+        model = RSSIRanging(PathLossModel(shadowing_db=3.0))
+        cand = np.linspace(0.05, 1.5, 800)
+        ll = model.log_likelihood(0.5, cand)
+        # log-normal mode is below the observation, but near it for small sigma
+        assert 0.3 < cand[np.argmax(ll)] <= 0.55
+
+    def test_requires_shadowing(self):
+        with pytest.raises(ValueError):
+            RSSIRanging(PathLossModel(shadowing_db=0.0))
+
+    def test_sigma_at_scales_with_distance(self):
+        model = RSSIRanging(PathLossModel(shadowing_db=4.0))
+        s = model.sigma_at(np.array([0.1, 1.0]))
+        assert s[1] == pytest.approx(10 * s[0])
+
+
+class TestConnectivityOnly:
+    def test_no_distance_info(self):
+        model = ConnectivityOnly()
+        assert model.provides_distance is False
+        d = np.array([0.1, 0.5])
+        np.testing.assert_array_equal(model.observe(d, rng=0), d)
+
+    def test_flat_likelihood(self):
+        model = ConnectivityOnly()
+        ll = model.log_likelihood(0.5, np.linspace(0, 1, 10))
+        np.testing.assert_array_equal(ll, np.zeros(10))
+
+    def test_sigma_infinite(self):
+        assert np.isinf(ConnectivityOnly().sigma_at(np.array([0.5]))).all()

@@ -1,0 +1,203 @@
+"""Unit and property tests for repro.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.measurement import ConnectivityOnly, GaussianRanging, observe
+from repro.metrics import (
+    cdf_at,
+    cooperative_crlb,
+    coverage,
+    empirical_cdf,
+    error_per_iteration,
+    mean_error,
+    median_error,
+    rmse,
+    summarize_errors,
+)
+from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+
+finite_errors = arrays(
+    np.float64,
+    st.integers(1, 30),
+    elements=st.floats(0, 10, allow_nan=False),
+)
+
+
+class TestErrorStats:
+    def test_known_values(self):
+        e = np.array([3.0, 4.0])
+        assert mean_error(e) == pytest.approx(3.5)
+        assert rmse(e) == pytest.approx(np.sqrt(12.5))
+        assert median_error(e) == pytest.approx(3.5)
+
+    def test_nan_excluded(self):
+        e = np.array([1.0, np.nan, 3.0])
+        assert mean_error(e) == pytest.approx(2.0)
+        assert coverage(e) == pytest.approx(2 / 3)
+
+    def test_all_nan(self):
+        e = np.array([np.nan, np.nan])
+        assert np.isnan(mean_error(e))
+        assert coverage(e) == 0.0
+
+    def test_empty(self):
+        assert coverage(np.array([])) == 0.0
+        assert np.isnan(rmse(np.array([])))
+
+    @given(finite_errors)
+    @settings(max_examples=40, deadline=None)
+    def test_rmse_ge_mean_ge_zero(self, e):
+        assert rmse(e) >= mean_error(e) - 1e-12
+        assert mean_error(e) >= 0
+
+    def test_summary(self):
+        e = np.array([0.0, 0.1, 0.2, np.nan])
+        s = summarize_errors(e, radio_range=0.2)
+        assert s.mean == pytest.approx(0.1)
+        assert s.mean_norm == pytest.approx(0.5)
+        assert s.coverage == pytest.approx(0.75)
+        assert s.p90 <= 0.2 + 1e-9
+
+    def test_summary_unknown_mask(self):
+        e = np.array([0.0, 0.5, 0.5])
+        s = summarize_errors(e, 0.25, unknown_mask=np.array([False, True, True]))
+        assert s.mean == pytest.approx(0.5)
+        assert s.mean_norm == pytest.approx(2.0)
+
+    def test_summary_validation(self):
+        with pytest.raises(ValueError):
+            summarize_errors(np.array([0.1]), radio_range=0)
+        with pytest.raises(ValueError):
+            summarize_errors(np.array([0.1]), 0.2, unknown_mask=np.array([True, False]))
+
+
+class TestCDF:
+    def test_empirical_cdf_steps(self):
+        x, F = empirical_cdf(np.array([0.3, 0.1, 0.2]))
+        np.testing.assert_allclose(x, [0.1, 0.2, 0.3])
+        np.testing.assert_allclose(F, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        x, F = empirical_cdf(np.array([np.nan]))
+        assert len(x) == 0 and len(F) == 0
+
+    @given(finite_errors)
+    @settings(max_examples=30, deadline=None)
+    def test_cdf_monotone_and_bounded(self, e):
+        x, F = empirical_cdf(e)
+        assert (np.diff(F) >= 0).all()
+        assert F[-1] == pytest.approx(1.0)
+
+    def test_cdf_at(self):
+        e = np.array([0.1, 0.2, 0.3, 0.4])
+        out = cdf_at(e, np.array([0.0, 0.25, 1.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_cdf_at_empty(self):
+        np.testing.assert_allclose(cdf_at(np.array([]), np.array([1.0])), [0.0])
+
+
+class TestCRLB:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return generate_network(
+            NetworkConfig(
+                n_nodes=50,
+                anchor_ratio=0.2,
+                radio=UnitDiskRadio(0.3),
+                require_connected=True,
+            ),
+            rng=5,
+        )
+
+    def test_bound_positive_finite(self, net):
+        b = cooperative_crlb(net, GaussianRanging(0.02))
+        unknown = ~net.anchor_mask
+        assert np.isnan(b[net.anchor_mask]).all()
+        assert (b[unknown] > 0).all()
+        assert np.isfinite(b[unknown]).all()
+
+    def test_bound_scales_with_noise(self, net):
+        lo = cooperative_crlb(net, GaussianRanging(0.01))
+        hi = cooperative_crlb(net, GaussianRanging(0.05))
+        unknown = ~net.anchor_mask
+        assert np.nanmean(hi[unknown]) > np.nanmean(lo[unknown])
+        # constant-σ Gaussian ranging: bound scales exactly linearly in σ
+        np.testing.assert_allclose(hi[unknown] / lo[unknown], 5.0, rtol=1e-6)
+
+    def test_prior_tightens_bound(self, net):
+        plain = cooperative_crlb(net, GaussianRanging(0.03))
+        with_prior = cooperative_crlb(net, GaussianRanging(0.03), prior_sigma=0.05)
+        unknown = ~net.anchor_mask
+        assert (with_prior[unknown] <= plain[unknown] + 1e-12).all()
+
+    def test_estimator_respects_bound(self, net):
+        # MMSE estimate error (averaged over trials) must exceed the
+        # Bayesian CRLB built with the matching prior information.
+        sigma = 0.02
+        bound = cooperative_crlb(net, GaussianRanging(sigma))
+        unknown = ~net.anchor_mask
+        errs = []
+        for s in range(5):
+            ms = observe(net, GaussianRanging(sigma), rng=100 + s)
+            res = GridBPLocalizer(
+                config=GridBPConfig(grid_size=20, max_iterations=10)
+            ).localize(ms)
+            errs.append(res.errors(net.positions)[unknown])
+        mean_rms = np.sqrt(np.mean(np.array(errs) ** 2))
+        assert mean_rms >= 0.5 * np.nanmean(bound[unknown])
+
+    def test_rejects_rangefree(self, net):
+        with pytest.raises(ValueError):
+            cooperative_crlb(net, ConnectivityOnly())
+
+    def test_rejects_bad_prior_sigma(self, net):
+        with pytest.raises(ValueError):
+            cooperative_crlb(net, GaussianRanging(0.02), prior_sigma=0.0)
+
+    def test_disconnected_node_unbounded_without_prior(self):
+        from repro.network import WSNetwork
+
+        positions = np.array(
+            [[0.0, 0.0], [0.3, 0.0], [0.0, 0.3], [0.2, 0.2], [0.9, 0.9]]
+        )
+        adj = np.zeros((5, 5), dtype=bool)
+        for i, j in [(0, 3), (1, 3), (2, 3)]:
+            adj[i, j] = adj[j, i] = True
+        mask = np.array([True, True, True, False, False])
+        net = WSNetwork(positions, mask, adj, radio_range=0.4)
+        b = cooperative_crlb(net, GaussianRanging(0.02))
+        assert np.isfinite(b[3])
+        assert np.isinf(b[4])
+        # ... but a prior bounds everyone
+        b2 = cooperative_crlb(net, GaussianRanging(0.02), prior_sigma=0.1)
+        assert np.isfinite(b2[4])
+
+
+class TestConvergenceCurve:
+    def test_error_per_iteration(self):
+        net = generate_network(
+            NetworkConfig(n_nodes=40, anchor_ratio=0.2, radio=UnitDiskRadio(0.3)),
+            rng=2,
+        )
+        ms = observe(net, GaussianRanging(0.02), rng=3)
+        cfg = GridBPConfig(grid_size=12, max_iterations=5, record_trace=True, tol=1e-12)
+        res = GridBPLocalizer(config=cfg).localize(ms)
+        curve = error_per_iteration(res, net.positions, ~net.anchor_mask)
+        assert len(curve) == res.n_iterations + 1
+        assert curve[-1] < curve[0]
+
+    def test_requires_trace(self):
+        net = generate_network(
+            NetworkConfig(n_nodes=30, anchor_ratio=0.2, radio=UnitDiskRadio(0.3)),
+            rng=2,
+        )
+        ms = observe(net, GaussianRanging(0.02), rng=3)
+        res = GridBPLocalizer(config=GridBPConfig(grid_size=10)).localize(ms)
+        with pytest.raises(ValueError):
+            error_per_iteration(res, net.positions, ~net.anchor_mask)

@@ -1,0 +1,93 @@
+"""Tests for posterior-uncertainty calibration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.measurement import GaussianRanging, observe
+from repro.metrics import calibration_ratio, coverage_at_sigma, predicted_rms
+from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    net = generate_network(
+        NetworkConfig(
+            n_nodes=60,
+            anchor_ratio=0.15,
+            radio=UnitDiskRadio(0.25),
+            require_connected=True,
+        ),
+        rng=2,
+    )
+    ms = observe(net, GaussianRanging(0.02), rng=3)
+    res = GridBPLocalizer(
+        config=GridBPConfig(grid_size=16, max_iterations=10)
+    ).localize(ms)
+    return net, res
+
+
+class TestPredictedRMS:
+    def test_shape_and_anchor_nan(self, scenario):
+        net, res = scenario
+        pred = predicted_rms(res)
+        assert pred.shape == (net.n_nodes,)
+        assert np.isnan(pred[net.anchor_mask]).all()
+        assert np.isfinite(pred[~net.anchor_mask]).all()
+
+    def test_quantization_floor(self, scenario):
+        net, res = scenario
+        pred = predicted_rms(res)
+        grid = res.extras["grid"]
+        floor = np.sqrt((grid.cell_width**2 + grid.cell_height**2) / 12.0)
+        assert (pred[~net.anchor_mask] >= floor - 1e-12).all()
+
+    def test_requires_belief_extras(self, scenario):
+        net, res = scenario
+        from repro.core.result import LocalizationResult
+
+        bare = LocalizationResult(
+            res.estimates.copy(), res.localized_mask.copy(), "x"
+        )
+        with pytest.raises(ValueError):
+            predicted_rms(bare)
+
+
+class TestCalibrationRatio:
+    def test_reasonable_band(self, scenario):
+        # Loopy BP posteriors are known to be overconfident; the ratio
+        # should exceed 1 but stay within a small constant factor.
+        net, res = scenario
+        ratio = calibration_ratio(res, net.positions)
+        assert 0.7 < ratio < 4.0
+
+    def test_detects_overconfidence_direction(self, scenario):
+        # More damping -> less double counting -> better calibrated.
+        net, _ = scenario
+        ms = observe(net, GaussianRanging(0.02), rng=3)
+        tight = GridBPLocalizer(
+            config=GridBPConfig(grid_size=16, max_iterations=10, damping=0.0)
+        ).localize(ms)
+        damped = GridBPLocalizer(
+            config=GridBPConfig(grid_size=16, max_iterations=10, damping=0.5)
+        ).localize(ms)
+        r_tight = calibration_ratio(tight, net.positions)
+        r_damped = calibration_ratio(damped, net.positions)
+        assert r_damped <= r_tight + 0.3
+
+
+class TestCoverageAtSigma:
+    def test_monotone_in_k(self, scenario):
+        net, res = scenario
+        cov = [coverage_at_sigma(res, net.positions, k) for k in (1, 2, 3, 5)]
+        assert all(b >= a for a, b in zip(cov, cov[1:]))
+        assert 0.0 <= cov[0] <= 1.0
+
+    def test_huge_k_covers_everything(self, scenario):
+        net, res = scenario
+        assert coverage_at_sigma(res, net.positions, 50.0) == pytest.approx(1.0)
+
+    def test_validation(self, scenario):
+        net, res = scenario
+        with pytest.raises(ValueError):
+            coverage_at_sigma(res, net.positions, 0.0)

@@ -1,0 +1,178 @@
+"""Unit and integration tests for repro.mobility."""
+
+import numpy as np
+import pytest
+
+from repro.core.bnloc import GridBPConfig
+from repro.measurement import GaussianRanging
+from repro.mobility import (
+    MCLTracker,
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    SequentialGridTracker,
+)
+from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_network(
+        NetworkConfig(
+            n_nodes=40,
+            anchor_ratio=0.2,
+            radio=UnitDiskRadio(0.3),
+            require_connected=True,
+        ),
+        rng=11,
+    )
+
+
+class TestRandomWaypoint:
+    def test_shape_and_bounds(self, net):
+        model = RandomWaypointMobility(speed_range=(0.02, 0.05))
+        traj = model.trajectory(net.positions, 20, rng=0)
+        assert traj.shape == (21, net.n_nodes, 2)
+        assert (traj >= 0).all()
+        assert (traj[..., 0] <= 1).all() and (traj[..., 1] <= 1).all()
+
+    def test_initial_slice(self, net):
+        model = RandomWaypointMobility()
+        traj = model.trajectory(net.positions, 5, rng=0)
+        np.testing.assert_array_equal(traj[0], net.positions)
+
+    def test_speed_bound_respected(self, net):
+        model = RandomWaypointMobility(speed_range=(0.01, 0.04))
+        traj = model.trajectory(net.positions, 30, rng=0)
+        steps = np.linalg.norm(np.diff(traj, axis=0), axis=2)
+        assert steps.max() <= 0.04 + 1e-9
+
+    def test_nodes_actually_move(self, net):
+        model = RandomWaypointMobility(speed_range=(0.03, 0.06))
+        traj = model.trajectory(net.positions, 30, rng=0)
+        total = np.linalg.norm(traj[-1] - traj[0], axis=1)
+        assert (total > 0).mean() > 0.9
+
+    def test_reproducible(self, net):
+        model = RandomWaypointMobility()
+        np.testing.assert_array_equal(
+            model.trajectory(net.positions, 10, rng=3),
+            model.trajectory(net.positions, 10, rng=3),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(speed_range=(0.0, 0.1))
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(speed_range=(0.2, 0.1))
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(pause_steps=-1)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility().trajectory(np.zeros((3, 2)), 0)
+
+
+class TestRandomWalk:
+    def test_bounds_reflect(self):
+        model = RandomWalkMobility(step_sigma=0.2)
+        init = np.array([[0.01, 0.01], [0.99, 0.99]])
+        traj = model.trajectory(init, 50, rng=0)
+        assert (traj >= 0).all() and (traj <= 1).all()
+
+    def test_step_scale(self):
+        model = RandomWalkMobility(step_sigma=0.02)
+        init = np.full((200, 2), 0.5)
+        traj = model.trajectory(init, 1, rng=0)
+        steps = np.linalg.norm(traj[1] - traj[0], axis=1)
+        # mean of |N(0,σ)| 2-D step ≈ σ·sqrt(π/2)
+        assert abs(steps.mean() - 0.02 * np.sqrt(np.pi / 2)) < 0.005
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkMobility(step_sigma=0)
+
+
+class TestSequentialGridTracker:
+    def test_tracks_better_than_memoryless_late(self, net):
+        model = RandomWalkMobility(step_sigma=0.02)
+        traj = model.trajectory(net.positions, 6, rng=1)
+        radio = UnitDiskRadio(0.3)
+        ranging = GaussianRanging(0.02)
+        cfg = GridBPConfig(grid_size=15, max_iterations=6)
+        tracker = SequentialGridTracker(radio, ranging, motion_sigma=0.05, config=cfg)
+        res = tracker.track(traj, net.anchor_mask, rng=2)
+        assert res.estimates.shape == traj.shape
+        err = res.mean_error_per_step(traj, ~net.anchor_mask)
+        # after warm-up, tracked error should be comparable to or better
+        # than the first (prior-free) step
+        assert np.mean(err[2:]) <= err[0] + 0.02
+
+    def test_localizes_every_step(self, net):
+        model = RandomWalkMobility(step_sigma=0.02)
+        traj = model.trajectory(net.positions, 3, rng=1)
+        tracker = SequentialGridTracker(
+            UnitDiskRadio(0.3),
+            GaussianRanging(0.02),
+            config=GridBPConfig(grid_size=12, max_iterations=4),
+        )
+        res = tracker.track(traj, net.anchor_mask, rng=2)
+        assert res.localized[:, ~net.anchor_mask].all()
+
+    def test_shape_validation(self, net):
+        tracker = SequentialGridTracker(UnitDiskRadio(0.3), GaussianRanging(0.02))
+        with pytest.raises(ValueError):
+            tracker.track(np.zeros((5, 2)), net.anchor_mask)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SequentialGridTracker(UnitDiskRadio(0.3), None, motion_sigma=0)
+
+
+class TestMCLTracker:
+    def test_range_free_tracking(self, net):
+        model = RandomWalkMobility(step_sigma=0.03)
+        traj = model.trajectory(net.positions, 8, rng=1)
+        tracker = MCLTracker(UnitDiskRadio(0.3), v_max=0.12, n_particles=80)
+        res = tracker.track(traj, net.anchor_mask, rng=2)
+        assert res.method == "mcl"
+        err = res.mean_error_per_step(traj, ~net.anchor_mask)
+        # MCL should settle below the radio range once history accumulates
+        assert np.mean(err[3:]) < 0.3
+
+    def test_anchor_rows_exact(self, net):
+        model = RandomWalkMobility(step_sigma=0.03)
+        traj = model.trajectory(net.positions, 3, rng=1)
+        tracker = MCLTracker(UnitDiskRadio(0.3), n_particles=50)
+        res = tracker.track(traj, net.anchor_mask, rng=2)
+        np.testing.assert_allclose(
+            res.estimates[:, net.anchor_mask], traj[:, net.anchor_mask]
+        )
+
+    def test_reproducible(self, net):
+        model = RandomWalkMobility(step_sigma=0.03)
+        traj = model.trajectory(net.positions, 3, rng=1)
+        tracker = MCLTracker(UnitDiskRadio(0.3), n_particles=50)
+        a = tracker.track(traj, net.anchor_mask, rng=9)
+        b = tracker.track(traj, net.anchor_mask, rng=9)
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MCLTracker(UnitDiskRadio(0.3), v_max=0)
+        with pytest.raises(ValueError):
+            MCLTracker(UnitDiskRadio(0.3), n_particles=5)
+        with pytest.raises(ValueError):
+            MCLTracker(UnitDiskRadio(0.3), max_resample_rounds=0)
+        tracker = MCLTracker(UnitDiskRadio(0.3))
+        with pytest.raises(ValueError):
+            tracker.track(np.zeros((5, 2)), np.zeros(5, bool))
+
+
+class TestTrackingResult:
+    def test_errors_shape_check(self, net):
+        model = RandomWalkMobility(step_sigma=0.03)
+        traj = model.trajectory(net.positions, 2, rng=1)
+        tracker = MCLTracker(UnitDiskRadio(0.3), n_particles=50)
+        res = tracker.track(traj, net.anchor_mask, rng=2)
+        with pytest.raises(ValueError):
+            res.errors(traj[:, :10])
+        err = res.errors(traj)
+        assert err.shape == traj.shape[:2]

@@ -1,0 +1,152 @@
+"""Unit tests for repro.network.deployment."""
+
+import numpy as np
+import pytest
+
+from repro.network.deployment import (
+    CShapeDeployment,
+    DeploymentModel,
+    GaussianClusterDeployment,
+    GridDeployment,
+    UniformDeployment,
+    deploy,
+)
+
+
+class TestUniformDeployment:
+    def test_sample_shape_and_support(self):
+        model = UniformDeployment(width=2.0, height=3.0)
+        pts = model.sample(200, rng=0)
+        assert pts.shape == (200, 2)
+        assert (pts[:, 0] >= 0).all() and (pts[:, 0] <= 2.0).all()
+        assert (pts[:, 1] >= 0).all() and (pts[:, 1] <= 3.0).all()
+
+    def test_reproducible(self):
+        model = UniformDeployment()
+        np.testing.assert_array_equal(model.sample(10, 5), model.sample(10, 5))
+
+    def test_log_density_flat_inside(self):
+        model = UniformDeployment()
+        ld = model.log_density(np.array([[0.5, 0.5], [2.0, 0.5]]))
+        assert ld[0] == 0.0
+        assert ld[1] == -np.inf
+
+    def test_density_map_normalized(self):
+        model = UniformDeployment()
+        xs = np.linspace(0.05, 0.95, 10)
+        dm = model.density_map(xs, xs)
+        assert dm.shape == (10, 10)
+        assert dm.sum() == pytest.approx(1.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            UniformDeployment().sample(0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            UniformDeployment(width=-1.0)
+
+
+class TestGridDeployment:
+    def test_zero_jitter_is_exact_grid(self):
+        model = GridDeployment(jitter=0.0)
+        pts = model.sample(9, rng=0)
+        np.testing.assert_allclose(pts, model.grid_points(9))
+
+    def test_jitter_spreads(self):
+        model = GridDeployment(jitter=0.05)
+        pts = model.sample(9, rng=0)
+        assert not np.allclose(pts, model.grid_points(9))
+
+    def test_grid_points_within_field(self):
+        model = GridDeployment(width=2.0, height=1.0)
+        g = model.grid_points(50)
+        assert (g[:, 0] <= 2.0).all() and (g[:, 1] <= 1.0).all()
+
+    def test_samples_clipped_to_field(self):
+        model = GridDeployment(jitter=0.5)
+        pts = model.sample(100, rng=1)
+        assert (pts >= 0).all()
+        assert (pts[:, 0] <= 1.0).all() and (pts[:, 1] <= 1.0).all()
+
+    def test_log_density_peaks_at_grid(self):
+        model = GridDeployment(jitter=0.03)
+        grid = model.grid_points(100)
+        on = model.log_density(grid[:1])
+        off = model.log_density(grid[:1] + 0.04)
+        assert on[0] > off[0]
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            GridDeployment(jitter=-0.1)
+
+
+class TestGaussianClusterDeployment:
+    CENTERS = np.array([[0.25, 0.25], [0.75, 0.75]])
+
+    def test_samples_concentrate_near_centers(self):
+        model = GaussianClusterDeployment(self.CENTERS, sigma=0.05)
+        pts = model.sample(400, rng=0)
+        d = np.minimum(
+            np.linalg.norm(pts - self.CENTERS[0], axis=1),
+            np.linalg.norm(pts - self.CENTERS[1], axis=1),
+        )
+        assert np.median(d) < 0.1
+
+    def test_truncated_to_field(self):
+        model = GaussianClusterDeployment(
+            np.array([[0.02, 0.02]]), sigma=0.2
+        )
+        pts = model.sample(300, rng=0)
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_log_density_ordering(self):
+        model = GaussianClusterDeployment(self.CENTERS, sigma=0.05)
+        ld = model.log_density(np.array([[0.25, 0.25], [0.5, 0.5]]))
+        assert ld[0] > ld[1]
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            GaussianClusterDeployment(self.CENTERS, weights=np.array([1.0]))
+        with pytest.raises(ValueError):
+            GaussianClusterDeployment(self.CENTERS, weights=np.array([-1.0, 2.0]))
+
+    def test_empty_centers_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianClusterDeployment(np.zeros((0, 2)))
+
+
+class TestCShapeDeployment:
+    def test_no_samples_in_notch(self):
+        model = CShapeDeployment()
+        pts = model.sample(500, rng=0)
+        assert model.contains(pts).all()
+        # notch interior point must be excluded
+        assert not model.contains(np.array([[0.9, 0.5]]))[0]
+
+    def test_arm_points_inside(self):
+        model = CShapeDeployment()
+        assert model.contains(np.array([[0.9, 0.05], [0.9, 0.95], [0.1, 0.5]])).all()
+
+    def test_log_density(self):
+        model = CShapeDeployment()
+        ld = model.log_density(np.array([[0.1, 0.5], [0.9, 0.5]]))
+        assert ld[0] == 0.0 and ld[1] == -np.inf
+
+    def test_invalid_notch(self):
+        with pytest.raises(ValueError):
+            CShapeDeployment(notch_width=1.5)
+
+
+class TestDeployHelper:
+    def test_deploy(self):
+        pts = deploy(UniformDeployment(), 10, rng=0)
+        assert pts.shape == (10, 2)
+
+    def test_deploy_type_check(self):
+        with pytest.raises(TypeError):
+            deploy("uniform", 10)
+
+    def test_abstract_base(self):
+        with pytest.raises(TypeError):
+            DeploymentModel()  # abstract

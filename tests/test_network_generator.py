@@ -1,0 +1,112 @@
+"""Unit tests for repro.network.generator."""
+
+import numpy as np
+import pytest
+
+from repro.network.deployment import UniformDeployment
+from repro.network.generator import NetworkConfig, generate_network, select_anchors
+from repro.network.radio import UnitDiskRadio
+
+
+class TestNetworkConfig:
+    def test_defaults(self):
+        cfg = NetworkConfig()
+        assert cfg.n_nodes == 100
+        assert cfg.n_anchors == 10
+
+    def test_minimum_three_anchors(self):
+        cfg = NetworkConfig(n_nodes=20, anchor_ratio=0.05)
+        assert cfg.n_anchors == 3
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(n_nodes=2)
+        with pytest.raises(ValueError):
+            NetworkConfig(anchor_ratio=0.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(anchor_placement="corner")
+
+
+class TestSelectAnchors:
+    POS = np.random.default_rng(0).uniform(size=(50, 2))
+
+    def test_random_count(self):
+        mask = select_anchors(self.POS, 7, "random", rng=0)
+        assert mask.sum() == 7
+
+    def test_perimeter_prefers_edges(self):
+        mask = select_anchors(self.POS, 10, "perimeter", rng=0)
+        edge_dist = np.minimum.reduce(
+            [self.POS[:, 0], 1 - self.POS[:, 0], self.POS[:, 1], 1 - self.POS[:, 1]]
+        )
+        assert edge_dist[mask].mean() < edge_dist[~mask].mean()
+
+    def test_spread_is_dispersed(self):
+        mask = select_anchors(self.POS, 8, "spread", rng=0)
+        chosen = self.POS[mask]
+        rand_mask = select_anchors(self.POS, 8, "random", rng=1)
+        from repro.utils.geometry import pairwise_distances
+
+        def min_sep(p):
+            d = pairwise_distances(p)
+            return d[np.triu_indices(len(p), 1)].min()
+
+        assert min_sep(chosen) >= min_sep(self.POS[rand_mask]) - 1e-9
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            select_anchors(self.POS, 0, "random")
+        with pytest.raises(ValueError):
+            select_anchors(self.POS, 50, "random")
+
+    def test_reproducible(self):
+        a = select_anchors(self.POS, 5, "random", rng=9)
+        b = select_anchors(self.POS, 5, "random", rng=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGenerateNetwork:
+    def test_basic_generation(self):
+        cfg = NetworkConfig(n_nodes=60, anchor_ratio=0.1)
+        net = generate_network(cfg, rng=0)
+        assert net.n_nodes == 60
+        assert net.n_anchors == 6
+        assert net.radio_range == pytest.approx(0.2)
+
+    def test_reproducible(self):
+        cfg = NetworkConfig(n_nodes=40)
+        a = generate_network(cfg, rng=3)
+        b = generate_network(cfg, rng=3)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.adjacency, b.adjacency)
+        np.testing.assert_array_equal(a.anchor_mask, b.anchor_mask)
+
+    def test_require_connected(self):
+        cfg = NetworkConfig(
+            n_nodes=80,
+            anchor_ratio=0.1,
+            radio=UnitDiskRadio(0.25),
+            require_connected=True,
+        )
+        net = generate_network(cfg, rng=1)
+        assert net.is_connected()
+
+    def test_require_connected_failure(self):
+        cfg = NetworkConfig(
+            n_nodes=30,
+            anchor_ratio=0.1,
+            radio=UnitDiskRadio(0.01),
+            require_connected=True,
+            max_redraws=3,
+        )
+        with pytest.raises(RuntimeError):
+            generate_network(cfg, rng=0)
+
+    def test_custom_field_dimensions(self):
+        cfg = NetworkConfig(
+            n_nodes=30, deployment=UniformDeployment(width=2.0, height=0.5)
+        )
+        net = generate_network(cfg, rng=0)
+        assert net.width == 2.0 and net.height == 0.5
+        assert (net.positions[:, 0] <= 2.0).all()
+        assert (net.positions[:, 1] <= 0.5).all()

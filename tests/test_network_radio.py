@@ -1,0 +1,126 @@
+"""Unit tests for repro.network.radio."""
+
+import numpy as np
+import pytest
+
+from repro.network.radio import (
+    LogNormalShadowingRadio,
+    QuasiUnitDiskRadio,
+    UnitDiskRadio,
+)
+from repro.utils.geometry import pairwise_distances
+
+
+def _line_positions(n, spacing):
+    return np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+
+
+class TestUnitDiskRadio:
+    def test_connectivity_exact(self):
+        pts = _line_positions(4, 0.1)  # 0, .1, .2, .3
+        adj = UnitDiskRadio(0.15).adjacency(pts, rng=0)
+        expected = np.zeros((4, 4), dtype=bool)
+        for i in range(3):
+            expected[i, i + 1] = expected[i + 1, i] = True
+        np.testing.assert_array_equal(adj, expected)
+
+    def test_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(size=(30, 2))
+        adj = UnitDiskRadio(0.3).adjacency(pts, rng=1)
+        assert np.array_equal(adj, adj.T)
+        assert not adj.diagonal().any()
+
+    def test_p_detect_step(self):
+        radio = UnitDiskRadio(0.2)
+        p = radio.p_detect(np.array([0.1, 0.2, 0.21]))
+        np.testing.assert_array_equal(p, [1.0, 1.0, 0.0])
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            UnitDiskRadio(0.0)
+
+
+class TestQuasiUnitDiskRadio:
+    def test_p_detect_regions(self):
+        radio = QuasiUnitDiskRadio(0.2, alpha=0.5)
+        p = radio.p_detect(np.array([0.05, 0.10, 0.15, 0.20, 0.25]))
+        assert p[0] == 1.0 and p[1] == 1.0
+        assert 0.0 < p[2] < 1.0
+        assert p[3] == pytest.approx(0.0)
+        assert p[4] == 0.0
+
+    def test_alpha_one_is_unit_disk(self):
+        radio = QuasiUnitDiskRadio(0.2, alpha=1.0)
+        d = np.array([0.1, 0.19, 0.21])
+        np.testing.assert_array_equal(
+            radio.p_detect(d), UnitDiskRadio(0.2).p_detect(d)
+        )
+
+    def test_adjacency_symmetric(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(size=(40, 2))
+        adj = QuasiUnitDiskRadio(0.3, alpha=0.5).adjacency(pts, rng=4)
+        assert np.array_equal(adj, adj.T)
+
+    def test_reproducible(self):
+        pts = np.random.default_rng(1).uniform(size=(20, 2))
+        radio = QuasiUnitDiskRadio(0.3, alpha=0.5)
+        np.testing.assert_array_equal(
+            radio.adjacency(pts, rng=7), radio.adjacency(pts, rng=7)
+        )
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            QuasiUnitDiskRadio(0.2, alpha=1.5)
+
+
+class TestLogNormalShadowingRadio:
+    def test_median_range_calibration(self):
+        radio = LogNormalShadowingRadio(0.2, shadowing_db=6.0)
+        p = radio.p_detect(np.array([0.2]))
+        assert p[0] == pytest.approx(0.5, abs=1e-9)
+
+    def test_monotone_decreasing(self):
+        radio = LogNormalShadowingRadio(0.2, shadowing_db=4.0)
+        d = np.linspace(0.02, 0.5, 20)
+        p = radio.p_detect(d)
+        assert (np.diff(p) <= 1e-12).all()
+
+    def test_zero_shadowing_is_disk(self):
+        radio = LogNormalShadowingRadio(0.2, shadowing_db=0.0)
+        p = radio.p_detect(np.array([0.19, 0.21]))
+        np.testing.assert_array_equal(p, [1.0, 0.0])
+
+    def test_adjacency_statistics(self):
+        # Fraction of connected pairs at the median range should be ~0.5.
+        radio = LogNormalShadowingRadio(0.2, shadowing_db=5.0)
+        pts = _line_positions(2, 0.2)
+        hits = 0
+        trials = 400
+        for s in range(trials):
+            hits += radio.adjacency(pts, rng=s)[0, 1]
+        assert abs(hits / trials - 0.5) < 0.08
+
+    def test_powers_consistent_with_adjacency(self):
+        radio = LogNormalShadowingRadio(0.2, shadowing_db=4.0)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(size=(15, 2))
+        d = pairwise_distances(pts)
+        power = radio.sample_power_db(d, rng=1)
+        adj = radio.adjacency_from_powers(power)
+        assert np.array_equal(adj, adj.T)
+        linked = adj[np.triu_indices(15, k=1)]
+        pw = power[np.triu_indices(15, k=1)]
+        assert (pw[linked] >= radio.threshold_db).all()
+        assert (pw[~linked] < radio.threshold_db).all()
+
+    def test_invalid_shadowing(self):
+        with pytest.raises(ValueError):
+            LogNormalShadowingRadio(0.2, shadowing_db=-1.0)
+
+
+class TestAdjacencyFromDistances:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            UnitDiskRadio(0.2).adjacency_from_distances(np.zeros((2, 3)))

@@ -1,0 +1,125 @@
+"""Unit tests for repro.network.topology.WSNetwork."""
+
+import numpy as np
+import pytest
+
+from repro.network.topology import WSNetwork
+
+
+def chain_network(n=5, spacing=0.1, anchors=(0,)):
+    positions = np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+    adj = np.zeros((n, n), dtype=bool)
+    for i in range(n - 1):
+        adj[i, i + 1] = adj[i + 1, i] = True
+    mask = np.zeros(n, dtype=bool)
+    mask[list(anchors)] = True
+    return WSNetwork(
+        positions=positions,
+        anchor_mask=mask,
+        adjacency=adj,
+        radio_range=spacing * 1.5,
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        net = chain_network(5, anchors=(0, 4))
+        assert net.n_nodes == 5
+        assert net.n_anchors == 2
+        np.testing.assert_array_equal(net.anchor_ids, [0, 4])
+        np.testing.assert_array_equal(net.unknown_ids, [1, 2, 3])
+        assert net.anchor_positions.shape == (2, 2)
+
+    def test_rejects_asymmetric_adjacency(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = True
+        with pytest.raises(ValueError):
+            WSNetwork(np.zeros((3, 2)), np.zeros(3, bool), adj)
+
+    def test_rejects_self_loops(self):
+        adj = np.eye(3, dtype=bool)
+        with pytest.raises(ValueError):
+            WSNetwork(np.zeros((3, 2)), np.zeros(3, bool), adj)
+
+    def test_rejects_bad_mask_shape(self):
+        with pytest.raises(ValueError):
+            WSNetwork(np.zeros((3, 2)), np.zeros(4, bool), np.zeros((3, 3), bool))
+
+    def test_rejects_bad_radio_range(self):
+        with pytest.raises(ValueError):
+            WSNetwork(
+                np.zeros((2, 2)),
+                np.zeros(2, bool),
+                np.zeros((2, 2), bool),
+                radio_range=0,
+            )
+
+
+class TestGraphOps:
+    def test_neighbors_and_degree(self):
+        net = chain_network(4)
+        np.testing.assert_array_equal(net.neighbors(0), [1])
+        np.testing.assert_array_equal(net.neighbors(1), [0, 2])
+        np.testing.assert_array_equal(net.degree(), [1, 2, 2, 1])
+        assert net.mean_degree() == pytest.approx(1.5)
+
+    def test_hop_counts_chain(self):
+        net = chain_network(5)
+        hops = net.hop_counts()
+        assert hops[0, 4] == 4
+        assert hops[1, 3] == 2
+        np.testing.assert_array_equal(np.diag(hops), np.zeros(5))
+
+    def test_hop_counts_cached(self):
+        net = chain_network(5)
+        assert net.hop_counts() is net.hop_counts()
+
+    def test_hops_to_anchors(self):
+        net = chain_network(5, anchors=(0, 4))
+        h = net.hops_to_anchors()
+        assert h.shape == (5, 2)
+        assert h[2, 0] == 2 and h[2, 1] == 2
+
+    def test_connectivity(self):
+        net = chain_network(5)
+        assert net.is_connected()
+        adj = net.adjacency.copy()
+        adj[2, 3] = adj[3, 2] = False
+        broken = WSNetwork(net.positions, net.anchor_mask, adj, radio_range=0.15)
+        assert not broken.is_connected()
+        mask = broken.largest_component_mask()
+        assert mask.sum() == 3
+
+    def test_disconnected_hops_inf(self):
+        net = chain_network(4)
+        adj = net.adjacency.copy()
+        adj[1, 2] = adj[2, 1] = False
+        broken = WSNetwork(net.positions, net.anchor_mask, adj, radio_range=0.15)
+        assert np.isinf(broken.hop_counts()[0, 3])
+
+    def test_edges(self):
+        net = chain_network(4)
+        edges = net.edges()
+        assert edges.shape == (3, 2)
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+    def test_localizable_mask(self):
+        net = chain_network(5, anchors=(0,))
+        assert net.localizable_mask().sum() == 4
+        adj = net.adjacency.copy()
+        adj[3, 4] = adj[4, 3] = False
+        broken = WSNetwork(net.positions, net.anchor_mask, adj, radio_range=0.15)
+        mask = broken.localizable_mask()
+        assert not mask[4] and mask[1:4].all()
+
+    def test_subnetwork(self):
+        net = chain_network(5, anchors=(0, 4))
+        sub = net.subnetwork(np.array([True, True, True, False, False]))
+        assert sub.n_nodes == 3
+        assert sub.n_anchors == 1
+        assert sub.adjacency[0, 1] and sub.adjacency[1, 2]
+
+    def test_subnetwork_bad_mask(self):
+        net = chain_network(4)
+        with pytest.raises(ValueError):
+            net.subnetwork(np.array([True, False]))

@@ -1,0 +1,127 @@
+"""Tests for the parallel trial executor and the distributed BP simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.measurement import ConnectivityOnly, GaussianRanging, observe
+from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+from repro.parallel import DistributedBPSimulator, TrialExecutor, run_trials
+from repro.parallel.executor import child_seed_ints
+
+
+def _trial(seed: int) -> float:
+    """Module-level trial function (picklable for the process pool)."""
+    rng = np.random.default_rng(seed)
+    return float(rng.uniform())
+
+
+class TestRunTrials:
+    def test_serial_reproducible(self):
+        a = run_trials(_trial, 10, seed=42)
+        b = run_trials(_trial, 10, seed=42)
+        assert a == b
+
+    def test_results_in_seed_order(self):
+        seeds = child_seed_ints(42, 5)
+        expected = [_trial(s) for s in seeds]
+        assert run_trials(_trial, 5, seed=42) == expected
+
+    def test_trials_independent(self):
+        out = run_trials(_trial, 20, seed=0)
+        assert len(set(out)) == 20
+
+    def test_parallel_matches_serial(self):
+        serial = run_trials(_trial, 8, seed=7, n_workers=1)
+        parallel = run_trials(_trial, 8, seed=7, n_workers=2)
+        assert serial == parallel
+
+    def test_zero_trials(self):
+        assert run_trials(_trial, 0, seed=0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(_trial, -1, seed=0)
+        with pytest.raises(ValueError):
+            run_trials(_trial, 3, seed=0, n_workers=0)
+
+    def test_executor_map(self):
+        ex = TrialExecutor(n_workers=1)
+        assert ex.map(_trial, 4, seed=1) == run_trials(_trial, 4, seed=1)
+
+    def test_executor_map_over_blocks_independent(self):
+        ex = TrialExecutor(n_workers=1)
+        out = ex.map_over(lambda p, s: (p, _trial(s)), ["a", "b"], 3, seed=5)
+        assert len(out) == 2 and len(out[0]) == 3
+        # adding a parameter must not change earlier blocks
+        out2 = ex.map_over(lambda p, s: (p, _trial(s)), ["a", "b", "c"], 3, seed=5)
+        assert out2[:2] == out
+
+    def test_executor_validation(self):
+        with pytest.raises(ValueError):
+            TrialExecutor(n_workers=0)
+
+
+class TestDistributedBPSimulator:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        net = generate_network(
+            NetworkConfig(
+                n_nodes=50,
+                anchor_ratio=0.15,
+                radio=UnitDiskRadio(0.25),
+                require_connected=True,
+            ),
+            rng=1,
+        )
+        ms = observe(net, GaussianRanging(0.02), rng=2)
+        return net, ms
+
+    def test_matches_centralized_solver(self, scenario):
+        net, ms = scenario
+        cfg = GridBPConfig(grid_size=15, max_iterations=8, tol=1e-9)
+        central = GridBPLocalizer(config=cfg).localize(ms)
+        dist, stats = DistributedBPSimulator(config=cfg).run(ms)
+        np.testing.assert_allclose(dist.estimates, central.estimates, atol=1e-6)
+
+    def test_round_stats_accounting(self, scenario):
+        net, ms = scenario
+        cfg = GridBPConfig(grid_size=12, max_iterations=5, tol=1e-12)
+        result, stats = DistributedBPSimulator(config=cfg).run(ms)
+        assert len(stats) == result.n_iterations
+        # every unknown-unknown edge carries 2 messages per round
+        uu_edges = sum(
+            1
+            for i, j in ms.edges()
+            if not ms.anchor_mask[i] and not ms.anchor_mask[j]
+        )
+        for s in stats:
+            assert s.messages == 2 * uu_edges
+            assert s.bytes == s.messages * 12 * 12 * 8
+        assert result.messages_sent >= sum(s.messages for s in stats)
+
+    def test_residuals_recorded_and_finite(self, scenario):
+        # Loopy BP message residuals need not decrease monotonically (and
+        # on loopy graphs may plateau above tol); they must however be
+        # finite, positive, and recorded per round.
+        net, ms = scenario
+        cfg = GridBPConfig(grid_size=12, max_iterations=10, tol=1e-12, damping=0.3)
+        _, stats = DistributedBPSimulator(config=cfg).run(ms)
+        assert all(np.isfinite(s.max_residual) for s in stats)
+        assert all(s.max_residual >= 0 for s in stats)
+        assert [s.round_index for s in stats] == list(range(1, len(stats) + 1))
+
+    def test_range_free_mode(self, scenario):
+        net, _ = scenario
+        ms = observe(net, ConnectivityOnly(), rng=3)
+        cfg = GridBPConfig(grid_size=12, max_iterations=4)
+        central = GridBPLocalizer(config=cfg).localize(ms)
+        dist, _ = DistributedBPSimulator(config=cfg).run(ms)
+        np.testing.assert_allclose(dist.estimates, central.estimates, atol=1e-6)
+
+    def test_localizes_everything(self, scenario):
+        _, ms = scenario
+        result, _ = DistributedBPSimulator(
+            config=GridBPConfig(grid_size=12, max_iterations=4)
+        ).run(ms)
+        assert result.localized_mask.all()

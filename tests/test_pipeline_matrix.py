@@ -1,0 +1,136 @@
+"""End-to-end compatibility matrix.
+
+Every radio model × every ranging model × every applicable localizer must
+run through the full pipeline without errors and produce sane output.
+These tests guard the combinatorial surface that unit tests (one module at
+a time) cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CentroidLocalizer,
+    DVHopLocalizer,
+    MDSMAPLocalizer,
+    MLELocalizer,
+    MultilaterationLocalizer,
+    WeightedCentroidLocalizer,
+)
+from repro.core import CooperativeLocalizer, GridBPConfig, GridBPLocalizer, NBPConfig, NBPLocalizer
+from repro.measurement import (
+    ConnectivityOnly,
+    GaussianRanging,
+    NLOSRanging,
+    PathLossModel,
+    ProportionalGaussianRanging,
+    RSSIRanging,
+    TOARanging,
+    observe,
+)
+from repro.network import (
+    IrregularRadio,
+    LogNormalShadowingRadio,
+    NetworkConfig,
+    QuasiUnitDiskRadio,
+    UnitDiskRadio,
+    generate_network,
+)
+
+RADIOS = {
+    "disk": UnitDiskRadio(0.3),
+    "qudg": QuasiUnitDiskRadio(0.3, alpha=0.7),
+    "lognormal": LogNormalShadowingRadio(0.3, shadowing_db=3.0),
+    "doi": IrregularRadio(0.3, doi=0.2),
+}
+
+RANGINGS = {
+    "gaussian": GaussianRanging(0.02),
+    "proportional": ProportionalGaussianRanging(0.1),
+    "rssi": RSSIRanging(PathLossModel(shadowing_db=3.0)),
+    "toa": TOARanging(sigma_time=0.01, mean_delay=0.005),
+    "nlos": NLOSRanging(GaussianRanging(0.02), 0.2, 0.1),
+    "none": ConnectivityOnly(),
+}
+
+GRID_CFG = GridBPConfig(grid_size=12, max_iterations=5)
+
+
+def _network(radio, seed=0):
+    return generate_network(
+        NetworkConfig(
+            n_nodes=35, anchor_ratio=0.2, radio=radio, require_connected=True
+        ),
+        rng=seed,
+    )
+
+
+@pytest.mark.parametrize("radio_name", sorted(RADIOS))
+@pytest.mark.parametrize("ranging_name", sorted(RANGINGS))
+def test_grid_bp_runs_on_every_combination(radio_name, ranging_name):
+    radio = RADIOS[radio_name]
+    net = _network(radio)
+    ms = observe(net, RANGINGS[ranging_name], rng=1)
+    res = GridBPLocalizer(radio=radio, config=GRID_CFG).localize(ms)
+    assert res.localized_mask.all()
+    err = res.errors(net.positions)
+    assert np.isfinite(err[~net.anchor_mask]).all()
+    # sanity: beats placing everything at the field corner
+    corner = np.linalg.norm(net.positions[~net.anchor_mask], axis=1).mean()
+    assert np.nanmean(err[~net.anchor_mask]) < corner
+
+
+@pytest.mark.parametrize("ranging_name", ["gaussian", "rssi", "toa"])
+def test_nbp_runs_on_ranged_models(ranging_name):
+    net = _network(UnitDiskRadio(0.3), seed=2)
+    ms = observe(net, RANGINGS[ranging_name], rng=3)
+    res = NBPLocalizer(config=NBPConfig(n_particles=60, n_iterations=2)).localize(
+        ms, rng=4
+    )
+    assert res.localized_mask.all()
+
+
+BASELINES_RANGED = [
+    WeightedCentroidLocalizer(),
+    MDSMAPLocalizer(),
+    MultilaterationLocalizer(),
+    MLELocalizer(),
+]
+BASELINES_RANGEFREE = [CentroidLocalizer(), DVHopLocalizer(), MDSMAPLocalizer()]
+
+
+@pytest.mark.parametrize(
+    "localizer", BASELINES_RANGED, ids=lambda l: l.name
+)
+@pytest.mark.parametrize("ranging_name", ["gaussian", "rssi", "toa", "nlos"])
+def test_ranged_baselines_run(localizer, ranging_name):
+    net = _network(UnitDiskRadio(0.3), seed=5)
+    ms = observe(net, RANGINGS[ranging_name], rng=6)
+    res = localizer.localize(ms, rng=7)
+    err = res.errors(net.positions)
+    localized_unknown = res.localized_mask & ~net.anchor_mask
+    if localized_unknown.any():
+        assert np.isfinite(err[localized_unknown]).all()
+
+
+@pytest.mark.parametrize(
+    "localizer", BASELINES_RANGEFREE, ids=lambda l: l.name
+)
+@pytest.mark.parametrize("radio_name", sorted(RADIOS))
+def test_rangefree_baselines_run_on_every_radio(localizer, radio_name):
+    net = _network(RADIOS[radio_name], seed=8)
+    ms = observe(net, ConnectivityOnly(), rng=9)
+    res = localizer.localize(ms, rng=10)
+    assert res.localized_mask[net.anchor_mask].all()
+
+
+def test_pipeline_facade_matrix():
+    net = _network(UnitDiskRadio(0.3), seed=11)
+    for method in ("grid-bp", "nbp"):
+        loc = CooperativeLocalizer(
+            method,
+            grid_config=GRID_CFG,
+            nbp_config=NBPConfig(n_particles=50, n_iterations=2),
+        )
+        res, err = loc.evaluate(net, GaussianRanging(0.02), rng=12)
+        assert np.nanmean(err[~net.anchor_mask]) < 0.3

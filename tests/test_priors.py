@@ -1,0 +1,224 @@
+"""Unit and property tests for repro.priors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import Grid2D
+from repro.network.deployment import CShapeDeployment, GaussianClusterDeployment
+from repro.priors import (
+    DeploymentPrior,
+    GaussianPrior,
+    MixturePrior,
+    PerNodePrior,
+    ProductPrior,
+    RegionPrior,
+    UniformPrior,
+    combine,
+)
+
+GRID = Grid2D(15, 15)
+
+
+class TestUniformPrior:
+    def test_flat_weights(self):
+        w = UniformPrior().grid_weights(0, GRID)
+        np.testing.assert_allclose(w, 1.0 / GRID.n_cells)
+
+    def test_sum_to_one(self):
+        assert UniformPrior().grid_weights(3, GRID).sum() == pytest.approx(1.0)
+
+    def test_outside_field(self):
+        ld = UniformPrior().log_density(0, np.array([[2.0, 0.5]]))
+        assert ld[0] == -np.inf
+
+
+class TestGaussianPrior:
+    def test_peak_at_mean(self):
+        prior = GaussianPrior([0.5, 0.5], 0.1)
+        w = prior.grid_weights(0, GRID)
+        peak = GRID.centers[np.argmax(w)]
+        np.testing.assert_allclose(peak, [0.5, 0.5], atol=GRID.cell_diagonal)
+
+    def test_sigma_controls_spread(self):
+        tight = GaussianPrior([0.5, 0.5], 0.05).grid_weights(0, GRID)
+        wide = GaussianPrior([0.5, 0.5], 0.3).grid_weights(0, GRID)
+        assert tight.max() > wide.max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianPrior([0.5], 0.1)
+        with pytest.raises(ValueError):
+            GaussianPrior([0.5, 0.5], 0.0)
+
+    @given(st.floats(0.1, 0.9), st.floats(0.1, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_expectation_tracks_mean(self, mx, my):
+        prior = GaussianPrior([mx, my], 0.05)
+        w = prior.grid_weights(0, GRID)
+        np.testing.assert_allclose(GRID.expectation(w), [mx, my], atol=0.05)
+
+
+class TestMixturePrior:
+    CENTERS = np.array([[0.2, 0.2], [0.8, 0.8]])
+
+    def test_bimodal(self):
+        prior = MixturePrior(self.CENTERS, 0.05)
+        ld = prior.log_density(0, np.array([[0.2, 0.2], [0.8, 0.8], [0.5, 0.5]]))
+        assert ld[0] > ld[2] and ld[1] > ld[2]
+
+    def test_weights_shift_mass(self):
+        prior = MixturePrior(self.CENTERS, 0.05, weights=[0.9, 0.1])
+        ld = prior.log_density(0, self.CENTERS)
+        assert ld[0] > ld[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixturePrior(np.zeros((0, 2)), 0.1)
+        with pytest.raises(ValueError):
+            MixturePrior(self.CENTERS, 0.1, weights=[1.0])
+
+
+class TestDeploymentPrior:
+    def test_matches_model_density(self):
+        dep = GaussianClusterDeployment(np.array([[0.3, 0.3]]), sigma=0.1)
+        prior = DeploymentPrior(dep)
+        pts = np.array([[0.3, 0.3], [0.9, 0.9]])
+        np.testing.assert_allclose(prior.log_density(5, pts), dep.log_density(pts))
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            DeploymentPrior("uniform")
+
+
+class TestPerNodePrior:
+    INTENDED = np.array([[0.25, 0.25], [0.75, 0.75]])
+
+    def test_node_specific(self):
+        prior = PerNodePrior(self.INTENDED, sigma=0.05)
+        w0 = prior.grid_weights(0, GRID)
+        w1 = prior.grid_weights(1, GRID)
+        np.testing.assert_allclose(
+            GRID.centers[np.argmax(w0)], [0.25, 0.25], atol=GRID.cell_diagonal
+        )
+        np.testing.assert_allclose(
+            GRID.centers[np.argmax(w1)], [0.75, 0.75], atol=GRID.cell_diagonal
+        )
+
+    def test_offset_shifts_prior(self):
+        prior = PerNodePrior(self.INTENDED, sigma=0.05, offset=(0.2, 0.0))
+        w0 = prior.grid_weights(0, GRID)
+        np.testing.assert_allclose(
+            GRID.centers[np.argmax(w0)], [0.45, 0.25], atol=GRID.cell_diagonal
+        )
+
+    def test_mapping_input(self):
+        prior = PerNodePrior({7: (0.5, 0.5)}, sigma=0.1)
+        w = prior.grid_weights(7, GRID)
+        np.testing.assert_allclose(
+            GRID.centers[np.argmax(w)], [0.5, 0.5], atol=GRID.cell_diagonal
+        )
+
+    def test_missing_node_flat(self):
+        prior = PerNodePrior({0: (0.5, 0.5)}, sigma=0.1)
+        w = prior.grid_weights(99, GRID)
+        np.testing.assert_allclose(w, 1.0 / GRID.n_cells)
+
+    def test_missing_node_fallback(self):
+        prior = PerNodePrior(
+            {0: (0.5, 0.5)}, sigma=0.1, fallback=GaussianPrior([0.1, 0.1], 0.05)
+        )
+        w = prior.grid_weights(99, GRID)
+        np.testing.assert_allclose(
+            GRID.centers[np.argmax(w)], [0.1, 0.1], atol=GRID.cell_diagonal
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerNodePrior(np.zeros((3, 3)), sigma=0.1)
+        with pytest.raises(ValueError):
+            PerNodePrior(self.INTENDED, sigma=0.1, offset=(1.0,))
+
+
+class TestRegionPrior:
+    def test_cshape_support(self):
+        shape = CShapeDeployment()
+        prior = RegionPrior(shape.contains)
+        ld = prior.log_density(0, np.array([[0.1, 0.5], [0.9, 0.5]]))
+        assert ld[0] == 0.0 and ld[1] == -np.inf
+
+    def test_grid_weights_area_fraction(self):
+        # Cell weight is the area fraction inside the region: cells fully
+        # in the notch get zero, boundary cells get partial weight, and
+        # interior cells share the rest uniformly.
+        shape = CShapeDeployment()
+        prior = RegionPrior(shape.contains, subsamples=3)
+        w = prior.grid_weights(0, GRID)
+        assert w.sum() == pytest.approx(1.0)
+        # a cell deep inside the notch: all subsamples outside the support
+        deep_notch = GRID.cell_of(np.array([[0.85, 0.5]]))[0]
+        assert w[deep_notch] == 0.0
+        # a cell deep inside the C has full weight
+        interior = GRID.cell_of(np.array([[0.1, 0.5]]))[0]
+        assert w[interior] == w.max()
+        # boundary cells (straddling the notch edge) may carry partial mass
+        assert ((w > 0) & (w < w.max())).any()
+
+    def test_region_prior_subsample_validation(self):
+        with pytest.raises(ValueError):
+            RegionPrior(lambda pts: pts[:, 0] < 0.5, subsamples=0)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            RegionPrior("not callable")
+
+
+class TestComposition:
+    def test_product_adds_log_densities(self):
+        a = GaussianPrior([0.3, 0.3], 0.1)
+        b = GaussianPrior([0.7, 0.7], 0.1)
+        p = ProductPrior([a, b])
+        pts = np.array([[0.5, 0.5]])
+        np.testing.assert_allclose(
+            p.log_density(0, pts), a.log_density(0, pts) + b.log_density(0, pts)
+        )
+
+    def test_product_peak_between(self):
+        p = combine(GaussianPrior([0.3, 0.5], 0.1), GaussianPrior([0.7, 0.5], 0.1))
+        w = p.grid_weights(0, GRID)
+        np.testing.assert_allclose(
+            GRID.centers[np.argmax(w)], [0.5, 0.5], atol=GRID.cell_diagonal
+        )
+
+    def test_combine_single_passthrough(self):
+        a = UniformPrior()
+        assert combine(a) is a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProductPrior([])
+        with pytest.raises(TypeError):
+            ProductPrior([UniformPrior(), "x"])
+
+    def test_empty_support_raises(self):
+        p = combine(
+            RegionPrior(lambda pts: pts[:, 0] < 0.1),
+            RegionPrior(lambda pts: pts[:, 0] > 0.9),
+        )
+        with pytest.raises(ValueError):
+            p.grid_weights(0, GRID)
+
+
+class TestSampling:
+    def test_samples_follow_prior(self):
+        prior = GaussianPrior([0.3, 0.7], 0.05)
+        pts = prior.sample(0, 800, GRID, rng=0)
+        assert pts.shape == (800, 2)
+        np.testing.assert_allclose(pts.mean(axis=0), [0.3, 0.7], atol=0.03)
+
+    def test_reproducible(self):
+        prior = UniformPrior()
+        np.testing.assert_array_equal(
+            prior.sample(0, 50, GRID, rng=4), prior.sample(0, 50, GRID, rng=4)
+        )

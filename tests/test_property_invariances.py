@@ -1,0 +1,174 @@
+"""Property-based invariance tests for the localization stack.
+
+Geometric sanity laws any localizer must obey:
+
+* translating the whole scenario translates the estimates,
+* permuting node identities permutes the estimates,
+* scaling distances scales lateration solutions,
+* MDS is invariant to rigid motions of the input configuration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CentroidLocalizer, DVHopLocalizer, lateration
+from repro.baselines.mds import classical_mds, procrustes_align
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.measurement import GaussianRanging, observe
+from repro.network import NetworkConfig, UnitDiskRadio, WSNetwork, generate_network
+from repro.utils.geometry import pairwise_distances
+
+
+def small_network(seed=0):
+    return generate_network(
+        NetworkConfig(
+            n_nodes=30,
+            anchor_ratio=0.2,
+            radio=UnitDiskRadio(0.35),
+            require_connected=True,
+        ),
+        rng=seed,
+    )
+
+
+class TestTranslationEquivariance:
+    def test_grid_bp_mirror_symmetry(self):
+        # Mirroring the whole scenario about x = 0.5 maps the grid onto
+        # itself (cell centers are symmetric) and preserves all pairwise
+        # distances, so the estimates must mirror exactly.  This is the
+        # rigid-motion equivariance law expressible on a fixed grid.
+        net = small_network(1)
+        mirrored = WSNetwork(
+            positions=np.column_stack(
+                [net.width - net.positions[:, 0], net.positions[:, 1]]
+            ),
+            anchor_mask=net.anchor_mask,
+            adjacency=net.adjacency,
+            width=net.width,
+            height=net.height,
+            radio_range=net.radio_range,
+        )
+        cfg = GridBPConfig(grid_size=12, max_iterations=5)
+        ms_a = observe(net, GaussianRanging(0.02), rng=5)
+        ms_b = observe(mirrored, GaussianRanging(0.02), rng=5)
+        # congruent geometry, same noise stream -> identical observations
+        np.testing.assert_allclose(
+            ms_a.observed_distances[ms_a.adjacency],
+            ms_b.observed_distances[ms_b.adjacency],
+        )
+        res_a = GridBPLocalizer(config=cfg).localize(ms_a)
+        res_b = GridBPLocalizer(config=cfg).localize(ms_b)
+        expected = np.column_stack(
+            [net.width - res_a.estimates[:, 0], res_a.estimates[:, 1]]
+        )
+        np.testing.assert_allclose(res_b.estimates, expected, atol=1e-8)
+
+    def test_lateration_translates(self):
+        rng = np.random.default_rng(0)
+        refs = rng.uniform(size=(5, 2))
+        truth = np.array([0.4, 0.6])
+        d = np.linalg.norm(refs - truth, axis=1)
+        shift = np.array([3.0, -2.0])
+        a = lateration(refs, d)
+        b = lateration(refs + shift, d)
+        np.testing.assert_allclose(b - a, shift, atol=1e-8)
+
+    def test_lateration_scales(self):
+        rng = np.random.default_rng(1)
+        refs = rng.uniform(size=(4, 2))
+        truth = np.array([0.3, 0.3])
+        d = np.linalg.norm(refs - truth, axis=1)
+        a = lateration(refs, d)
+        b = lateration(refs * 2.5, d * 2.5)
+        np.testing.assert_allclose(b, a * 2.5, atol=1e-7)
+
+
+class TestPermutationEquivariance:
+    def test_centroid_permutes(self):
+        net = small_network(3)
+        perm = np.random.default_rng(0).permutation(net.n_nodes)
+        permuted = WSNetwork(
+            positions=net.positions[perm],
+            anchor_mask=net.anchor_mask[perm],
+            adjacency=net.adjacency[np.ix_(perm, perm)],
+            radio_range=net.radio_range,
+        )
+        res_a = CentroidLocalizer().localize(observe(net))
+        res_b = CentroidLocalizer().localize(observe(permuted))
+        np.testing.assert_allclose(
+            res_b.estimates, res_a.estimates[perm], atol=1e-12, equal_nan=True
+        )
+
+    def test_dvhop_permutes_statistically(self):
+        # DV-Hop adopts the hop size of the *nearest* anchor; ties between
+        # equally-near anchors break by identity order (as in the real
+        # protocol, where whichever beacon arrives first wins), so exact
+        # estimates can differ under relabeling.  Coverage and the error
+        # distribution must not.
+        net = small_network(4)
+        perm = np.random.default_rng(1).permutation(net.n_nodes)
+        permuted = WSNetwork(
+            positions=net.positions[perm],
+            anchor_mask=net.anchor_mask[perm],
+            adjacency=net.adjacency[np.ix_(perm, perm)],
+            radio_range=net.radio_range,
+        )
+        res_a = DVHopLocalizer().localize(observe(net))
+        res_b = DVHopLocalizer().localize(observe(permuted))
+        np.testing.assert_array_equal(
+            res_b.localized_mask, res_a.localized_mask[perm]
+        )
+        err_a = res_a.errors(net.positions)
+        err_b = res_b.errors(permuted.positions)
+        assert abs(np.nanmean(err_a) - np.nanmean(err_b)) < 0.02
+
+
+class TestMDSInvariances:
+    @given(st.floats(0, 2 * np.pi, allow_nan=False), st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_mds_recovers_under_rotation(self, angle, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(size=(10, 2))
+        R = np.array(
+            [[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]]
+        )
+        rotated = pts @ R
+        # distances are rotation-invariant, so MDS + Procrustes recovers
+        # the original configuration either way
+        for config in (pts, rotated):
+            rel = classical_mds(pairwise_distances(config))
+            Rp, s, t = procrustes_align(rel, config)
+            np.testing.assert_allclose(s * rel @ Rp + t, config, atol=1e-6)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_mds_embedding_preserves_distances(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(size=(8, 2))
+        D = pairwise_distances(pts)
+        rel = classical_mds(D)
+        np.testing.assert_allclose(pairwise_distances(rel), D, atol=1e-8)
+
+
+class TestSeedContracts:
+    """Determinism laws the whole stack promises."""
+
+    def test_different_measurement_seeds_differ(self):
+        net = small_network(6)
+        a = observe(net, GaussianRanging(0.05), rng=1)
+        b = observe(net, GaussianRanging(0.05), rng=2)
+        assert not np.allclose(
+            a.observed_distances[a.adjacency], b.observed_distances[b.adjacency]
+        )
+
+    def test_grid_bp_is_seed_free(self):
+        # the grid solver is fully deterministic given the measurements:
+        # rng must not influence it at all
+        net = small_network(7)
+        ms = observe(net, GaussianRanging(0.02), rng=3)
+        cfg = GridBPConfig(grid_size=10, max_iterations=4)
+        a = GridBPLocalizer(config=cfg).localize(ms, rng=1)
+        b = GridBPLocalizer(config=cfg).localize(ms, rng=999)
+        np.testing.assert_array_equal(a.estimates, b.estimates)

@@ -1,0 +1,149 @@
+"""Unit and property tests for repro.utils.geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.geometry import (
+    bounding_box,
+    clip_to_box,
+    distance,
+    distances_to,
+    pairwise_distances,
+    points_in_box,
+    polygon_contains,
+)
+
+finite_coords = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+point_sets = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 12), st.just(2)),
+    elements=finite_coords,
+)
+
+
+class TestPairwiseDistances:
+    def test_known_values(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]])
+        d = pairwise_distances(pts)
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[0, 2] == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((3, 3)))
+
+    @given(point_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry_and_zero_diagonal(self, pts):
+        d = pairwise_distances(pts)
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+
+    @given(point_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, pts):
+        d = pairwise_distances(pts)
+        n = len(pts)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-7
+
+    @given(point_sets, finite_coords, finite_coords)
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariance(self, pts, dx, dy):
+        shifted = pts + np.array([dx, dy])
+        np.testing.assert_allclose(
+            pairwise_distances(pts), pairwise_distances(shifted), atol=1e-6
+        )
+
+
+class TestDistancesTo:
+    def test_matches_pairwise(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(size=(10, 2))
+        target = pts[3]
+        d = distances_to(pts, target)
+        full = pairwise_distances(pts)
+        np.testing.assert_allclose(d, full[3], atol=1e-12)
+
+    def test_target_shape_validation(self):
+        with pytest.raises(ValueError):
+            distances_to(np.zeros((3, 2)), np.zeros(3))
+
+
+class TestDistance:
+    def test_pythagorean(self):
+        assert distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            distance([0, 0, 0], [1, 1, 1])
+
+
+class TestBoxes:
+    def test_clip(self):
+        pts = np.array([[-1.0, 0.5], [2.0, 3.0], [0.5, 0.5]])
+        out = clip_to_box(pts, 1.0, 1.0)
+        assert points_in_box(out, 1.0, 1.0).all()
+        np.testing.assert_array_equal(out[2], [0.5, 0.5])
+
+    def test_clip_does_not_mutate(self):
+        pts = np.array([[-1.0, 0.5]])
+        clip_to_box(pts, 1.0, 1.0)
+        assert pts[0, 0] == -1.0
+
+    def test_points_in_box_boundary_inclusive(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [1.0001, 0.5]])
+        mask = points_in_box(pts, 1.0, 1.0)
+        assert mask.tolist() == [True, True, False]
+
+    def test_bounding_box(self):
+        pts = np.array([[0.1, 0.9], [0.5, 0.2], [0.3, 0.4]])
+        assert bounding_box(pts) == pytest.approx((0.1, 0.2, 0.5, 0.9))
+
+    def test_bounding_box_empty(self):
+        with pytest.raises(ValueError):
+            bounding_box(np.zeros((0, 2)))
+
+
+class TestPolygonContains:
+    SQUARE = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+
+    def test_square_interior_exterior(self):
+        pts = np.array([[0.5, 0.5], [1.5, 0.5], [-0.1, 0.5]])
+        mask = polygon_contains(self.SQUARE, pts)
+        assert mask.tolist() == [True, False, False]
+
+    def test_l_shape(self):
+        lshape = np.array(
+            [[0, 0], [2, 0], [2, 1], [1, 1], [1, 2], [0, 2]], dtype=float
+        )
+        pts = np.array([[0.5, 1.5], [1.5, 1.5], [1.5, 0.5]])
+        mask = polygon_contains(lshape, pts)
+        assert mask.tolist() == [True, False, True]
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            polygon_contains(np.array([[0, 0], [1, 1]], dtype=float), np.zeros((1, 2)))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.05, 0.95, allow_nan=False),
+                st.floats(0.05, 0.95, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_unit_square_agrees_with_box(self, coords):
+        pts = np.array(coords)
+        mask = polygon_contains(self.SQUARE, pts)
+        assert mask.all()

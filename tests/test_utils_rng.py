@@ -1,0 +1,81 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, child_seed_ints, spawn_generators, spawn_seeds
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).uniform(size=5)
+        b = as_generator(42).uniform(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).uniform(size=8)
+        b = as_generator(2).uniform(size=8)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss).uniform(size=3)
+        b = as_generator(np.random.SeedSequence(7)).uniform(size=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_generator(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+    def test_numpy_integer_seed(self):
+        a = as_generator(np.int64(5)).uniform(size=3)
+        b = as_generator(5).uniform(size=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_seeds(0, 7)) == 7
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_spawn_zero(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_children_reproducible(self):
+        a = [g.uniform() for g in spawn_generators(123, 5)]
+        b = [g.uniform() for g in spawn_generators(123, 5)]
+        assert a == b
+
+    def test_children_independent(self):
+        draws = [g.uniform(size=4) for g in spawn_generators(9, 3)]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_child_seed_ints_reproducible(self):
+        assert child_seed_ints(55, 6) == child_seed_ints(55, 6)
+
+    def test_child_seed_ints_positive(self):
+        assert all(s >= 0 for s in child_seed_ints(55, 20))
+
+    def test_spawn_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(0), 3)
+        assert len(gens) == 3
+
+    def test_spawn_bad_type(self):
+        with pytest.raises(TypeError):
+            spawn_seeds(1.5, 3)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.utils.tables and repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.tables import format_series, format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positions,
+    check_positive,
+    check_probability,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.5000" in out and "0.1250" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_precision(self):
+        out = format_table(["v"], [[1 / 3]], precision=2)
+        assert "0.33" in out and "0.333" not in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_bool_cell(self):
+        out = format_table(["ok"], [[True]])
+        assert "True" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series(
+            "x", [1, 2, 3], {"m1": [0.1, 0.2, 0.3], "m2": [1.0, 2.0, 3.0]}
+        )
+        assert "m1" in out and "m2" in out
+        assert len(out.splitlines()) == 5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"m": [0.1]})
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(2, "v") == 2.0
+        for bad in (0, -1, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive(bad, "v")
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative(0, "v") == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.1, "v")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        assert check_probability(0, "p") == 0.0
+        assert check_probability(1, "p") == 1.0
+        for bad in (-0.01, 1.01, float("nan")):
+            with pytest.raises(ValueError):
+                check_probability(bad, "p")
+
+    def test_check_in_range(self):
+        assert check_in_range(3, 1, 5, "v") == 3.0
+        with pytest.raises(ValueError):
+            check_in_range(6, 1, 5, "v")
+
+    def test_check_positions(self):
+        pos = check_positions([[0.0, 1.0], [2.0, 3.0]])
+        assert pos.shape == (2, 2)
+        with pytest.raises(ValueError):
+            check_positions(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            check_positions(np.array([[0.0, np.nan]]))

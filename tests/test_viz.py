@@ -1,0 +1,118 @@
+"""Tests for the plain-text visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid2D, GridBPConfig, GridBPLocalizer
+from repro.measurement import GaussianRanging, observe
+from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+from repro.viz import render_belief, render_error_bars, render_network
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    net = generate_network(
+        NetworkConfig(n_nodes=30, anchor_ratio=0.2, radio=UnitDiskRadio(0.3)),
+        rng=1,
+    )
+    ms = observe(net, GaussianRanging(0.02), rng=2)
+    res = GridBPLocalizer(
+        config=GridBPConfig(grid_size=10, max_iterations=4)
+    ).localize(ms)
+    return net, res
+
+
+class TestRenderNetwork:
+    def test_contains_all_markers(self, scenario):
+        net, res = scenario
+        out = render_network(net, res)
+        assert "A" in out
+        assert any(c in out for c in ("o", "x", "8"))
+        assert "legend" not in out  # legend text, not the word
+        assert "anchor" in out
+
+    def test_dimensions(self, scenario):
+        net, _ = scenario
+        out = render_network(net, cols=30, rows=10)
+        lines = out.splitlines()
+        assert lines[0] == "+" + "-" * 30 + "+"
+        assert len(lines) == 10 + 3  # borders + legend
+
+    def test_without_result(self, scenario):
+        net, _ = scenario
+        out = render_network(net)
+        assert "x" not in out.splitlines()[1]  # no estimates plotted
+
+    def test_unlocalized_marker(self, scenario):
+        net, res = scenario
+        res2 = type(res)(
+            estimates=np.where(
+                res.localized_mask[:, None] & ~net.anchor_mask[:, None],
+                np.nan,
+                res.estimates,
+            ),
+            localized_mask=net.anchor_mask.copy(),
+            method="m",
+        )
+        out = render_network(net, res2)
+        assert "?" in out
+
+    def test_canvas_validation(self, scenario):
+        net, _ = scenario
+        with pytest.raises(ValueError):
+            render_network(net, cols=5, rows=2)
+
+
+class TestRenderBelief:
+    GRID = Grid2D(8)
+
+    def test_shape(self):
+        b = np.random.default_rng(0).uniform(size=self.GRID.n_cells)
+        out = render_belief(self.GRID, b)
+        lines = out.splitlines()
+        assert len(lines) == self.GRID.ny + 2
+        assert all(len(line) == self.GRID.nx + 2 for line in lines)
+
+    def test_peak_is_darkest(self):
+        b = np.full(self.GRID.n_cells, 0.001)
+        b[27] = 1.0
+        out = render_belief(self.GRID, b)
+        assert "@" in out
+
+    def test_true_position_marker(self):
+        b = np.ones(self.GRID.n_cells)
+        out = render_belief(self.GRID, b, true_position=np.array([0.5, 0.5]))
+        assert "T" in out
+
+    def test_orientation_top_is_high_y(self):
+        # mass concentrated at high y must appear in the first body row
+        b = np.zeros(self.GRID.n_cells)
+        b[self.GRID.cell_of(np.array([[0.5, 0.95]]))[0]] = 1.0
+        lines = render_belief(self.GRID, b).splitlines()
+        assert "@" in lines[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_belief(self.GRID, np.ones(5))
+        with pytest.raises(ValueError):
+            render_belief(self.GRID, np.zeros(self.GRID.n_cells))
+
+
+class TestRenderErrorBars:
+    def test_basic(self):
+        out = render_error_bars(["bn-pk", "dv-hop"], [0.05, 0.2], unit=" r")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+        assert "0.05 r" in lines[0]
+
+    def test_empty(self):
+        assert render_error_bars([], []) == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_error_bars(["a"], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            render_error_bars(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            render_error_bars(["a"], [float("nan")])
