@@ -3,8 +3,12 @@
 Reconstructed claim: the Bayesian method pays per-round broadcast traffic
 that one-shot schemes avoid, but most of its accuracy arrives in the first
 few rounds, so truncating the schedule buys a favorable cost/accuracy
-trade-off.  Costs here are *measured* by the mailbox simulator, not
-modeled; DV-Hop's flooding cost is included as the classic reference.
+trade-off.  Both the error curve and the message counts are read from one
+traced solver run (:class:`repro.obs.Tracer` — per-round ``messages_cum``
+records), replacing the separate mailbox-simulator pass this benchmark
+used to make; the simulator's equivalence to the centralized solver is
+covered by ``tests/test_parallel.py``.  DV-Hop's flooding cost is included
+as the classic reference.
 """
 
 import numpy as np
@@ -13,7 +17,7 @@ from conftest import report
 from repro.core import GridBPConfig, GridBPLocalizer
 from repro.experiments import ScenarioConfig, build_scenario
 from repro.metrics import error_per_iteration
-from repro.parallel import DistributedBPSimulator
+from repro.obs import Tracer
 from repro.utils.rng import spawn_seeds
 from repro.utils.tables import format_table
 
@@ -32,14 +36,17 @@ def run_experiment():
     for seed in spawn_seeds(70, N_TRIALS):
         net, ms, prior = build_scenario(CFG, seed)
         unknown = ~net.anchor_mask
-        sim = DistributedBPSimulator(prior=prior, config=BP_CFG)
-        result, stats = sim.run(ms)
-        # Message counts come from the mailbox simulator; the per-round
-        # error curve from its centralized twin (same math, traced).
-        central = GridBPLocalizer(prior=prior, config=BP_CFG).localize(ms)
-        curve = error_per_iteration(central, net.positions, unknown)
+        tracer = Tracer()
+        result = GridBPLocalizer(
+            prior=prior, config=BP_CFG, tracer=tracer
+        ).localize(ms)
+        curve = error_per_iteration(result, net.positions, unknown)
         per_round_err.append(curve / net.radio_range)
-        per_round_msgs.append([0] + list(np.cumsum([s.messages for s in stats])))
+        # Round 0 has spent nothing; each later round's cumulative spend
+        # comes straight off the solver's iteration records.
+        per_round_msgs.append(
+            [0] + [rec["messages_cum"] for rec in result.telemetry["iterations"]]
+        )
         # DV-Hop flooding reference: each anchor's beacon and each anchor's
         # hop-size packet are rebroadcast once by every node.
         dvhop_msgs.append(2 * net.n_nodes * net.n_anchors)

@@ -82,6 +82,7 @@ from repro.baselines import (
     MLELocalizer,
 )
 from repro.metrics import summarize_errors, cooperative_crlb, empirical_cdf
+from repro.obs import NullTracer, Tracer, format_trace_table, merge_traces, trace_summary
 
 __version__ = "1.0.0"
 
@@ -136,5 +137,10 @@ __all__ = [
     "summarize_errors",
     "cooperative_crlb",
     "empirical_cdf",
+    "Tracer",
+    "NullTracer",
+    "format_trace_table",
+    "trace_summary",
+    "merge_traces",
     "__version__",
 ]

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.bayesnet.factor import DiscreteFactor
 from repro.bayesnet.graph import FactorGraph
+from repro.obs import NULL_TRACER, NullTracer
 
 __all__ = ["BeliefPropagation", "BPResult"]
 
@@ -65,6 +66,7 @@ class BeliefPropagation:
         tol: float = 1e-6,
         damping: float = 0.0,
         max_product: bool = False,
+        tracer: NullTracer | None = None,
     ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
@@ -77,10 +79,20 @@ class BeliefPropagation:
         self.tol = float(tol)
         self.damping = float(damping)
         self.max_product = bool(max_product)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------ #
     def run(self, evidence: dict | None = None) -> BPResult:
-        """Run BP, optionally conditioning on ``{variable: state}`` evidence."""
+        """Run BP, optionally conditioning on ``{variable: state}`` evidence.
+
+        When a :class:`~repro.obs.Tracer` is attached, each iteration
+        records its message residual and directed-message count; the run
+        itself is timed under ``"bp"``.
+        """
+        with self.tracer.timer("bp"):
+            return self._run_traced(evidence, self.tracer)
+
+    def _run_traced(self, evidence: dict | None, tracer: NullTracer) -> BPResult:
         graph = self.graph
         if evidence:
             factors = [f.reduce(evidence) if set(f.variables) & set(evidence)
@@ -170,6 +182,13 @@ class BeliefPropagation:
             var_to_fac = new_vtf
 
             residuals.append(max_delta)
+            if tracer.enabled:
+                round_msgs = len(fac_to_var) + len(var_to_fac)
+                tracer.iteration(
+                    residual=max_delta,
+                    messages=round_msgs,
+                    messages_cum=n_iter * round_msgs,
+                )
             if max_delta < self.tol:
                 converged = True
                 break
@@ -190,6 +209,12 @@ class BeliefPropagation:
                     b = np.zeros(self.graph.cardinalities[v])
                     b[int(s)] = 1.0
                     beliefs[v] = b
+        if tracer.enabled:
+            tracer.annotate("method", "factor-graph-bp")
+            tracer.annotate("converged", bool(converged))
+            tracer.count("runs")
+            tracer.count("bp_iterations", n_iter)
+            tracer.count("messages", n_iter * (len(fac_to_var) + len(var_to_fac)))
         return BPResult(
             beliefs=beliefs,
             converged=converged,

@@ -7,6 +7,7 @@ Runs complete localization experiments without writing Python::
                           --methods bn-pk,bn,dv-hop
     python -m repro sweep --param anchor_ratio --values 0.05,0.1,0.2 \
                           --methods bn-pk,bn --trials 3
+    python -m repro trace --nodes 60 --method grid-bp --seed 0
     python -m repro demo
 
 Output is the same plain-text tables the benchmark suite produces.
@@ -72,14 +73,17 @@ def _add_scenario_args(p: argparse.ArgumentParser) -> None:
         default=0.0,
         help="AoA bearing noise in radians (0 disables AoA)",
     )
-    p.add_argument("--trials", type=int, default=5, help="Monte-Carlo trials")
     p.add_argument("--seed", type=int, default=0, help="master seed")
+    p.add_argument("--grid-size", type=int, default=20, help="BN grid resolution")
+
+
+def _add_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trials", type=int, default=5, help="Monte-Carlo trials")
     p.add_argument(
         "--methods",
         default="bn-pk,bn,centroid,dv-hop,mds-map",
         help="comma-separated method names (see `info`)",
     )
-    p.add_argument("--grid-size", type=int, default=20, help="BN grid resolution")
 
 
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
@@ -120,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="evaluate methods at one operating point")
     _add_scenario_args(p_run)
+    _add_run_args(p_run)
     p_run.add_argument(
         "--map",
         action="store_true",
@@ -130,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="sweep one scenario parameter")
     _add_scenario_args(p_sweep)
+    _add_run_args(p_sweep)
     p_sweep.add_argument(
         "--param", required=True, choices=sorted(_SWEEPABLE), help="swept field"
     )
@@ -137,6 +143,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--values", required=True, help="comma-separated values for --param"
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one traced solver trial; print its convergence trace",
+    )
+    _add_scenario_args(p_trace)
+    p_trace.add_argument(
+        "--method",
+        choices=["grid-bp", "nbp"],
+        default="grid-bp",
+        help="traced solver (the scenario's pre-knowledge prior is used)",
+    )
+    p_trace.add_argument(
+        "--iterations", type=int, default=15, help="max BP iterations"
+    )
+    p_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw trace JSON instead of the table",
+    )
+    p_trace.add_argument(
+        "--output", default=None, help="also write the trace JSON to this path"
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_demo = sub.add_parser("demo", help="small quick demonstration run")
     p_demo.set_defaults(func=cmd_demo)
@@ -206,6 +236,64 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title=f"mean error / r vs {args.param} "
             f"({args.trials} trials, seed {args.seed})",
         )
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.core import GridBPConfig, GridBPLocalizer, NBPConfig, NBPLocalizer
+    from repro.experiments import build_scenario
+    from repro.obs import Tracer, format_trace_table, trace_summary
+    from repro.utils.rng import spawn_seeds
+
+    cfg = _scenario_from_args(args)
+    trial_seed = spawn_seeds(args.seed, 1)[0]
+    s_build, s_run = trial_seed.spawn(2)
+    network, measurements, prior = build_scenario(cfg, s_build)
+
+    tracer = Tracer()
+    try:
+        if args.method == "grid-bp":
+            loc = GridBPLocalizer(
+                prior=prior,
+                config=GridBPConfig(
+                    grid_size=args.grid_size, max_iterations=args.iterations
+                ),
+                tracer=tracer,
+            )
+        else:
+            loc = NBPLocalizer(
+                prior=prior,
+                config=NBPConfig(n_iterations=min(args.iterations, 10)),
+                tracer=tracer,
+            )
+        result = loc.localize(measurements, np.random.default_rng(s_run))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    trace = result.telemetry
+
+    if args.output:
+        from repro.io import save_trace_json
+
+        try:
+            save_trace_json(trace, args.output)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write {args.output}: {exc}")
+    if args.json:
+        print(json.dumps(trace, sort_keys=True, indent=2))
+        return 0
+    errors = result.errors(network.positions)[~network.anchor_mask]
+    print(format_trace_table(trace))
+    print()
+    print(trace_summary(trace))
+    print(
+        f"\nfinal mean error / r = "
+        f"{float(np.nanmean(errors)) / network.radio_range:.4f} "
+        f"(seed {args.seed}, 1 trial)"
     )
     return 0
 

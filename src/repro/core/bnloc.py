@@ -42,6 +42,7 @@ from repro.core.potentials import (
 from repro.core.result import LocalizationResult, Localizer
 from repro.measurement.measurements import MeasurementSet
 from repro.network.radio import RadioModel, UnitDiskRadio
+from repro.obs import NULL_TRACER, NullTracer
 from repro.priors.base import PositionPrior
 from repro.priors.deployment import UniformPrior
 from repro.utils.rng import RNGLike
@@ -162,6 +163,12 @@ class GridBPLocalizer(Localizer):
         for matched inference.
     config:
         Algorithm settings (see :class:`GridBPConfig`).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  Records per-iteration
+        residuals / message counts, phase timers, and peak factor sizes;
+        the exported dict is attached to the result as ``telemetry``.
+        The default no-op tracer leaves the hot path untouched and the
+        beliefs bit-identical to an untraced run.
     """
 
     name = "grid-bp"
@@ -171,14 +178,26 @@ class GridBPLocalizer(Localizer):
         prior: PositionPrior | None = None,
         radio: RadioModel | None = None,
         config: GridBPConfig | None = None,
+        tracer: NullTracer | None = None,
     ) -> None:
         self.prior = prior
         self.radio = radio
         self.config = config if config is not None else GridBPConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------ #
     def localize(
         self, measurements: MeasurementSet, rng: RNGLike = None
+    ) -> LocalizationResult:
+        tracer = self.tracer
+        with tracer.timer("localize"):
+            result = self._localize_traced(measurements, tracer)
+        if tracer.enabled:
+            result.telemetry = tracer.snapshot()
+        return result
+
+    def _localize_traced(
+        self, measurements: MeasurementSet, tracer: NullTracer
     ) -> LocalizationResult:
         ms = measurements
         cfg = self.config
@@ -191,7 +210,8 @@ class GridBPLocalizer(Localizer):
         K = grid.n_cells
         index = {int(u): ui for ui, u in enumerate(unknowns)}
 
-        log_phi = self._node_potentials(ms, grid, prior, radio, unknowns)
+        with tracer.timer("node_potentials"):
+            log_phi = self._node_potentials(ms, grid, prior, radio, unknowns)
 
         # Edges between unknowns, with their pairwise potentials.  Each
         # edge carries an oriented operator pair (fwd, bwd): the i→j
@@ -200,62 +220,71 @@ class GridBPLocalizer(Localizer):
         edges: list[tuple[int, int]] = []
         ops: list[tuple] = []
         anchor_msgs = 0
-        if ms.has_ranging:
-            cache = RangingPotentialCache(
-                grid,
-                ms.ranging,
-                radio if cfg.use_connectivity_in_ranging else None,
-                blur_sigma=cfg.cell_blur_fraction * grid.cell_diagonal,
-            )
-        conn_psi = None
-        for i, j in ms.edges():
-            i, j = int(i), int(j)
-            if ms.anchor_mask[i] and ms.anchor_mask[j]:
-                continue
-            if ms.anchor_mask[i] or ms.anchor_mask[j]:
-                anchor_msgs += 1  # anchor broadcast consumed by the unknown
-                continue
+        with tracer.timer("edge_potentials"):
             if ms.has_ranging:
-                psi = cache.get(ms.observed_distances[i, j])
-            else:
-                if conn_psi is None:
-                    conn_psi = connectivity_potential(
-                        grid.pairwise_center_distances(), radio
-                    )
-                psi = conn_psi
-            if ms.has_bearings:
-                from scipy import sparse as _sparse
-
-                bpsi = pairwise_bearing_potential(
+                cache = RangingPotentialCache(
                     grid,
-                    ms.observed_bearings[i, j],
-                    ms.observed_bearings[j, i],
-                    ms.bearing_model,
+                    ms.ranging,
+                    radio if cfg.use_connectivity_in_ranging else None,
+                    blur_sigma=cfg.cell_blur_fraction * grid.cell_diagonal,
                 )
-                combined = (
-                    psi.multiply(bpsi)
-                    if _sparse.issparse(psi)
-                    else _sparse.csr_matrix(psi * bpsi)
-                )
-                combined = _sparse.csr_matrix(combined)
-                ops.append((_sparse.csr_matrix(combined.T), combined))
-            else:
-                ops.append((psi, psi))
-            edges.append((index[i], index[j]))
+            conn_psi = None
+            for i, j in ms.edges():
+                i, j = int(i), int(j)
+                if ms.anchor_mask[i] and ms.anchor_mask[j]:
+                    continue
+                if ms.anchor_mask[i] or ms.anchor_mask[j]:
+                    anchor_msgs += 1  # anchor broadcast consumed by the unknown
+                    continue
+                if ms.has_ranging:
+                    psi = cache.get(ms.observed_distances[i, j])
+                else:
+                    if conn_psi is None:
+                        conn_psi = connectivity_potential(
+                            grid.pairwise_center_distances(), radio
+                        )
+                    psi = conn_psi
+                if ms.has_bearings:
+                    from scipy import sparse as _sparse
 
-        beliefs, n_iter, converged, trace_logs = self._run_bp(
-            log_phi, edges, ops, grid, cfg
-        )
+                    bpsi = pairwise_bearing_potential(
+                        grid,
+                        ms.observed_bearings[i, j],
+                        ms.observed_bearings[j, i],
+                        ms.bearing_model,
+                    )
+                    combined = (
+                        psi.multiply(bpsi)
+                        if _sparse.issparse(psi)
+                        else _sparse.csr_matrix(psi * bpsi)
+                    )
+                    combined = _sparse.csr_matrix(combined)
+                    ops.append((_sparse.csr_matrix(combined.T), combined))
+                else:
+                    ops.append((psi, psi))
+                edges.append((index[i], index[j]))
+        if tracer.enabled:
+            from scipy import sparse as _sparse
 
-        estimates, mask = self._result_skeleton(ms)
-        covariances = np.full((n, 2, 2), np.nan)
-        for ui, u in enumerate(unknowns):
-            b = beliefs[ui]
-            estimates[u] = (
-                grid.expectation(b) if cfg.estimator == "mmse" else grid.map_estimate(b)
+            for fwd, _ in ops:
+                nnz = fwd.nnz if _sparse.issparse(fwd) else fwd.size
+                tracer.gauge_max("peak_factor_nnz", int(nnz))
+
+        with tracer.timer("bp"):
+            beliefs, n_iter, converged, trace_logs = self._run_bp(
+                log_phi, edges, ops, grid, cfg, tracer
             )
-            covariances[u] = grid.covariance(b)
-            mask[u] = True
+
+        with tracer.timer("estimate"):
+            estimates, mask = self._result_skeleton(ms)
+            covariances = np.full((n, 2, 2), np.nan)
+            for ui, u in enumerate(unknowns):
+                b = beliefs[ui]
+                estimates[u] = (
+                    grid.expectation(b) if cfg.estimator == "mmse" else grid.map_estimate(b)
+                )
+                covariances[u] = grid.covariance(b)
+                mask[u] = True
 
         trace = []
         if cfg.record_trace:
@@ -273,6 +302,17 @@ class GridBPLocalizer(Localizer):
         # anchor broadcast per anchor-unknown link, plus 2 messages per
         # unknown-unknown edge per BP round, each a K-vector of float64.
         messages = anchor_msgs + 2 * len(edges) * n_iter
+        if tracer.enabled:
+            tracer.annotate("method", self.name)
+            tracer.annotate("schedule", cfg.schedule)
+            tracer.annotate("grid_cells", K)
+            tracer.annotate("n_unknowns", len(unknowns))
+            tracer.annotate("converged", bool(converged))
+            tracer.count("runs")
+            tracer.count("bp_iterations", n_iter)
+            tracer.count("anchor_broadcasts", anchor_msgs)
+            tracer.count("messages", messages)
+            tracer.count("bytes", messages * K * 8)
         return LocalizationResult(
             estimates=estimates,
             localized_mask=mask,
@@ -373,13 +413,17 @@ class GridBPLocalizer(Localizer):
         ops: list[tuple],
         grid: Grid2D,
         cfg: GridBPConfig,
+        tracer: NullTracer = NULL_TRACER,
     ) -> tuple[np.ndarray, int, bool, list[np.ndarray]]:
         """Loopy sum-product over unknown-unknown edges.
 
         *ops[e]* is the oriented operator pair ``(fwd, bwd)`` of edge *e*
         (see :meth:`localize`).  Returns normalized beliefs
         ``(n_unknown, K)``, iteration count, convergence flag, and (if
-        tracing) per-iteration beliefs.
+        ``cfg.record_trace``) per-iteration beliefs.  An enabled *tracer*
+        additionally receives one iteration record per round (message
+        residual, beliefs-changed count, message/byte spend); tracing only
+        reads the state, never alters it.
         """
         n_u, K = log_phi.shape
         # Directed message storage: for each undirected edge e=(i,j), slot
@@ -423,6 +467,9 @@ class GridBPLocalizer(Localizer):
         if not edges:
             return beliefs_from(messages), 0, True, trace
 
+        prev_beliefs = beliefs_from(messages) if tracer.enabled else None
+        round_msgs = 2 * len(edges)
+        msgs_cum = 0
         serial = cfg.schedule == "serial"
         for n_iter in range(1, cfg.max_iterations + 1):
             # "sync" computes the whole round from the previous round's
@@ -466,6 +513,22 @@ class GridBPLocalizer(Localizer):
             messages = new_messages
             if cfg.record_trace:
                 trace.append(beliefs_from(messages))
+            if tracer.enabled:
+                new_beliefs = beliefs_from(messages)
+                changed = int(
+                    np.count_nonzero(
+                        np.abs(new_beliefs - prev_beliefs).max(axis=1) > cfg.tol
+                    )
+                )
+                prev_beliefs = new_beliefs
+                msgs_cum += round_msgs
+                tracer.iteration(
+                    residual=max_delta,
+                    beliefs_changed=changed,
+                    messages=round_msgs,
+                    messages_cum=msgs_cum,
+                    bytes_cum=msgs_cum * K * 8,
+                )
             if max_delta < cfg.tol:
                 converged = True
                 break

@@ -43,6 +43,12 @@ class LocalizationResult:
     messages_sent, bytes_sent:
         Communication accounting under the distributed execution model
         (experiment E7); zero for centralized-only baselines.
+    telemetry:
+        JSON-serializable instrumentation export
+        (:meth:`repro.obs.Tracer.snapshot`) when the solver ran with a
+        tracer attached; ``None`` otherwise.  Per-iteration residuals and
+        message counts in it are deterministic given the seed; only the
+        ``"timers"`` section is wall-clock.
     extras:
         Method-specific payloads (belief vectors, covariances, …).
     """
@@ -55,6 +61,7 @@ class LocalizationResult:
     trace: list[np.ndarray] = field(default_factory=list)
     messages_sent: int = 0
     bytes_sent: int = 0
+    telemetry: dict | None = None
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -26,6 +26,7 @@ from repro.core.nbp import NBPConfig, NBPLocalizer
 from repro.core.result import Localizer
 from repro.experiments.config import ScenarioConfig, build_scenario
 from repro.metrics.error import ErrorSummary, summarize_errors
+from repro.obs import NULL_TRACER, NullTracer
 from repro.priors.base import PositionPrior
 from repro.utils.rng import RNGLike, spawn_seeds
 
@@ -115,18 +116,21 @@ def _run_one_trial(
     config: ScenarioConfig,
     methods: Mapping[str, MethodFactory],
     trial_seed,
+    tracer: NullTracer = NULL_TRACER,
 ) -> dict[str, tuple[ErrorSummary, int, float]]:
     """Evaluate every method on one scenario draw (shared by the serial
     and multiprocess paths)."""
     s_build, s_run = trial_seed.spawn(2)
-    network, measurements, prior = build_scenario(config, s_build)
+    with tracer.timer("build_scenario"):
+        network, measurements, prior = build_scenario(config, s_build)
     unknown = ~network.anchor_mask
     out: dict[str, tuple[ErrorSummary, int, float]] = {}
     for name, factory in methods.items():
         loc = factory(prior)
         t0 = time.perf_counter()
         try:
-            result = loc.localize(measurements, np.random.default_rng(s_run))
+            with tracer.timer(name):
+                result = loc.localize(measurements, np.random.default_rng(s_run))
         except ValueError:
             # Method inapplicable to this observation type (e.g. MLE on
             # range-free data): record nothing, visible as coverage 0.
@@ -142,6 +146,9 @@ def _run_one_trial(
             continue
         elapsed = time.perf_counter() - t0
         errors = result.errors(network.positions)
+        if tracer.enabled:
+            tracer.count(f"trials[{name}]")
+            tracer.count(f"messages[{name}]", result.messages_sent)
         out[name] = (
             summarize_errors(errors, network.radio_range, unknown),
             result.messages_sent,
@@ -168,14 +175,22 @@ def evaluate_methods(
     methods: Mapping[str, MethodFactory],
     n_trials: int,
     seed: RNGLike = 0,
+    tracer: NullTracer | None = None,
 ) -> dict[str, MethodResult]:
-    """Run every method on *n_trials* independent scenario draws."""
+    """Run every method on *n_trials* independent scenario draws.
+
+    An attached :class:`~repro.obs.Tracer` times the whole evaluation
+    (``"evaluate"``) with per-method child timers, and counts trials and
+    messages per method.
+    """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
-    per_trial = [
-        _run_one_trial(config, methods, trial_seed)
-        for trial_seed in spawn_seeds(seed, n_trials)
-    ]
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.timer("evaluate"):
+        per_trial = [
+            _run_one_trial(config, methods, trial_seed, tracer)
+            for trial_seed in spawn_seeds(seed, n_trials)
+        ]
     return _collect(per_trial, methods)
 
 
@@ -195,6 +210,7 @@ def evaluate_methods_parallel(
     grid_size: int = 20,
     max_iterations: int = 15,
     nbp_particles: int = 150,
+    tracer: NullTracer | None = None,
 ) -> dict[str, MethodResult]:
     """Multiprocess variant of :func:`evaluate_methods`.
 
@@ -202,12 +218,17 @@ def evaluate_methods_parallel(
     reconstructable inside worker processes).  Trials carry independent
     spawned integer seeds, so the result is identical for any
     ``n_workers`` (scheduling order cannot matter) and reproducible from
-    the master seed.
+    the master seed.  A *tracer* times the batch from the coordinating
+    process only; workers run untraced (tracers do not cross process
+    boundaries — have the trial function export and return
+    ``Tracer.snapshot()`` dicts and combine them with
+    :func:`repro.obs.merge_traces` for per-worker telemetry).
     """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
+    tracer = tracer if tracer is not None else NULL_TRACER
     std_kwargs = {
         "grid_size": grid_size,
         "max_iterations": max_iterations,
@@ -219,14 +240,18 @@ def evaluate_methods_parallel(
 
     seeds = child_seed_ints(seed, n_trials)
     args = [(config, names, std_kwargs, s) for s in seeds]
-    if n_workers == 1:
-        per_trial = [_parallel_worker(a) for a in args]
-    else:
-        import multiprocessing as mp
+    with tracer.timer("evaluate_parallel"):
+        if n_workers == 1:
+            per_trial = [_parallel_worker(a) for a in args]
+        else:
+            import multiprocessing as mp
 
-        ctx = mp.get_context("spawn")
-        with ctx.Pool(processes=n_workers) as pool:
-            per_trial = pool.map(_parallel_worker, args)
+            ctx = mp.get_context("spawn")
+            with ctx.Pool(processes=n_workers) as pool:
+                per_trial = pool.map(_parallel_worker, args)
+    if tracer.enabled:
+        tracer.count("trials", n_trials)
+        tracer.annotate("n_workers", n_workers)
     return _collect(per_trial, names)
 
 

@@ -9,6 +9,8 @@ from repro.io.serialize import (
     load_network_npz,
     result_to_dict,
     save_result_json,
+    save_trace_json,
+    load_trace_json,
 )
 
 __all__ = [
@@ -20,4 +22,6 @@ __all__ = [
     "load_network_npz",
     "result_to_dict",
     "save_result_json",
+    "save_trace_json",
+    "load_trace_json",
 ]

@@ -29,6 +29,8 @@ __all__ = [
     "load_network_npz",
     "result_to_dict",
     "save_result_json",
+    "save_trace_json",
+    "load_trace_json",
 ]
 
 
@@ -111,8 +113,12 @@ def load_network_npz(path: str | Path) -> WSNetwork:
 
 
 def result_to_dict(result: LocalizationResult) -> dict:
-    """JSON-safe summary of a localization result (no bulky extras)."""
-    return {
+    """JSON-safe summary of a localization result (no bulky extras).
+
+    Includes the instrumentation export under ``"telemetry"`` when the
+    solver ran with a :class:`~repro.obs.Tracer` attached.
+    """
+    out = {
         "method": result.method,
         "estimates": np.where(
             np.isfinite(result.estimates), result.estimates, None
@@ -123,7 +129,32 @@ def result_to_dict(result: LocalizationResult) -> dict:
         "messages_sent": result.messages_sent,
         "bytes_sent": result.bytes_sent,
     }
+    if result.telemetry is not None:
+        out["telemetry"] = result.telemetry
+    return out
 
 
 def save_result_json(result: LocalizationResult, path: str | Path) -> None:
     Path(path).write_text(json.dumps(result_to_dict(result)))
+
+
+def save_trace_json(trace: dict, path: str | Path) -> None:
+    """Write a :meth:`~repro.obs.Tracer.snapshot` dict to *path*.
+
+    Keys are sorted and floats round-trip exactly (``repr``-based JSON),
+    so traces written with the same seed are byte-identical files.
+    """
+    if not isinstance(trace, dict):
+        raise TypeError(
+            "trace must be a Tracer.snapshot() dict "
+            f"(got {type(trace).__name__}; a NullTracer exports None)"
+        )
+    Path(path).write_text(json.dumps(trace, sort_keys=True, indent=2) + "\n")
+
+
+def load_trace_json(path: str | Path) -> dict:
+    """Inverse of :func:`save_trace_json`."""
+    trace = json.loads(Path(path).read_text())
+    if not isinstance(trace, dict):
+        raise ValueError(f"{path} does not contain a trace object")
+    return trace

@@ -15,13 +15,32 @@ here with :mod:`multiprocessing` since no MPI runtime is assumed.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 from typing import Callable, Sequence, TypeVar
 
+from repro.obs import NULL_TRACER, NullTracer
 from repro.utils.rng import RNGLike, child_seed_ints
 
 T = TypeVar("T")
 
 __all__ = ["run_trials", "TrialExecutor"]
+
+
+def _require_picklable(fn: Callable) -> None:
+    """Fail fast, and clearly, before a pool ever sees an unpicklable fn.
+
+    ``multiprocessing`` otherwise surfaces this as a raw traceback from
+    deep inside the pool machinery, long after the workers have spawned.
+    """
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:
+        raise TypeError(
+            f"fn {fn!r} is not picklable, so it cannot be shipped to "
+            "worker processes: with n_workers > 1 the trial function must "
+            "be a module-level callable (not a lambda, closure, or bound "
+            "local); use n_workers=1 for unpicklable functions"
+        ) from exc
 
 
 def run_trials(
@@ -30,13 +49,17 @@ def run_trials(
     seed: RNGLike = None,
     n_workers: int = 1,
     chunksize: int | None = None,
+    tracer: NullTracer | None = None,
 ) -> list[T]:
     """Run ``fn(child_seed)`` for *n_trials* independent seeds.
 
     Parameters
     ----------
     fn:
-        Trial function taking one integer seed.
+        Trial function taking one integer seed.  Must be a picklable
+        module-level callable when ``n_workers > 1`` (checked up front; a
+        lambda or closure raises :class:`TypeError` with guidance instead
+        of a raw :mod:`multiprocessing` traceback).
     n_trials:
         Number of trials.
     seed:
@@ -44,7 +67,13 @@ def run_trials(
     n_workers:
         1 = serial (default); > 1 = process pool of that size.
     chunksize:
-        Pool chunk size; default balances load as ``ceil(n / (4·workers))``.
+        Pool chunk size (must be >= 1 when given); default balances load
+        as ``ceil(n / (4·workers))``.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; times the batch under
+        ``"run_trials"`` and counts trials.  Workers do not share it —
+        aggregate worker-side traces with
+        :func:`repro.obs.merge_traces` instead.
 
     Returns
     -------
@@ -55,16 +84,26 @@ def run_trials(
         raise ValueError("n_trials must be non-negative")
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
+    if chunksize is not None and chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    tracer = tracer if tracer is not None else NULL_TRACER
     seeds = child_seed_ints(seed, n_trials)
     if n_trials == 0:
         return []
-    if n_workers == 1:
-        return [fn(s) for s in seeds]
-    if chunksize is None:
-        chunksize = max(1, (n_trials + 4 * n_workers - 1) // (4 * n_workers))
-    ctx = mp.get_context("spawn")
-    with ctx.Pool(processes=n_workers) as pool:
-        return pool.map(fn, seeds, chunksize=chunksize)
+    with tracer.timer("run_trials"):
+        if n_workers == 1:
+            out = [fn(s) for s in seeds]
+        else:
+            _require_picklable(fn)
+            if chunksize is None:
+                chunksize = max(1, (n_trials + 4 * n_workers - 1) // (4 * n_workers))
+            ctx = mp.get_context("spawn")
+            with ctx.Pool(processes=n_workers) as pool:
+                out = pool.map(fn, seeds, chunksize=chunksize)
+    if tracer.enabled:
+        tracer.count("trials", n_trials)
+        tracer.annotate("n_workers", n_workers)
+    return out
 
 
 class TrialExecutor:
@@ -80,6 +119,8 @@ class TrialExecutor:
     def __init__(self, n_workers: int = 1, chunksize: int | None = None) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.n_workers = int(n_workers)
         self.chunksize = chunksize
 
@@ -119,6 +160,7 @@ class TrialExecutor:
         return out
 
     def _map_param(self, fn, param, n_trials: int, seed: int) -> list:
+        _require_picklable(fn)
         seeds = child_seed_ints(seed, n_trials)
         ctx = mp.get_context("spawn")
         with ctx.Pool(processes=self.n_workers) as pool:

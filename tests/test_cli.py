@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -124,6 +126,85 @@ class TestCommands:
             ]
         )
         assert rc == 0
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.method == "grid-bp"
+        assert args.iterations == 15
+        assert args.json is False
+        assert args.output is None
+
+    def test_trace_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--method", "dv-hop"])
+
+    _TRACE_ARGS = [
+        "trace",
+        "--nodes", "40",
+        "--grid-size", "10",
+        "--iterations", "4",
+        "--seed", "2",
+    ]
+
+    def test_trace_table_output(self, capsys):
+        assert main(self._TRACE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "trace: grid-bp" in out
+        assert "residual" in out and "messages_cum" in out
+        assert "counters:" in out and "timers:" in out
+        assert "final mean error / r" in out
+
+    def test_trace_json_output(self, capsys):
+        assert main(self._TRACE_ARGS + ["--json"]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["meta"]["method"] == "grid-bp"
+        assert len(trace["iterations"]) >= 1
+        assert all(rec["residual"] >= 0 for rec in trace["iterations"])
+
+    def test_trace_json_reproducible_across_invocations(self, capsys):
+        main(self._TRACE_ARGS + ["--json"])
+        first = json.loads(capsys.readouterr().out)
+        main(self._TRACE_ARGS + ["--json"])
+        second = json.loads(capsys.readouterr().out)
+        first.pop("timers"), second.pop("timers")  # wall clock differs
+        assert first == second
+
+    def test_trace_output_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(self._TRACE_ARGS + ["--output", str(path)]) == 0
+        on_disk = json.loads(path.read_text())
+        assert on_disk["meta"]["method"] == "grid-bp"
+        # table still printed alongside the file
+        assert "trace: grid-bp" in capsys.readouterr().out
+
+    def test_trace_nbp(self, capsys):
+        rc = main(
+            [
+                "trace",
+                "--nodes", "30",
+                "--method", "nbp",
+                "--iterations", "2",
+                "--seed", "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace: nbp" in out
+
+    def test_trace_nbp_rejects_rangefree(self):
+        # NBP needs distances; connectivity-only observations must exit
+        # with the CLI's clean error, not a raw traceback
+        with pytest.raises(SystemExit, match="error:"):
+            main(
+                [
+                    "trace",
+                    "--nodes", "30",
+                    "--radio-range", "0.35",
+                    "--method", "nbp",
+                    "--ranging", "none",
+                    "--iterations", "2",
+                ]
+            )
 
     def test_run_with_map(self, capsys):
         rc = main(

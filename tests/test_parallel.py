@@ -6,6 +6,7 @@ import pytest
 from repro.core import GridBPConfig, GridBPLocalizer
 from repro.measurement import ConnectivityOnly, GaussianRanging, observe
 from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+from repro.obs import Tracer, merge_traces
 from repro.parallel import DistributedBPSimulator, TrialExecutor, run_trials
 from repro.parallel.executor import child_seed_ints
 
@@ -14,6 +15,35 @@ def _trial(seed: int) -> float:
     """Module-level trial function (picklable for the process pool)."""
     rng = np.random.default_rng(seed)
     return float(rng.uniform())
+
+
+def _traced_localization_trial(seed: int) -> dict:
+    """Picklable trial: localize a small seeded network under a Tracer.
+
+    Returns only JSON/pickle-friendly data — the estimates and the
+    deterministic part of the trace — so results can cross the process
+    boundary and be compared field-for-field between worker counts.
+    """
+    net = generate_network(
+        NetworkConfig(
+            n_nodes=16,
+            anchor_ratio=0.25,
+            radio=UnitDiskRadio(0.45),
+            require_connected=True,
+        ),
+        rng=seed,
+    )
+    ms = observe(net, GaussianRanging(0.05), rng=seed + 1)
+    tracer = Tracer()
+    result = GridBPLocalizer(
+        config=GridBPConfig(grid_size=8, max_iterations=3, tol=1e-9),
+        tracer=tracer,
+    ).localize(ms)
+    return {
+        "estimates": result.estimates.tolist(),
+        "trace": tracer.snapshot(include_timings=False),
+        "full_trace": tracer.snapshot(),
+    }
 
 
 class TestRunTrials:
@@ -60,6 +90,76 @@ class TestRunTrials:
     def test_executor_validation(self):
         with pytest.raises(ValueError):
             TrialExecutor(n_workers=0)
+
+    def test_chunksize_validation(self):
+        with pytest.raises(ValueError, match="chunksize must be >= 1, got 0"):
+            run_trials(_trial, 3, seed=0, chunksize=0)
+        with pytest.raises(ValueError, match="chunksize must be >= 1, got -2"):
+            run_trials(_trial, 3, seed=0, n_workers=2, chunksize=-2)
+        with pytest.raises(ValueError, match="chunksize must be >= 1"):
+            TrialExecutor(n_workers=2, chunksize=0)
+
+    def test_unpicklable_fn_fails_fast_with_guidance(self):
+        captured = []  # closure over a local → not picklable
+        with pytest.raises(TypeError, match="module-level callable"):
+            run_trials(lambda s: captured.append(s), 4, seed=0, n_workers=2)
+        with pytest.raises(TypeError, match="n_workers=1"):
+            TrialExecutor(n_workers=2)._map_param(
+                lambda p, s: (p, s), "a", 2, seed=0
+            )
+
+    def test_unpicklable_fn_fine_when_serial(self):
+        out = run_trials(lambda s: s, 3, seed=0, n_workers=1)
+        assert out == list(child_seed_ints(0, 3))
+
+    def test_tracer_times_and_counts_batch(self):
+        tracer = Tracer()
+        run_trials(_trial, 6, seed=3, tracer=tracer)
+        trace = tracer.snapshot()
+        assert trace["counters"]["trials"] == 6
+        assert trace["meta"]["n_workers"] == 1
+        assert trace["timers"]["run_trials"]["calls"] == 1
+        assert trace["timers"]["run_trials"]["seconds"] >= 0
+
+
+class TestParallelDeterminism:
+    """run_trials must give identical, trial-ordered results for any
+    worker count, and worker-side traces must aggregate to serial totals."""
+
+    @pytest.mark.slow
+    def test_worker_count_does_not_change_traced_results(self):
+        serial = run_trials(_traced_localization_trial, 4, seed=99, n_workers=1)
+        parallel = run_trials(_traced_localization_trial, 4, seed=99, n_workers=2)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            # exact: grid BP consumes no randomness beyond the trial seed,
+            # and tracing is observation-only even across process boundaries
+            assert s["estimates"] == p["estimates"]
+            assert s["trace"] == p["trace"]
+
+    @pytest.mark.slow
+    def test_worker_traces_merge_to_serial_totals(self):
+        serial = run_trials(_traced_localization_trial, 4, seed=99, n_workers=1)
+        parallel = run_trials(_traced_localization_trial, 4, seed=99, n_workers=2)
+        merged_serial = merge_traces([r["full_trace"] for r in serial])
+        merged_parallel = merge_traces([r["full_trace"] for r in parallel])
+        assert merged_parallel["n_runs"] == 4
+        assert merged_parallel["counters"] == merged_serial["counters"]
+        assert (
+            merged_parallel["n_iterations_total"]
+            == merged_serial["n_iterations_total"]
+        )
+        # timer call counts are deterministic; seconds are wall clock
+        for path, entry in merged_serial["timers"].items():
+            assert merged_parallel["timers"][path]["calls"] == entry["calls"]
+
+    def test_chunksize_does_not_change_results(self):
+        base = run_trials(_trial, 10, seed=11, n_workers=1)
+        for chunksize in (1, 3, 10):
+            assert (
+                run_trials(_trial, 10, seed=11, n_workers=2, chunksize=chunksize)
+                == base
+            )
 
 
 class TestDistributedBPSimulator:
