@@ -81,6 +81,7 @@ from repro.baselines import (
     MultilaterationLocalizer,
     MLELocalizer,
 )
+from repro.faults import FaultPlan, NodeOutage
 from repro.metrics import summarize_errors, cooperative_crlb, empirical_cdf
 from repro.obs import NullTracer, Tracer, format_trace_table, merge_traces, trace_summary
 
@@ -134,6 +135,8 @@ __all__ = [
     "MDSMAPLocalizer",
     "MultilaterationLocalizer",
     "MLELocalizer",
+    "FaultPlan",
+    "NodeOutage",
     "summarize_errors",
     "cooperative_crlb",
     "empirical_cdf",

@@ -41,12 +41,17 @@ class BPResult:
         Iterations actually executed.
     residuals:
         Max message change per iteration (convergence trace).
+    n_repairs:
+        Messages that came out non-finite (degenerate factors, corrupted
+        inputs) and were repaired to uniform so the run could continue;
+        0 on numerically healthy runs.
     """
 
     beliefs: dict
     converged: bool
     n_iterations: int
     residuals: list[float] = field(default_factory=list)
+    n_repairs: int = 0
 
     def belief(self, variable) -> np.ndarray:
         return self.beliefs[variable]
@@ -115,6 +120,16 @@ class BeliefPropagation:
         residuals: list[float] = []
         converged = False
         n_iter = 0
+        n_repairs = 0
+
+        def _repaired(msg: np.ndarray, card: int) -> np.ndarray:
+            """Uniform replacement for a non-finite message (health guard)."""
+            nonlocal n_repairs
+            if np.isfinite(msg).all():
+                return msg
+            n_repairs += 1
+            return np.full(card, 1.0 / card)
+
         for n_iter in range(1, self.max_iterations + 1):
             max_delta = 0.0
 
@@ -141,6 +156,7 @@ class BeliefPropagation:
                         msg = work
                     total = msg.sum()
                     msg = msg / total if total > 0 else np.full(cards[v], 1.0 / cards[v])
+                    msg = _repaired(msg, cards[v])
                     if self.damping > 0:
                         msg = (1 - self.damping) * msg + self.damping * fac_to_var[(fi, v)]
                         msg = msg / msg.sum()
@@ -175,6 +191,7 @@ class BeliefPropagation:
                             if total > 0
                             else np.full(cards[v], 1.0 / cards[v])
                         )
+                        msg = _repaired(msg, cards[v])
                     max_delta = max(
                         max_delta, float(np.abs(msg - var_to_fac[(v, fi)]).max())
                     )
@@ -200,9 +217,8 @@ class BeliefPropagation:
             )
             b = incoming.prod(axis=0)
             total = b.sum()
-            beliefs[v] = (
-                b / total if total > 0 else np.full(cards[v], 1.0 / cards[v])
-            )
+            b = b / total if total > 0 else np.full(cards[v], 1.0 / cards[v])
+            beliefs[v] = _repaired(b, cards[v])
         if evidence:
             for v, s in evidence.items():
                 if v in self.graph.cardinalities:
@@ -215,9 +231,12 @@ class BeliefPropagation:
             tracer.count("runs")
             tracer.count("bp_iterations", n_iter)
             tracer.count("messages", n_iter * (len(fac_to_var) + len(var_to_fac)))
+            if n_repairs:
+                tracer.count("message_repairs", n_repairs)
         return BPResult(
             beliefs=beliefs,
             converged=converged,
             n_iterations=n_iter,
             residuals=residuals,
+            n_repairs=n_repairs,
         )

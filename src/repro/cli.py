@@ -8,6 +8,7 @@ Runs complete localization experiments without writing Python::
     python -m repro sweep --param anchor_ratio --values 0.05,0.1,0.2 \
                           --methods bn-pk,bn --trials 3
     python -m repro trace --nodes 60 --method grid-bp --seed 0
+    python -m repro faults --nodes 60 --loss-rates 0,0.2,0.5
     python -m repro demo
 
 Output is the same plain-text tables the benchmark suite produces.
@@ -168,6 +169,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.set_defaults(func=cmd_trace)
 
+    p_faults = sub.add_parser(
+        "faults",
+        help="robustness sweep: localization error vs message-loss rate",
+    )
+    _add_scenario_args(p_faults)
+    p_faults.add_argument(
+        "--loss-rates",
+        default="0,0.2,0.5,0.8",
+        help="comma-separated message-loss probabilities in [0, 1]",
+    )
+    p_faults.add_argument("--trials", type=int, default=3, help="Monte-Carlo trials")
+    p_faults.add_argument(
+        "--methods",
+        default="bn-pk,centroid,dv-hop",
+        help="bn-pk (distributed BP under message loss) and/or baselines "
+        "(centroid, w-centroid, dv-hop, mds-map — run on the equivalent "
+        "link-loss degradation)",
+    )
+    p_faults.add_argument(
+        "--iterations", type=int, default=12, help="max BP rounds per trial"
+    )
+    p_faults.set_defaults(func=cmd_faults)
+
     p_demo = sub.add_parser("demo", help="small quick demonstration run")
     p_demo.set_defaults(func=cmd_demo)
     return parser
@@ -294,6 +318,44 @@ def cmd_trace(args: argparse.Namespace) -> int:
         f"\nfinal mean error / r = "
         f"{float(np.nanmean(errors)) / network.radio_range:.4f} "
         f"(seed {args.seed}, 1 trial)"
+    )
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.sweep import robustness_table, run_robustness_sweep
+
+    cfg = _scenario_from_args(args)
+    try:
+        rates = [float(v) for v in args.loss_rates.split(",") if v.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"error: bad --loss-rates: {exc}")
+    if not rates:
+        raise SystemExit("error: --loss-rates must contain at least one rate")
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    if not methods:
+        raise SystemExit("error: --methods must name at least one method")
+    try:
+        points = run_robustness_sweep(
+            cfg,
+            rates,
+            methods=methods,
+            n_trials=args.trials,
+            seed=args.seed,
+            grid_size=args.grid_size,
+            max_iterations=args.iterations,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(
+        robustness_table(
+            points,
+            title=(
+                f"median error / r vs message loss — {cfg.n_nodes} nodes, "
+                f"{cfg.anchor_ratio:.0%} anchors, {args.trials} trials "
+                f"(seed {args.seed})"
+            ),
+        )
     )
     return 0
 

@@ -116,6 +116,18 @@ class GridBPConfig:
         per-node expected error.
     record_trace:
         Store the per-iteration estimates (needed by E6, costs memory).
+    health_checks:
+        Graceful-degradation guards (on by default): non-finite messages
+        are repaired to uniform, a numerically broken or diverging run is
+        retried once with damping raised to *restart_damping*, and nodes
+        whose belief stays broken get a baseline fallback estimate
+        (recorded in ``LocalizationResult.fallback_mask``) instead of
+        NaN.  The guards only observe on healthy runs — results are
+        bit-identical with the checks on or off unless something actually
+        breaks.
+    restart_damping:
+        Damping used by the automatic restart (must exceed the normal
+        *damping* to be useful).
     """
 
     grid_size: int = 20
@@ -130,6 +142,8 @@ class GridBPConfig:
     estimator: str = "mmse"
     max_product: bool = False
     record_trace: bool = False
+    health_checks: bool = True
+    restart_damping: float = 0.5
 
     def __post_init__(self) -> None:
         if self.grid_size < 2:
@@ -146,6 +160,8 @@ class GridBPConfig:
             raise ValueError(f"unknown schedule {self.schedule!r}")
         if self.estimator not in ("mmse", "map"):
             raise ValueError(f"unknown estimator {self.estimator!r}")
+        if not (0.0 <= self.restart_damping < 1.0):
+            raise ValueError("restart_damping must lie in [0, 1)")
 
 
 class GridBPLocalizer(Localizer):
@@ -271,20 +287,65 @@ class GridBPLocalizer(Localizer):
                 tracer.gauge_max("peak_factor_nnz", int(nnz))
 
         with tracer.timer("bp"):
-            beliefs, n_iter, converged, trace_logs = self._run_bp(
+            beliefs, n_iter, converged, trace_logs, health = self._run_bp(
                 log_phi, edges, ops, grid, cfg, tracer
             )
 
+        # Graceful degradation: a numerically broken or diverging run gets
+        # one damped restart before we resort to per-node fallbacks.  On
+        # healthy runs (no repairs, finite beliefs, shrinking residuals)
+        # this is observation-only — outputs stay bit-identical.
+        restarted = False
+        if cfg.health_checks and edges:
+            from repro.core.health import healthy_belief_rows, residuals_diverging
+
+            broken = (
+                health["message_repairs"] > 0
+                or not healthy_belief_rows(beliefs).all()
+                or (not converged and residuals_diverging(health["residuals"]))
+            )
+            if broken:
+                import dataclasses as _dc
+
+                restarted = True
+                cfg_restart = _dc.replace(
+                    cfg, damping=max(cfg.damping, cfg.restart_damping)
+                )
+                with tracer.timer("damped_restart"):
+                    beliefs, n_more, converged, trace_logs, health = self._run_bp(
+                        log_phi, edges, ops, grid, cfg_restart, tracer
+                    )
+                n_iter += n_more
+                if tracer.enabled:
+                    tracer.count("damped_restarts")
+
         with tracer.timer("estimate"):
+            from repro.core.health import fallback_position, healthy_belief_rows
+
             estimates, mask = self._result_skeleton(ms)
             covariances = np.full((n, 2, 2), np.nan)
+            fallback = np.zeros(n, dtype=bool)
+            healthy = (
+                healthy_belief_rows(beliefs)
+                if cfg.health_checks
+                else np.ones(len(unknowns), dtype=bool)
+            )
             for ui, u in enumerate(unknowns):
+                if not healthy[ui]:
+                    # Belief beyond repair: baseline fallback estimate and
+                    # an honest uniform belief for downstream consumers.
+                    beliefs[ui] = 1.0 / K
+                    estimates[u] = fallback_position(ms, u, prior, grid)
+                    fallback[u] = True
+                    mask[u] = True
+                    continue
                 b = beliefs[ui]
                 estimates[u] = (
                     grid.expectation(b) if cfg.estimator == "mmse" else grid.map_estimate(b)
                 )
                 covariances[u] = grid.covariance(b)
                 mask[u] = True
+            n_fallback = int(fallback.sum())
 
         trace = []
         if cfg.record_trace:
@@ -313,6 +374,12 @@ class GridBPLocalizer(Localizer):
             tracer.count("anchor_broadcasts", anchor_msgs)
             tracer.count("messages", messages)
             tracer.count("bytes", messages * K * 8)
+            if health["message_repairs"]:
+                tracer.count("message_repairs", health["message_repairs"])
+            if n_fallback:
+                tracer.count("fallback_nodes", n_fallback)
+            if restarted:
+                tracer.annotate("damped_restart", True)
         return LocalizationResult(
             estimates=estimates,
             localized_mask=mask,
@@ -322,6 +389,7 @@ class GridBPLocalizer(Localizer):
             trace=trace,
             messages_sent=messages,
             bytes_sent=messages * K * 8,
+            fallback_mask=fallback,
             extras={
                 "beliefs": {int(u): beliefs[ui] for ui, u in enumerate(unknowns)},
                 "covariances": covariances,
@@ -414,16 +482,19 @@ class GridBPLocalizer(Localizer):
         grid: Grid2D,
         cfg: GridBPConfig,
         tracer: NullTracer = NULL_TRACER,
-    ) -> tuple[np.ndarray, int, bool, list[np.ndarray]]:
+    ) -> tuple[np.ndarray, int, bool, list[np.ndarray], dict]:
         """Loopy sum-product over unknown-unknown edges.
 
         *ops[e]* is the oriented operator pair ``(fwd, bwd)`` of edge *e*
         (see :meth:`localize`).  Returns normalized beliefs
-        ``(n_unknown, K)``, iteration count, convergence flag, and (if
-        ``cfg.record_trace``) per-iteration beliefs.  An enabled *tracer*
-        additionally receives one iteration record per round (message
-        residual, beliefs-changed count, message/byte spend); tracing only
-        reads the state, never alters it.
+        ``(n_unknown, K)``, iteration count, convergence flag, (if
+        ``cfg.record_trace``) per-iteration beliefs, and a health dict
+        with the residual history and the count of non-finite messages
+        repaired to uniform (always 0 on numerically healthy runs — the
+        repair triggers only off a single NaN/Inf float check per round).
+        An enabled *tracer* additionally receives one iteration record per
+        round (message residual, beliefs-changed count, message/byte
+        spend); tracing only reads the state, never alters it.
         """
         n_u, K = log_phi.shape
         # Directed message storage: for each undirected edge e=(i,j), slot
@@ -460,12 +531,13 @@ class GridBPLocalizer(Localizer):
         converged = False
         n_iter = 0
         trace: list[np.ndarray] = []
+        health = {"residuals": [], "message_repairs": 0}
         if cfg.record_trace:
             # Iteration 0: unary-only beliefs (prior + anchor evidence,
             # before any cooperation) — the natural convergence baseline.
             trace.append(beliefs_from(messages))
         if not edges:
-            return beliefs_from(messages), 0, True, trace
+            return beliefs_from(messages), 0, True, trace, health
 
         prev_beliefs = beliefs_from(messages) if tracer.enabled else None
         round_msgs = 2 * len(edges)
@@ -510,6 +582,18 @@ class GridBPLocalizer(Localizer):
                     np.maximum(msg, _MSG_FLOOR, out=msg)
                     new_messages[slot] = msg
             max_delta = float(np.abs(new_messages - old_messages).max())
+            if cfg.health_checks and not np.isfinite(max_delta):
+                # A NaN/Inf somewhere in the round's messages (corrupted
+                # potentials / degenerate inputs): repair the offending
+                # rows to uniform so BP can keep going.  The trigger is a
+                # single float check, so healthy rounds pay nothing.
+                from repro.core.health import repair_nonfinite_messages
+
+                health["message_repairs"] += repair_nonfinite_messages(new_messages)
+                with np.errstate(invalid="ignore"):
+                    deltas = np.abs(new_messages - old_messages)
+                max_delta = float(np.nanmax(np.where(np.isfinite(deltas), deltas, 1.0)))
+            health["residuals"].append(max_delta)
             messages = new_messages
             if cfg.record_trace:
                 trace.append(beliefs_from(messages))
@@ -533,4 +617,4 @@ class GridBPLocalizer(Localizer):
                 converged = True
                 break
 
-        return beliefs_from(messages), n_iter, converged, trace
+        return beliefs_from(messages), n_iter, converged, trace, health

@@ -49,6 +49,13 @@ class LocalizationResult:
         tracer attached; ``None`` otherwise.  Per-iteration residuals and
         message counts in it are deterministic given the seed; only the
         ``"timers"`` section is wall-clock.
+    fallback_mask:
+        Per-node boolean mask of graceful-degradation fallbacks: True
+        where the solver's belief broke down (NaN / zero mass, e.g. under
+        fault injection) and the reported estimate came from a baseline
+        fallback (anchor centroid / prior mean) instead of the posterior.
+        ``None`` when the method has no degradation machinery; all-False
+        on healthy runs.
     extras:
         Method-specific payloads (belief vectors, covariances, …).
     """
@@ -62,6 +69,7 @@ class LocalizationResult:
     messages_sent: int = 0
     bytes_sent: int = 0
     telemetry: dict | None = None
+    fallback_mask: np.ndarray | None = None
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -73,6 +81,10 @@ class LocalizationResult:
             raise ValueError("localized_mask shape mismatch")
         if np.isnan(self.estimates[self.localized_mask]).any():
             raise ValueError("localized nodes must have finite estimates")
+        if self.fallback_mask is not None:
+            self.fallback_mask = np.asarray(self.fallback_mask, dtype=bool)
+            if self.fallback_mask.shape != (len(self.estimates),):
+                raise ValueError("fallback_mask shape mismatch")
 
     @property
     def n_nodes(self) -> int:

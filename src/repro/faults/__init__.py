@@ -1,0 +1,32 @@
+"""Fault injection and graceful degradation.
+
+Real WSN deployments lose messages, crash nodes, and return outlier
+ranges; this package makes those failure modes *first-class, seeded
+experiment inputs* instead of accidents:
+
+* :class:`FaultPlan` / :class:`NodeOutage` — a frozen, fully seeded fault
+  schedule (message drop/corruption/delay, node crash & churn, anchor
+  failure, link loss, measurement-outlier bursts).
+* :class:`MessageFaultInjector` — applies the plan round-by-round inside
+  :class:`~repro.parallel.messaging.DistributedBPSimulator`.
+* :func:`degrade_measurements` — applies the plan once to a
+  :class:`~repro.measurement.measurements.MeasurementSet` for the
+  centralized solvers and baselines.
+* :class:`FaultLog` — the structured record of everything injected.
+
+``FaultPlan.none()`` is the identity: every consumer checks it up front
+and falls back to the exact unfaulted code path, so results stay
+bit-identical to pre-fault behavior (asserted by the golden-trace tests).
+"""
+
+from repro.faults.inject import MessageFaultInjector, degrade_measurements
+from repro.faults.log import FaultLog
+from repro.faults.plan import FaultPlan, NodeOutage
+
+__all__ = [
+    "FaultPlan",
+    "NodeOutage",
+    "FaultLog",
+    "MessageFaultInjector",
+    "degrade_measurements",
+]

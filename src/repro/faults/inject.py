@@ -1,0 +1,273 @@
+"""Fault injectors: per-round message faults and one-shot measurement faults.
+
+Two entry points, one per execution model:
+
+* :class:`MessageFaultInjector` — plugs into the synchronous round loop of
+  :class:`~repro.parallel.messaging.DistributedBPSimulator`: given the
+  round's computed messages (in a deterministic order), it decides which
+  are dropped, corrupted, or delayed, and which senders/receivers are down.
+* :func:`degrade_measurements` — produces a degraded copy of a
+  :class:`~repro.measurement.measurements.MeasurementSet` (dead anchors,
+  lost links, outlier range bursts) for the centralized solvers and
+  baselines, which never see individual messages.
+
+Both are pure functions of the :class:`~repro.faults.plan.FaultPlan` seed
+and the (deterministically ordered) inputs, so the same plan reproduces
+the same faults across runs, solvers, and worker counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.faults.log import FaultLog
+from repro.faults.plan import FaultPlan
+from repro.measurement.measurements import MeasurementSet
+from repro.obs import NULL_TRACER, NullTracer
+
+__all__ = ["MessageFaultInjector", "degrade_measurements"]
+
+
+class MessageFaultInjector:
+    """Applies one :class:`FaultPlan`'s message-level faults round by round.
+
+    Parameters
+    ----------
+    plan:
+        The fault schedule.  An empty plan makes every method a no-op.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; fault events are mirrored
+        into ``faults.*`` counters so they appear in solver telemetry.
+    """
+
+    def __init__(self, plan: FaultPlan, tracer: NullTracer | None = None) -> None:
+        self.plan = plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.log = FaultLog()
+        self._outages: tuple = ()
+        #: messages in flight: (due_round, src, dst, message)
+        self._delayed: list[tuple[int, int, int, np.ndarray]] = []
+
+    # ------------------------------------------------------------------ #
+    def resolve_outages(self, node_ids) -> None:
+        """Fix the crash/churn schedule for this run's node population."""
+        self._outages = self.plan.resolve_outages(node_ids)
+
+    def node_down(self, node: int, round_index: int) -> bool:
+        return any(
+            o.node == node and o.down_at(round_index) for o in self._outages
+        )
+
+    def nodes_down(self, round_index: int) -> set[int]:
+        return {o.node for o in self._outages if o.down_at(round_index)}
+
+    @property
+    def n_in_flight(self) -> int:
+        """Delayed messages queued but not yet delivered (convergence must
+        wait for these to flush)."""
+        return len(self._delayed)
+
+    # ------------------------------------------------------------------ #
+    def process_round(
+        self,
+        round_index: int,
+        messages: list[tuple[int, int, np.ndarray]],
+    ) -> tuple[list[tuple[int, int, np.ndarray]], dict]:
+        """Filter one round's ``(src, dst, message)`` list.
+
+        *messages* must come in a deterministic order (the simulator
+        enumerates agents and their neighbor maps in insertion order,
+        which is fixed by the measurement set).  Returns the delivered
+        list — delayed arrivals from earlier rounds first, then this
+        round's survivors — plus the round's fault-event record.
+        """
+        plan = self.plan
+        gen = plan.round_stream(round_index)
+        down = self.nodes_down(round_index)
+
+        delivered: list[tuple[int, int, np.ndarray]] = []
+        arrived_late = 0
+        still_delayed: list[tuple[int, int, int, np.ndarray]] = []
+        for due, src, dst, msg in self._delayed:
+            if due > round_index:
+                still_delayed.append((due, src, dst, msg))
+            elif dst in down:
+                pass  # receiver is off; the message evaporates
+            else:
+                delivered.append((src, dst, msg))
+                arrived_late += 1
+        self._delayed = still_delayed
+
+        dropped = corrupted = delayed = suppressed = 0
+        for src, dst, msg in messages:
+            if src in down:
+                suppressed += 1
+                continue
+            if dst in down:
+                dropped += 1
+                continue
+            if plan.message_drop_rate > 0 and gen.random() < plan.message_drop_rate:
+                dropped += 1
+                continue
+            if (
+                plan.message_corrupt_rate > 0
+                and gen.random() < plan.message_corrupt_rate
+            ):
+                msg = self._corrupt(msg, gen)
+                corrupted += 1
+            if plan.message_delay_rate > 0 and gen.random() < plan.message_delay_rate:
+                lag = int(gen.integers(1, plan.max_delay_rounds + 1))
+                self._delayed.append((round_index + lag, src, dst, msg))
+                delayed += 1
+                continue
+            delivered.append((src, dst, msg))
+
+        record = self.log.record_round(
+            round_index,
+            messages_dropped=dropped,
+            messages_corrupted=corrupted,
+            messages_delayed=delayed,
+            messages_arrived_late=arrived_late,
+            sender_down=suppressed,
+        )
+        if self.tracer.enabled:
+            for name in (
+                "messages_dropped",
+                "messages_corrupted",
+                "messages_delayed",
+                "sender_down",
+            ):
+                if record.get(name):
+                    self.tracer.count(f"faults.{name}", record[name])
+        return delivered, record
+
+    def _corrupt(self, msg: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+        """Multiplicative log-normal corruption, renormalized — the message
+        stays a valid distribution so the receiver cannot detect it."""
+        noisy = msg * np.exp(gen.normal(0.0, self.plan.corrupt_sigma, size=msg.shape))
+        total = noisy.sum()
+        if not np.isfinite(total) or total <= 0:
+            return np.full_like(msg, 1.0 / len(msg))
+        return noisy / total
+
+
+# ---------------------------------------------------------------------- #
+def degrade_measurements(
+    ms: MeasurementSet,
+    plan: FaultPlan,
+    tracer: NullTracer | None = None,
+    include_crashes: bool = True,
+) -> tuple[MeasurementSet, FaultLog]:
+    """A degraded copy of *ms* under the plan's measurement-level faults.
+
+    Applied in a fixed order — anchor failures, node crashes, link loss,
+    outlier bursts — each drawing from the plan's measurement stream over
+    deterministically sorted ids, so the degradation is reproducible and
+    independent of the consuming solver.
+
+    * **Anchor failure** demotes the anchor to an ordinary unknown node
+      and silences its radio (all links removed) — the network loses both
+      the reference position and the connectivity.
+    * **Node crash** silences an unknown node's radio; the node stays in
+      the problem (its belief degrades to prior-only).
+    * **Link loss** removes surviving links symmetrically.
+    * **Outlier burst** adds a positive bias of
+      ``outlier_bias_ratio × radio_range`` to a fraction of surviving
+      ranged links (both directions — the link itself is bad).
+
+    Returns the new measurement set plus a :class:`FaultLog` of what was
+    injected.  With a plan that has no measurement-level faults the input
+    is returned unchanged (same object).
+
+    ``include_crashes=False`` skips the static node-crash silencing — the
+    distributed simulator passes this because it plays the same outages
+    *dynamically*, round by round, through its message injector.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    log = FaultLog()
+    has_crashes = include_crashes and (
+        plan.node_crash_rate > 0 or bool(plan.node_outages)
+    )
+    if not plan.affects_measurements and not has_crashes:
+        return ms, log
+
+    gen = plan.measurement_stream()
+    anchor_mask = ms.anchor_mask.copy()
+    anchor_positions = ms.anchor_positions_full.copy()
+    adjacency = ms.adjacency.copy()
+    observed = ms.observed_distances.copy()
+    bearings = (
+        ms.observed_bearings.copy() if ms.observed_bearings is not None else None
+    )
+
+    def silence(node: int) -> None:
+        adjacency[node, :] = False
+        adjacency[:, node] = False
+        observed[node, :] = np.nan
+        observed[:, node] = np.nan
+        if bearings is not None:
+            bearings[node, :] = np.nan
+            bearings[:, node] = np.nan
+
+    # Anchor failures: explicit ids plus the seeded rate.
+    failed = set(plan.failed_anchors)
+    for a in sorted(int(a) for a in ms.anchor_ids):
+        if plan.anchor_failure_rate > 0 and gen.random() < plan.anchor_failure_rate:
+            failed.add(a)
+    for a in sorted(failed):
+        if not ms.anchor_mask[a]:
+            raise ValueError(f"failed_anchors contains non-anchor node {a}")
+        anchor_mask[a] = False
+        anchor_positions[a] = np.nan
+        silence(a)
+    log.count("anchors_failed", len(failed))
+
+    # Permanent node crashes (measurement-level view of the churn plan).
+    if has_crashes:
+        crashed = sorted(
+            {o.node for o in plan.resolve_outages(sorted(int(u) for u in ms.unknown_ids))}
+        )
+        for node in crashed:
+            silence(node)
+        log.count("nodes_crashed", len(crashed))
+
+    # Link loss over the surviving edges.
+    if plan.link_loss_rate > 0:
+        lost = 0
+        iu, ju = np.nonzero(np.triu(adjacency, k=1))
+        for i, j in zip(iu.tolist(), ju.tolist()):
+            if gen.random() < plan.link_loss_rate:
+                adjacency[i, j] = adjacency[j, i] = False
+                observed[i, j] = observed[j, i] = np.nan
+                if bearings is not None:
+                    bearings[i, j] = bearings[j, i] = np.nan
+                lost += 1
+        log.count("links_lost", lost)
+
+    # Outlier bursts on surviving ranged links.
+    if plan.outlier_fraction > 0 and ms.has_ranging:
+        bias = plan.outlier_bias_ratio * ms.radio_range
+        hit = 0
+        iu, ju = np.nonzero(np.triu(adjacency, k=1))
+        for i, j in zip(iu.tolist(), ju.tolist()):
+            if gen.random() < plan.outlier_fraction and np.isfinite(observed[i, j]):
+                observed[i, j] += bias
+                observed[j, i] += bias
+                hit += 1
+        log.count("outlier_links", hit)
+
+    if tracer.enabled:
+        for name, n in log.counters.items():
+            tracer.count(f"faults.{name}", n)
+
+    degraded = dataclasses.replace(
+        ms,
+        anchor_mask=anchor_mask,
+        anchor_positions_full=anchor_positions,
+        adjacency=adjacency,
+        observed_distances=observed,
+        observed_bearings=bearings,
+    )
+    return degraded, log

@@ -1,0 +1,65 @@
+"""Structured accounting of every injected fault and degradation decision.
+
+A :class:`FaultLog` is filled by the injectors while an experiment runs
+and exported as one JSON-safe dict, mirroring the style of
+:meth:`repro.obs.Tracer.snapshot` so fault reports can ride along in
+``LocalizationResult.extras`` and saved trace files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FaultLog"]
+
+
+@dataclass
+class FaultLog:
+    """Counters plus per-round event records of one faulted run.
+
+    Attributes
+    ----------
+    counters:
+        ``{event: total}`` — monotone sums over the whole run (messages
+        dropped / corrupted / delayed, nodes down, anchors failed, links
+        lost, outlier links, ...).
+    rounds:
+        One dict per simulator round that saw at least one fault event
+        (all-quiet rounds are omitted to keep reports small).
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    rounds: list[dict] = field(default_factory=list)
+
+    def count(self, name: str, n: int = 1) -> None:
+        if n:
+            self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def record_round(self, round_index: int, **events: int) -> dict:
+        """Accumulate one round's event counts (and keep the record)."""
+        nonzero = {k: int(v) for k, v in events.items() if v}
+        for name, n in nonzero.items():
+            self.count(name, n)
+        record = {"round": int(round_index), **nonzero}
+        if nonzero:
+            self.rounds.append(record)
+        return record
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counters.values())
+
+    def to_dict(self) -> dict:
+        """JSON-serializable export."""
+        return {
+            "counters": dict(self.counters),
+            "rounds": [dict(r) for r in self.rounds],
+            "total_events": self.total_events,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable digest (for CLI output)."""
+        if not self.counters:
+            return "no faults injected"
+        parts = [f"{name}={n}" for name, n in sorted(self.counters.items())]
+        return ", ".join(parts)

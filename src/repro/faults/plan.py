@@ -1,0 +1,230 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` pins down *everything* that goes wrong in one
+robustness experiment: message-level faults applied per BP round by the
+distributed simulator (drops, corruption, delays, node crashes and churn)
+and measurement-level faults applied once to a :class:`MeasurementSet`
+before any solver runs (dead anchors, lost links, outlier range bursts).
+
+Plans are frozen dataclasses, so a sweep can :func:`dataclasses.replace`
+one field at a time, and fully seeded: the same plan and seed produce the
+same fault sequence no matter which solver consumes it, how many worker
+processes run, or in which order messages happen to be enumerated — every
+random draw comes from a ``SeedSequence(plan.seed, spawn_key=...)`` stream
+keyed by fault domain (and round index for message faults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultPlan", "NodeOutage"]
+
+#: spawn-key namespaces for the per-domain fault streams
+_KEY_MESSAGES = 0
+_KEY_MEASUREMENTS = 1
+_KEY_OUTAGES = 2
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One node's downtime window (rounds are 1-based, *end* exclusive).
+
+    ``end_round=None`` is a permanent crash; a finite window models churn
+    (the node rejoins with its stale mailbox, as a rebooted device would).
+    """
+
+    node: int
+    start_round: int = 1
+    end_round: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_round < 1:
+            raise ValueError("start_round must be >= 1")
+        if self.end_round is not None and self.end_round <= self.start_round:
+            raise ValueError("end_round must be > start_round (or None)")
+
+    def down_at(self, round_index: int) -> bool:
+        if round_index < self.start_round:
+            return False
+        return self.end_round is None or round_index < self.end_round
+
+
+def _check_rate(value: float, name: str) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded schedule of injected faults.
+
+    Message-level fields (consumed per-round by
+    :class:`~repro.parallel.messaging.DistributedBPSimulator` through a
+    :class:`~repro.faults.inject.MessageFaultInjector`):
+
+    Attributes
+    ----------
+    seed:
+        Master seed of every fault stream (independent of the scenario and
+        solver seeds, so faults can be varied without reshuffling the
+        network).
+    message_drop_rate:
+        Probability that a belief message is lost in transit; the receiver
+        keeps last round's value (stale mailbox).
+    message_corrupt_rate:
+        Probability that a delivered message is corrupted: entries are
+        multiplied by log-normal noise of scale *corrupt_sigma* and
+        renormalized — still a valid distribution, but wrong.
+    corrupt_sigma:
+        Log-scale of the corruption noise.
+    message_delay_rate:
+        Probability a message is delayed by 1..*max_delay_rounds* rounds
+        instead of arriving this round.
+    max_delay_rounds:
+        Upper bound on the delay drawn for a delayed message.
+    node_outages:
+        Explicit crash/churn windows (:class:`NodeOutage`).
+    node_crash_rate:
+        Additionally, each unknown node crashes permanently with this
+        probability, at a round drawn uniformly from
+        ``[1, crash_horizon]``.
+    crash_horizon:
+        Horizon of the random crash schedule.
+
+    Measurement-level fields (consumed once by
+    :func:`~repro.faults.inject.degrade_measurements` — the path the
+    centralized solvers and baselines share):
+
+    Attributes
+    ----------
+    anchor_failure_rate:
+        Each anchor dies with this probability: demoted to an ordinary
+        unknown node with its radio silenced (all links removed).
+    failed_anchors:
+        Anchors that deterministically die (node ids), on top of the rate.
+    link_loss_rate:
+        Each link is permanently removed with this probability (symmetric).
+    outlier_fraction:
+        Fraction of surviving ranged links hit by an outlier burst: a
+        positive bias of ``outlier_bias_ratio × radio_range`` (an NLOS
+        reflection or a glitching ranging front-end).
+    outlier_bias_ratio:
+        Outlier bias in units of the radio range.
+    """
+
+    seed: int = 0
+    # -- message-level --------------------------------------------------
+    message_drop_rate: float = 0.0
+    message_corrupt_rate: float = 0.0
+    corrupt_sigma: float = 1.0
+    message_delay_rate: float = 0.0
+    max_delay_rounds: int = 2
+    node_outages: tuple[NodeOutage, ...] = field(default_factory=tuple)
+    node_crash_rate: float = 0.0
+    crash_horizon: int = 8
+    # -- measurement-level ----------------------------------------------
+    anchor_failure_rate: float = 0.0
+    failed_anchors: tuple[int, ...] = field(default_factory=tuple)
+    link_loss_rate: float = 0.0
+    outlier_fraction: float = 0.0
+    outlier_bias_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        _check_rate(self.message_drop_rate, "message_drop_rate")
+        _check_rate(self.message_corrupt_rate, "message_corrupt_rate")
+        _check_rate(self.message_delay_rate, "message_delay_rate")
+        _check_rate(self.node_crash_rate, "node_crash_rate")
+        _check_rate(self.anchor_failure_rate, "anchor_failure_rate")
+        _check_rate(self.link_loss_rate, "link_loss_rate")
+        _check_rate(self.outlier_fraction, "outlier_fraction")
+        if self.corrupt_sigma < 0:
+            raise ValueError("corrupt_sigma must be non-negative")
+        if self.max_delay_rounds < 1:
+            raise ValueError("max_delay_rounds must be >= 1")
+        if self.crash_horizon < 1:
+            raise ValueError("crash_horizon must be >= 1")
+        if self.outlier_bias_ratio <= 0:
+            raise ValueError("outlier_bias_ratio must be positive")
+        outages = tuple(self.node_outages)
+        if not all(isinstance(o, NodeOutage) for o in outages):
+            raise TypeError("node_outages must contain NodeOutage entries")
+        object.__setattr__(self, "node_outages", outages)
+        object.__setattr__(self, "failed_anchors", tuple(int(a) for a in self.failed_anchors))
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: injection becomes a guaranteed no-op and every
+        solver output is bit-identical to running without faults at all."""
+        return cls()
+
+    @classmethod
+    def message_loss(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """Pure message-loss plan — the E17 robustness axis."""
+        return cls(seed=seed, message_drop_rate=rate)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def affects_messages(self) -> bool:
+        return (
+            self.message_drop_rate > 0
+            or self.message_corrupt_rate > 0
+            or self.message_delay_rate > 0
+            or bool(self.node_outages)
+            or self.node_crash_rate > 0
+        )
+
+    @property
+    def affects_measurements(self) -> bool:
+        return (
+            self.anchor_failure_rate > 0
+            or bool(self.failed_anchors)
+            or self.link_loss_rate > 0
+            or self.outlier_fraction > 0
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.affects_messages or self.affects_measurements
+
+    # ------------------------------------------------------------------ #
+    def round_stream(self, round_index: int) -> np.random.Generator:
+        """The message-fault stream of one round (independent per round,
+        so replaying round *r* never depends on how round *r−1* drew)."""
+        return np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(_KEY_MESSAGES, round_index))
+        )
+
+    def measurement_stream(self) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(_KEY_MEASUREMENTS,))
+        )
+
+    def outage_stream(self) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(_KEY_OUTAGES,))
+        )
+
+    def resolve_outages(self, node_ids) -> tuple[NodeOutage, ...]:
+        """Explicit outages plus the random crash schedule over *node_ids*.
+
+        Deterministic in the plan seed and the (sorted) node-id list;
+        nodes already covered by an explicit outage draw no random crash.
+        """
+        out = list(self.node_outages)
+        if self.node_crash_rate > 0:
+            explicit = {o.node for o in out}
+            gen = self.outage_stream()
+            for node in sorted(int(n) for n in node_ids):
+                u = float(gen.random())
+                start = int(gen.integers(1, self.crash_horizon + 1))
+                if node in explicit:
+                    continue
+                if u < self.node_crash_rate:
+                    out.append(NodeOutage(node=node, start_round=start))
+        return tuple(out)

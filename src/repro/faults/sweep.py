@@ -1,0 +1,179 @@
+"""Robustness sweep: localization error versus message-loss rate (E17).
+
+One shared driver behind the ``repro faults`` CLI subcommand and the
+``benchmarks/test_e17_fault_tolerance.py`` experiment: for every loss rate
+it rebuilds the same seeded scenarios, runs the Bayesian-network method
+through the *distributed* simulator with a pure message-loss
+:class:`~repro.faults.FaultPlan`, and runs the centralized baselines on
+the equivalent one-shot degradation (every link independently lost with
+the same probability via :func:`~repro.faults.degrade_measurements` —
+a one-shot method has no retransmission, so a lost exchange is a lost
+link).
+
+Everything is seeded: scenario seeds come from the master seed exactly as
+in :func:`repro.parallel.run_trials`, fault seeds from the trial seeds, so
+the sweep is reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bnloc import GridBPConfig
+from repro.experiments.config import ScenarioConfig, build_scenario
+from repro.faults.inject import degrade_measurements
+from repro.faults.plan import FaultPlan
+from repro.utils.rng import child_seed_ints, spawn_seeds
+
+__all__ = ["RobustnessPoint", "run_robustness_sweep", "robustness_table"]
+
+#: baselines every sweep can request (resolved lazily to avoid cycles)
+_BASELINES = ("centroid", "w-centroid", "dv-hop", "mds-map")
+
+
+@dataclass
+class RobustnessPoint:
+    """One (loss rate, method) cell of the sweep."""
+
+    loss_rate: float
+    method: str
+    median_errors: list[float] = field(default_factory=list)
+    coverages: list[float] = field(default_factory=list)
+    fault_events: int = 0
+    fallback_nodes: int = 0
+    converged: int = 0
+
+    @property
+    def median_error(self) -> float:
+        """Median over trials of the per-trial median error / r."""
+        return float(np.median(self.median_errors))
+
+    @property
+    def coverage(self) -> float:
+        return float(np.mean(self.coverages))
+
+
+def _baseline(method: str):
+    from repro.baselines import (
+        CentroidLocalizer,
+        DVHopLocalizer,
+        MDSMAPLocalizer,
+        WeightedCentroidLocalizer,
+    )
+
+    return {
+        "centroid": CentroidLocalizer,
+        "w-centroid": WeightedCentroidLocalizer,
+        "dv-hop": DVHopLocalizer,
+        "mds-map": MDSMAPLocalizer,
+    }[method]()
+
+
+def _trial_error(result, network) -> tuple[float, float]:
+    """(median error / r over localized unknowns, unknown coverage)."""
+    unknown = ~network.anchor_mask
+    errs = result.errors(network.positions)[unknown]
+    localized = np.isfinite(errs)
+    cov = float(localized.mean()) if unknown.any() else 1.0
+    med = (
+        float(np.median(errs[localized])) / network.radio_range
+        if localized.any()
+        else float("nan")
+    )
+    return med, cov
+
+
+def run_robustness_sweep(
+    scenario: ScenarioConfig,
+    loss_rates,
+    methods=("bn-pk", "centroid", "dv-hop"),
+    n_trials: int = 3,
+    seed: int = 0,
+    grid_size: int = 16,
+    max_iterations: int = 12,
+) -> list[RobustnessPoint]:
+    """Error vs message-loss rate for the BN method and chosen baselines.
+
+    ``bn-pk`` runs in the distributed simulator under
+    ``FaultPlan.message_loss(rate)`` (per-round drops, stale mailboxes);
+    every baseline runs on the measurement set degraded with
+    ``link_loss_rate=rate`` — the same Bernoulli loss, applied the only
+    way a one-shot centralized method can experience it.
+    """
+    rates = [float(r) for r in loss_rates]
+    for r in rates:
+        if not (0.0 <= r <= 1.0):
+            raise ValueError(f"loss rates must lie in [0, 1], got {r}")
+    unknown = [m for m in methods if m != "bn-pk" and m not in _BASELINES]
+    if unknown:
+        raise ValueError(
+            f"unknown methods {unknown}; choose from "
+            f"{('bn-pk',) + _BASELINES}"
+        )
+    cfg = GridBPConfig(grid_size=grid_size, max_iterations=max_iterations)
+    trial_seeds = spawn_seeds(seed, n_trials)
+    fault_seeds = child_seed_ints(seed, n_trials)
+
+    points = [RobustnessPoint(rate, m) for rate in rates for m in methods]
+    by_key = {(p.loss_rate, p.method): p for p in points}
+
+    for t, trial_seed in enumerate(trial_seeds):
+        s_build, s_run = trial_seed.spawn(2)
+        network, ms, prior = build_scenario(scenario, s_build)
+        run_seed = int(s_run.generate_state(1)[0])
+        for rate in rates:
+            for method in methods:
+                p = by_key[(rate, method)]
+                if method == "bn-pk":
+                    from repro.parallel.messaging import DistributedBPSimulator
+
+                    plan = (
+                        FaultPlan.message_loss(rate, seed=fault_seeds[t])
+                        if rate > 0
+                        else FaultPlan.none()
+                    )
+                    sim = DistributedBPSimulator(
+                        prior=prior, config=cfg, faults=plan
+                    )
+                    result, _ = sim.run(ms)
+                    flog = result.extras.get("fault_log") or {}
+                    msgs = flog.get("messages") or {}
+                    p.fault_events += int(msgs.get("total_events", 0))
+                    if result.fallback_mask is not None:
+                        p.fallback_nodes += int(result.fallback_mask.sum())
+                else:
+                    plan = FaultPlan(seed=fault_seeds[t], link_loss_rate=rate)
+                    dms, flog = degrade_measurements(ms, plan)
+                    result = _baseline(method).localize(
+                        dms, np.random.default_rng(run_seed)
+                    )
+                    p.fault_events += int(flog.total_events)
+                p.converged += int(result.converged)
+                med, cov = _trial_error(result, network)
+                p.median_errors.append(med)
+                p.coverages.append(cov)
+    return points
+
+
+def robustness_table(points: list[RobustnessPoint], title: str = "") -> str:
+    """Plain-text table of the sweep, one row per (rate, method)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'loss':>6}  {'method':<12} {'median err/r':>12}  "
+        f"{'coverage':>8}  {'faults':>7}  {'fallbacks':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for p in sorted(points, key=lambda q: (q.loss_rate, q.method)):
+        med = p.median_error
+        med_s = f"{med:.3f}" if np.isfinite(med) else "n/a"
+        lines.append(
+            f"{p.loss_rate:>6.2f}  {p.method:<12} {med_s:>12}  "
+            f"{p.coverage:>8.2f}  {p.fault_events:>7d}  {p.fallback_nodes:>9d}"
+        )
+    return "\n".join(lines)

@@ -7,10 +7,33 @@
 * :mod:`repro.parallel.messaging` — a synchronous-round message-passing
   simulator of the *distributed* BP deployment: per-node mailboxes, real
   counted messages/bytes, and bit-identical beliefs to the centralized
-  solver (tested).
+  solver (tested).  Accepts a :class:`~repro.faults.FaultPlan` for
+  robustness experiments.
+
+The executor comes in two flavors: :func:`run_trials` (fail-fast, raises
+:class:`TrialExecutionError` with the failing trial's index and seed) and
+:func:`run_trials_resilient` (retries with backoff on fresh seeds, detects
+crashed/hung workers, and returns partial results plus a structured
+failure report instead of dying).
 """
 
-from repro.parallel.executor import TrialExecutor, run_trials
+from repro.parallel.executor import (
+    TrialBatchResult,
+    TrialExecutionError,
+    TrialExecutor,
+    TrialFailure,
+    run_trials,
+    run_trials_resilient,
+)
 from repro.parallel.messaging import DistributedBPSimulator, RoundStats
 
-__all__ = ["TrialExecutor", "run_trials", "DistributedBPSimulator", "RoundStats"]
+__all__ = [
+    "TrialExecutor",
+    "TrialExecutionError",
+    "TrialFailure",
+    "TrialBatchResult",
+    "run_trials",
+    "run_trials_resilient",
+    "DistributedBPSimulator",
+    "RoundStats",
+]

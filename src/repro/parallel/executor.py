@@ -16,14 +16,46 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import pickle
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
+import numpy as np
+
 from repro.obs import NULL_TRACER, NullTracer
-from repro.utils.rng import RNGLike, child_seed_ints
+from repro.utils.rng import RNGLike, child_seed_ints, spawn_seeds
 
 T = TypeVar("T")
 
-__all__ = ["run_trials", "TrialExecutor"]
+__all__ = [
+    "run_trials",
+    "run_trials_resilient",
+    "TrialExecutor",
+    "TrialExecutionError",
+    "TrialFailure",
+    "TrialBatchResult",
+]
+
+
+class TrialExecutionError(RuntimeError):
+    """A trial raised inside :func:`run_trials`.
+
+    Carries the failing trial's index and child seed so the exact trial
+    can be reproduced in isolation (``fn(trial_seed)``) — chained to the
+    original exception via ``__cause__``.
+    """
+
+    def __init__(self, trial_index: int, trial_seed: int, cause: BaseException) -> None:
+        self.trial_index = int(trial_index)
+        self.trial_seed = int(trial_seed)
+        super().__init__(
+            f"trial {trial_index} (seed {trial_seed}) raised "
+            f"{type(cause).__name__}: {cause}; reproduce with "
+            f"fn({trial_seed}), or use run_trials_resilient for "
+            "partial results instead of an abort"
+        )
 
 
 def _require_picklable(fn: Callable) -> None:
@@ -92,7 +124,12 @@ def run_trials(
         return []
     with tracer.timer("run_trials"):
         if n_workers == 1:
-            out = [fn(s) for s in seeds]
+            out = []
+            for i, s in enumerate(seeds):
+                try:
+                    out.append(fn(s))
+                except Exception as exc:
+                    raise TrialExecutionError(i, s, exc) from exc
         else:
             _require_picklable(fn)
             if chunksize is None:
@@ -104,6 +141,364 @@ def run_trials(
         tracer.count("trials", n_trials)
         tracer.annotate("n_workers", n_workers)
     return out
+
+
+@dataclass
+class TrialFailure:
+    """One trial that exhausted its retry budget.
+
+    Everything needed to reproduce the failure offline: the trial index,
+    the seed of every attempt (the first entry is the original child
+    seed), and the final attempt's error with its traceback text.
+    """
+
+    trial_index: int
+    attempt_seeds: list[int]
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    @property
+    def trial_seed(self) -> int:
+        return self.attempt_seeds[0]
+
+    @property
+    def attempts(self) -> int:
+        return len(self.attempt_seeds)
+
+    def to_dict(self) -> dict:
+        return {
+            "trial_index": self.trial_index,
+            "attempt_seeds": list(self.attempt_seeds),
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+
+@dataclass
+class TrialBatchResult:
+    """Partial results of a resilient trial batch.
+
+    ``results`` is in trial order with ``None`` at failed indices;
+    ``failures`` holds one structured :class:`TrialFailure` per failed
+    trial.  The batch never raises for individual trial failures — check
+    :attr:`ok` (or ``failures``) explicitly.
+    """
+
+    results: list
+    failures: list[TrialFailure] = field(default_factory=list)
+    retries: int = 0
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_ok(self) -> int:
+        return self.n_trials - len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return [f.trial_index for f in self.failures]
+
+    def successes(self) -> list:
+        """Results of the successful trials only, in trial order."""
+        failed = set(self.failed_indices)
+        return [r for i, r in enumerate(self.results) if i not in failed]
+
+    def report(self) -> dict:
+        """JSON-safe failure report for logs and trace files."""
+        return {
+            "n_trials": self.n_trials,
+            "n_ok": self.n_ok,
+            "retries": self.retries,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.n_ok}/{self.n_trials} trials ok"
+        worst = ", ".join(
+            f"#{f.trial_index}: {f.error_type}" for f in self.failures[:4]
+        )
+        more = "" if len(self.failures) <= 4 else f", +{len(self.failures) - 4} more"
+        return (
+            f"{self.n_ok}/{self.n_trials} trials ok "
+            f"({self.retries} retries; failed {worst}{more})"
+        )
+
+
+def _attempt_seed_table(seed: RNGLike, n_trials: int, max_retries: int) -> list[list[int]]:
+    """Per-trial attempt seeds.  Attempt 0 equals the seed ``run_trials``
+    would use (so a failure-free resilient batch reproduces ``run_trials``
+    exactly); retries draw fresh independent child streams."""
+    table: list[list[int]] = []
+    for ss in spawn_seeds(seed, n_trials):
+        first = int(ss.generate_state(1, dtype=np.uint64)[0] & 0x7FFF_FFFF_FFFF_FFFF)
+        retries = [
+            int(c.generate_state(1, dtype=np.uint64)[0] & 0x7FFF_FFFF_FFFF_FFFF)
+            for c in ss.spawn(max_retries)
+        ]
+        table.append([first, *retries])
+    return table
+
+
+def _subprocess_trial(fn: Callable, seed: int, conn) -> None:
+    """Entry point of one spawned trial process: run, ship the outcome
+    back over the pipe, never let an exception escape unreported."""
+    try:
+        result = fn(seed)
+        payload = ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 - full isolation by design
+        payload = ("err", type(exc).__name__, str(exc), traceback.format_exc())
+    try:
+        conn.send(payload)
+    except Exception:
+        # Unpicklable result/exception: report what we can.
+        try:
+            conn.send(("err", "PicklingError",
+                       "trial outcome could not be pickled", ""))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """Bookkeeping of one in-flight or queued trial attempt."""
+
+    trial_index: int
+    attempt: int
+    ready_at: float = 0.0
+    process: object = None
+    conn: object = None
+    deadline: float | None = None
+
+
+def run_trials_resilient(
+    fn: Callable[[int], T],
+    n_trials: int,
+    seed: RNGLike = None,
+    n_workers: int = 1,
+    max_retries: int = 2,
+    backoff_base: float = 0.05,
+    backoff_factor: float = 2.0,
+    timeout: float | None = None,
+    tracer: NullTracer | None = None,
+) -> TrialBatchResult:
+    """Fault-tolerant variant of :func:`run_trials`.
+
+    A raising, crashing (e.g. OOM-killed), or timed-out trial no longer
+    aborts the batch: it is retried up to *max_retries* times on a fresh
+    independent child seed with exponential backoff, and if it still
+    fails the batch completes anyway, returning the successes plus a
+    structured failure report (:class:`TrialBatchResult`).
+
+    Execution model
+    ---------------
+    * ``n_workers == 1`` and ``timeout is None``: trials run in-process
+      (closures allowed), exceptions are caught and retried.
+    * otherwise: every attempt runs in its own spawned process (at most
+      *n_workers* concurrently), so a killed or hung worker is detected —
+      nonzero exit status and wall-clock *timeout* respectively — and
+      only that trial is affected.  *fn* must then be picklable, as in
+      :func:`run_trials`.
+
+    A failure-free batch returns exactly the results ``run_trials`` would
+    have produced: attempt-0 seeds are identical, and retry seeds are
+    fresh spawned streams that cannot collide with them.
+
+    Returns
+    -------
+    TrialBatchResult
+        ``results`` in trial order (``None`` where all attempts failed),
+        plus per-failure diagnostics and the total retry count.
+    """
+    if n_trials < 0:
+        raise ValueError("n_trials must be non-negative")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
+    if backoff_base < 0:
+        raise ValueError("backoff_base must be non-negative")
+    if backoff_factor < 1.0:
+        raise ValueError("backoff_factor must be >= 1")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive (or None)")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if n_trials == 0:
+        return TrialBatchResult(results=[])
+
+    seeds = _attempt_seed_table(seed, n_trials, max_retries)
+    use_processes = n_workers > 1 or timeout is not None
+    if use_processes:
+        _require_picklable(fn)
+
+    with tracer.timer("run_trials_resilient"):
+        if use_processes:
+            batch = _run_resilient_processes(
+                fn, seeds, n_workers, backoff_base, backoff_factor, timeout
+            )
+        else:
+            batch = _run_resilient_serial(fn, seeds, backoff_base, backoff_factor)
+    if tracer.enabled:
+        tracer.count("trials", n_trials)
+        tracer.count("trials_failed", len(batch.failures))
+        tracer.count("trial_retries", batch.retries)
+        tracer.annotate("n_workers", n_workers)
+    return batch
+
+
+def _backoff(base: float, factor: float, attempt: int) -> float:
+    return base * factor**attempt if base > 0 else 0.0
+
+
+def _run_resilient_serial(
+    fn, seeds: list[list[int]], backoff_base: float, backoff_factor: float
+) -> TrialBatchResult:
+    results: list = [None] * len(seeds)
+    failures: list[TrialFailure] = []
+    retries = 0
+    for i, attempt_seeds in enumerate(seeds):
+        last: tuple[str, str, str] | None = None
+        for attempt, s in enumerate(attempt_seeds):
+            if attempt > 0:
+                retries += 1
+                time.sleep(_backoff(backoff_base, backoff_factor, attempt - 1))
+            try:
+                results[i] = fn(s)
+                last = None
+                break
+            except Exception as exc:
+                last = (type(exc).__name__, str(exc), traceback.format_exc())
+        if last is not None:
+            failures.append(
+                TrialFailure(i, list(attempt_seeds), last[0], last[1], last[2])
+            )
+    return TrialBatchResult(results=results, failures=failures, retries=retries)
+
+
+def _run_resilient_processes(
+    fn,
+    seeds: list[list[int]],
+    n_workers: int,
+    backoff_base: float,
+    backoff_factor: float,
+    timeout: float | None,
+) -> TrialBatchResult:
+    """Process-per-attempt execution: crashes and hangs are contained.
+
+    Unlike a shared pool, a killed worker here takes down exactly one
+    attempt (detected by its exit status) and a hung trial is terminated
+    at its deadline — the rest of the batch is untouched.
+    """
+    ctx = mp.get_context("spawn")
+    n = len(seeds)
+    results: list = [None] * n
+    errors: dict[int, tuple[str, str, str]] = {}
+    failed: set[int] = set()
+    retries = 0
+
+    queue: deque[_Attempt] = deque(
+        _Attempt(trial_index=i, attempt=0) for i in range(n)
+    )
+    running: list[_Attempt] = []
+
+    def launch(item: _Attempt) -> None:
+        parent, child = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_subprocess_trial,
+            args=(fn, seeds[item.trial_index][item.attempt], child),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        item.process, item.conn = proc, parent
+        item.deadline = (time.monotonic() + timeout) if timeout else None
+        running.append(item)
+
+    def finish(item: _Attempt, outcome: tuple | None, crashed: str | None) -> None:
+        nonlocal retries
+        i = item.trial_index
+        if outcome is not None and outcome[0] == "ok":
+            results[i] = outcome[1]
+            errors.pop(i, None)
+            return
+        if outcome is not None:
+            errors[i] = (outcome[1], outcome[2], outcome[3])
+        else:
+            errors[i] = (
+                "WorkerCrash" if crashed == "crash" else "TrialTimeout",
+                (
+                    f"worker exited with code {item.process.exitcode}"
+                    if crashed == "crash"
+                    else f"trial exceeded {timeout}s wall-clock timeout"
+                ),
+                "",
+            )
+        if item.attempt + 1 < len(seeds[i]):
+            retries += 1
+            queue.append(
+                _Attempt(
+                    trial_index=i,
+                    attempt=item.attempt + 1,
+                    ready_at=time.monotonic()
+                    + _backoff(backoff_base, backoff_factor, item.attempt),
+                )
+            )
+        else:
+            failed.add(i)
+
+    try:
+        while queue or running:
+            now = time.monotonic()
+            while queue and len(running) < n_workers:
+                # Launch the first queued attempt whose backoff elapsed.
+                ready = next((a for a in queue if a.ready_at <= now), None)
+                if ready is None:
+                    break
+                queue.remove(ready)
+                launch(ready)
+            progressed = False
+            for item in list(running):
+                outcome = None
+                crashed = None
+                if item.conn.poll():
+                    try:
+                        outcome = item.conn.recv()
+                    except EOFError:
+                        crashed = "crash"
+                elif not item.process.is_alive():
+                    crashed = "crash"
+                elif item.deadline is not None and now > item.deadline:
+                    item.process.terminate()
+                    crashed = "timeout"
+                else:
+                    continue
+                progressed = True
+                running.remove(item)
+                item.process.join()
+                item.conn.close()
+                finish(item, outcome, crashed)
+            if not progressed:
+                time.sleep(0.005)
+    finally:
+        for item in running:
+            item.process.terminate()
+            item.process.join()
+            item.conn.close()
+
+    failures = [
+        TrialFailure(i, list(seeds[i]), *errors[i]) for i in sorted(failed)
+    ]
+    return TrialBatchResult(results=results, failures=failures, retries=retries)
 
 
 class TrialExecutor:
@@ -129,6 +524,24 @@ class TrialExecutor:
     ) -> list[T]:
         return run_trials(
             fn, n_trials, seed, n_workers=self.n_workers, chunksize=self.chunksize
+        )
+
+    def map_resilient(
+        self,
+        fn: Callable[[int], T],
+        n_trials: int,
+        seed: RNGLike = None,
+        max_retries: int = 2,
+        timeout: float | None = None,
+    ) -> TrialBatchResult:
+        """Fault-tolerant :meth:`map`: see :func:`run_trials_resilient`."""
+        return run_trials_resilient(
+            fn,
+            n_trials,
+            seed,
+            n_workers=self.n_workers,
+            max_retries=max_retries,
+            timeout=timeout,
         )
 
     def map_over(

@@ -12,6 +12,14 @@ This makes the communication cost *measured rather than modeled*
 (:class:`RoundStats` counts actual deliveries and payload bytes per round)
 and demonstrates that the algorithm is genuinely distributable: the test
 suite asserts the final beliefs match the centralized solver.
+
+The simulator is also the natural place to break things: pass a
+:class:`~repro.faults.FaultPlan` and every round's messages flow through a
+:class:`~repro.faults.MessageFaultInjector` — drops, corruption, delays,
+node crashes and churn — while :class:`RoundStats` picks up the per-round
+fault counts and the result carries the full fault log.  With no plan (or
+``FaultPlan.none()``) the round loop is byte-for-byte the fault-free path,
+so all bit-identity guarantees against the centralized solver still hold.
 """
 
 from __future__ import annotations
@@ -22,10 +30,13 @@ import numpy as np
 
 from repro.core.bnloc import _MSG_FLOOR, GridBPConfig, GridBPLocalizer
 from repro.core.grid import Grid2D
+from repro.core.health import fallback_position
 from repro.core.potentials import RangingPotentialCache, connectivity_potential
 from repro.core.result import LocalizationResult
+from repro.faults import FaultPlan, MessageFaultInjector, degrade_measurements
 from repro.measurement.measurements import MeasurementSet
 from repro.network.radio import RadioModel, UnitDiskRadio
+from repro.obs import NULL_TRACER, NullTracer
 from repro.priors.base import PositionPrior
 from repro.priors.deployment import UniformPrior
 
@@ -34,12 +45,21 @@ __all__ = ["DistributedBPSimulator", "RoundStats", "SensorNodeAgent"]
 
 @dataclass
 class RoundStats:
-    """Per-round communication and convergence accounting."""
+    """Per-round communication and convergence accounting.
+
+    The fault columns are zero on fault-free runs: ``dropped`` counts
+    messages lost in transit (including those addressed to a crashed
+    node), ``corrupted`` messages delivered with corrupted content, and
+    ``delayed`` messages queued for a later round.
+    """
 
     round_index: int
     messages: int
     bytes: int
     max_residual: float
+    dropped: int = 0
+    corrupted: int = 0
+    delayed: int = 0
 
 
 class SensorNodeAgent:
@@ -111,14 +131,64 @@ class DistributedBPSimulator:
         prior: PositionPrior | None = None,
         radio: RadioModel | None = None,
         config: GridBPConfig | None = None,
+        faults: FaultPlan | None = None,
+        tracer: NullTracer | None = None,
     ) -> None:
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan or None, got {type(faults).__name__}"
+            )
         self.prior = prior
         self.radio = radio
         self.config = config if config is not None else GridBPConfig()
+        self.faults = faults
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    @staticmethod
+    def _validate(ms: MeasurementSet) -> None:
+        """Reject malformed networks with actionable messages (the config
+        side is validated by :class:`GridBPConfig` itself)."""
+        if not isinstance(ms, MeasurementSet):
+            raise TypeError(
+                f"run() expects a MeasurementSet, got {type(ms).__name__}"
+            )
+        if ms.n_nodes == 0:
+            raise ValueError("empty network: the measurement set has no nodes")
+        adj = np.asarray(ms.adjacency)
+        if adj.shape != (ms.n_nodes, ms.n_nodes):
+            raise ValueError(
+                f"adjacency must be ({ms.n_nodes}, {ms.n_nodes}) to match the "
+                f"node count, got {adj.shape}"
+            )
+        if not np.array_equal(adj, adj.T):
+            bad = np.argwhere(adj != adj.T)
+            i, j = (int(v) for v in bad[0])
+            raise ValueError(
+                "adjacency must be symmetric (radio links are bidirectional); "
+                f"first asymmetric pair: ({i}, {j})"
+            )
+        if len(ms.unknown_ids) == 0:
+            raise ValueError(
+                "network has no unknown nodes to localize (every node is an "
+                "anchor)"
+            )
 
     def run(self, measurements: MeasurementSet) -> tuple[LocalizationResult, list[RoundStats]]:
+        self._validate(measurements)
         ms = measurements
         cfg = self.config
+        tracer = self.tracer
+        plan = self.faults if self.faults is not None and self.faults.enabled else None
+
+        # Measurement-level faults first (dead anchors, lost links, outlier
+        # bursts) — crashes are excluded here because this simulator plays
+        # them dynamically, round by round, through the message injector.
+        meas_log = None
+        if plan is not None and plan.affects_measurements:
+            ms, meas_log = degrade_measurements(
+                ms, plan, tracer, include_crashes=False
+            )
+            self._validate(ms)
         grid = Grid2D(cfg.grid_size, cfg.grid_size, ms.width, ms.height)
         prior = self.prior if self.prior is not None else UniformPrior(ms.width, ms.height)
         radio = self.radio if self.radio is not None else UnitDiskRadio(ms.radio_range)
@@ -181,40 +251,120 @@ class DistributedBPSimulator:
         for a in agents.values():
             a.reset_memory(K)
 
+        injector = None
+        if plan is not None and plan.affects_messages:
+            injector = MessageFaultInjector(plan, tracer)
+            injector.resolve_outages(sorted(agents))
+
         stats: list[RoundStats] = []
         converged = False
         n_round = 0
         msg_bytes = K * 8
         for n_round in range(1, cfg.max_iterations + 1):
-            outboxes = {
-                u: agent.compute_outgoing(cfg.damping)
-                for u, agent in agents.items()
-            }
-            max_res = 0.0
-            n_msgs = 0
-            for u, out in outboxes.items():
-                for other, msg in out.items():
-                    prev = agents[other].inbox[u]
+            if injector is None:
+                # Fault-free fast path: byte-for-byte the original loop, so
+                # the bit-identity tests against the centralized solver keep
+                # their guarantee.
+                outboxes = {
+                    u: agent.compute_outgoing(cfg.damping)
+                    for u, agent in agents.items()
+                }
+                max_res = 0.0
+                n_msgs = 0
+                for u, out in outboxes.items():
+                    for other, msg in out.items():
+                        prev = agents[other].inbox[u]
+                        max_res = max(max_res, float(np.abs(msg - prev).max()))
+                        agents[other].inbox[u] = msg
+                        n_msgs += 1
+                stats.append(RoundStats(n_round, n_msgs, n_msgs * msg_bytes, max_res))
+                round_quiet = True
+            else:
+                down = injector.nodes_down(n_round)
+                sent: list[tuple[int, int, np.ndarray]] = []
+                for u, agent in agents.items():
+                    if u in down:
+                        continue  # crashed/off node computes and sends nothing
+                    for other, msg in agent.compute_outgoing(cfg.damping).items():
+                        sent.append((u, other, msg))
+                delivered, record = injector.process_round(n_round, sent)
+                max_res = 0.0
+                n_msgs = 0
+                for src, dst, msg in delivered:
+                    prev = agents[dst].inbox[src]
                     max_res = max(max_res, float(np.abs(msg - prev).max()))
-                    agents[other].inbox[u] = msg
+                    agents[dst].inbox[src] = msg
                     n_msgs += 1
-            stats.append(RoundStats(n_round, n_msgs, n_msgs * msg_bytes, max_res))
-            if max_res < cfg.tol:
+                stats.append(
+                    RoundStats(
+                        n_round,
+                        n_msgs,
+                        n_msgs * msg_bytes,
+                        max_res,
+                        dropped=record.get("messages_dropped", 0),
+                        corrupted=record.get("messages_corrupted", 0),
+                        delayed=record.get("messages_delayed", 0),
+                    )
+                )
+                # A residual measured on a partially delivered round is not
+                # evidence of a fixed point: require a transiently quiet
+                # round (no losses / corruption / late traffic) and an empty
+                # delay queue before declaring convergence.
+                round_quiet = (
+                    injector.n_in_flight == 0
+                    and not any(
+                        record.get(k)
+                        for k in (
+                            "messages_dropped",
+                            "messages_corrupted",
+                            "messages_delayed",
+                            "messages_arrived_late",
+                        )
+                    )
+                )
+            if tracer.enabled:
+                tracer.iteration(residual=max_res, messages=n_msgs)
+            if max_res < cfg.tol and round_quiet:
                 converged = True
                 break
 
         estimates = np.full((ms.n_nodes, 2), np.nan)
         estimates[ms.anchor_mask] = ms.anchor_positions
         mask = ms.anchor_mask.copy()
+        fallback = np.zeros(ms.n_nodes, dtype=bool)
         beliefs = {}
         for u, agent in agents.items():
             b = agent.belief()
+            if not (np.isfinite(b).all() and b.sum() > 0):
+                # Degenerate posterior (possible only under injection):
+                # report the graceful-degradation estimate instead.
+                b = np.full(K, 1.0 / K)
+                estimates[u] = fallback_position(ms, u, prior, grid)
+                fallback[u] = True
+            else:
+                estimates[u] = (
+                    grid.expectation(b)
+                    if cfg.estimator == "mmse"
+                    else grid.map_estimate(b)
+                )
             beliefs[u] = b
-            estimates[u] = (
-                grid.expectation(b) if cfg.estimator == "mmse" else grid.map_estimate(b)
-            )
             mask[u] = True
+        extras = {"beliefs": beliefs, "grid": grid}
+        if plan is not None:
+            extras["fault_log"] = {
+                "messages": injector.log.to_dict() if injector is not None else None,
+                "measurements": meas_log.to_dict() if meas_log is not None else None,
+            }
         total_msgs = anchor_broadcasts + sum(s.messages for s in stats)
+        if tracer.enabled:
+            tracer.annotate("method", self.name)
+            tracer.annotate("converged", bool(converged))
+            tracer.count("runs")
+            tracer.count("bp_iterations", n_round)
+            tracer.count("messages", total_msgs)
+            n_fallback = int(fallback.sum())
+            if n_fallback:
+                tracer.count("fallback_nodes", n_fallback)
         result = LocalizationResult(
             estimates=estimates,
             localized_mask=mask,
@@ -223,6 +373,9 @@ class DistributedBPSimulator:
             converged=converged,
             messages_sent=total_msgs,
             bytes_sent=anchor_broadcasts * 2 * 8 + sum(s.bytes for s in stats),
-            extras={"beliefs": beliefs, "grid": grid},
+            fallback_mask=fallback,
+            extras=extras,
         )
+        if tracer.enabled:
+            result.telemetry = tracer.snapshot()
         return result, stats

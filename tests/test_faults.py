@@ -1,0 +1,468 @@
+"""Tests for the fault-injection subsystem and graceful degradation.
+
+Covers the :mod:`repro.faults` primitives (plans, logs, injectors), the
+``FaultPlan.none()`` bit-identity guarantee, the belief-health guards in
+:mod:`repro.core.health`, the distributed simulator's input validation and
+faulted round loop, and the cross-worker determinism of faulted runs.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.core.health import (
+    fallback_position,
+    healthy_belief_rows,
+    repair_nonfinite_messages,
+    residuals_diverging,
+)
+from repro.faults import (
+    FaultLog,
+    FaultPlan,
+    MessageFaultInjector,
+    NodeOutage,
+    degrade_measurements,
+)
+from repro.measurement import GaussianRanging, observe
+from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+from repro.obs import Tracer
+from repro.parallel import DistributedBPSimulator, run_trials
+
+
+def _scenario(seed: int = 0, n_nodes: int = 16):
+    net = generate_network(
+        NetworkConfig(
+            n_nodes=n_nodes,
+            anchor_ratio=0.25,
+            radio=UnitDiskRadio(0.45),
+            require_connected=True,
+        ),
+        rng=seed,
+    )
+    return net, observe(net, GaussianRanging(0.05), rng=seed + 1)
+
+
+_CFG = GridBPConfig(grid_size=8, max_iterations=12, tol=1e-7)
+
+
+# ---------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_rates_validated(self):
+        for f in (
+            "message_drop_rate",
+            "message_corrupt_rate",
+            "message_delay_rate",
+            "node_crash_rate",
+            "anchor_failure_rate",
+            "link_loss_rate",
+            "outlier_fraction",
+        ):
+            with pytest.raises(ValueError, match=f):
+                FaultPlan(**{f: 1.5})
+            with pytest.raises(ValueError, match=f):
+                FaultPlan(**{f: -0.1})
+
+    def test_other_fields_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(max_delay_rounds=0)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_sigma=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(outlier_bias_ratio=0.0)
+        with pytest.raises(TypeError):
+            FaultPlan(node_outages=("node-3",))
+
+    def test_outage_windows(self):
+        o = NodeOutage(node=3, start_round=2, end_round=5)
+        assert [o.down_at(r) for r in range(1, 7)] == [
+            False, True, True, True, False, False,
+        ]
+        assert NodeOutage(node=1).down_at(10**6)  # permanent crash
+        with pytest.raises(ValueError):
+            NodeOutage(node=1, start_round=0)
+        with pytest.raises(ValueError):
+            NodeOutage(node=1, start_round=3, end_round=3)
+
+    def test_enabled_properties(self):
+        assert not FaultPlan.none().enabled
+        assert FaultPlan.message_loss(0.2).affects_messages
+        assert not FaultPlan.message_loss(0.2).affects_measurements
+        assert FaultPlan(link_loss_rate=0.1).affects_measurements
+        assert FaultPlan(node_outages=(NodeOutage(node=1),)).affects_messages
+
+    def test_resolve_outages_deterministic(self):
+        plan = FaultPlan(seed=4, node_crash_rate=0.5, crash_horizon=6)
+        a = plan.resolve_outages(range(10))
+        b = plan.resolve_outages(range(10))
+        assert a == b
+        assert 0 < len(a) < 10
+        assert all(1 <= o.start_round <= 6 for o in a)
+
+    def test_explicit_outage_suppresses_random_crash(self):
+        explicit = NodeOutage(node=2, start_round=1, end_round=3)
+        plan = FaultPlan(
+            seed=4, node_crash_rate=1.0, node_outages=(explicit,)
+        )
+        out = plan.resolve_outages(range(4))
+        assert sum(o.node == 2 for o in out) == 1
+        assert explicit in out
+
+    def test_round_streams_independent(self):
+        plan = FaultPlan(seed=1, message_drop_rate=0.5)
+        a = plan.round_stream(3).random(4)
+        b = plan.round_stream(4).random(4)
+        assert not np.allclose(a, b)
+        assert np.allclose(a, plan.round_stream(3).random(4))
+
+
+class TestFaultLog:
+    def test_counters_and_rounds(self):
+        log = FaultLog()
+        log.record_round(1, messages_dropped=2, messages_corrupted=0)
+        log.record_round(2)  # all-quiet round: not recorded
+        log.record_round(3, messages_dropped=1)
+        assert log.counters == {"messages_dropped": 3}
+        assert [r["round"] for r in log.rounds] == [1, 3]
+        assert log.total_events == 3
+        d = log.to_dict()
+        assert d["counters"]["messages_dropped"] == 3
+        assert "messages_dropped=3" in log.summary()
+        assert FaultLog().summary() == "no faults injected"
+
+
+# ---------------------------------------------------------------------- #
+class TestMessageFaultInjector:
+    def _messages(self, n: int = 20, k: int = 4):
+        rng = np.random.default_rng(0)
+        out = []
+        for i in range(n):
+            m = rng.random(k)
+            out.append((i % 5, (i + 1) % 5, m / m.sum()))
+        return out
+
+    def test_empty_plan_is_identity(self):
+        inj = MessageFaultInjector(FaultPlan.none())
+        msgs = self._messages()
+        delivered, record = inj.process_round(1, msgs)
+        assert delivered == msgs
+        assert inj.log.total_events == 0
+        assert record == {"round": 1}
+
+    def test_drops_are_deterministic(self):
+        plan = FaultPlan(seed=7, message_drop_rate=0.4)
+        a = MessageFaultInjector(plan).process_round(1, self._messages())[0]
+        b = MessageFaultInjector(plan).process_round(1, self._messages())[0]
+        assert len(a) == len(b) < 20
+        for (s1, d1, m1), (s2, d2, m2) in zip(a, b):
+            assert (s1, d1) == (s2, d2)
+            assert np.array_equal(m1, m2)
+
+    def test_delay_delivers_later(self):
+        plan = FaultPlan(seed=1, message_delay_rate=1.0, max_delay_rounds=2)
+        inj = MessageFaultInjector(plan)
+        msgs = self._messages(6)
+        delivered, record = inj.process_round(1, msgs)
+        assert delivered == []
+        assert record["messages_delayed"] == 6
+        assert inj.n_in_flight == 6
+        late = []
+        for r in (2, 3):
+            got, _ = inj.process_round(r, [])
+            late.extend(got)
+        assert inj.n_in_flight == 0
+        assert len(late) == 6
+        assert inj.log.counters["messages_arrived_late"] == 6
+
+    def test_corruption_keeps_distribution(self):
+        plan = FaultPlan(seed=2, message_corrupt_rate=1.0, corrupt_sigma=2.0)
+        inj = MessageFaultInjector(plan)
+        msgs = self._messages(8)
+        delivered, record = inj.process_round(1, msgs)
+        assert record["messages_corrupted"] == 8
+        for (_, _, orig), (_, _, got) in zip(msgs, delivered):
+            assert not np.allclose(orig, got)
+            assert np.isclose(got.sum(), 1.0)
+            assert (got >= 0).all()
+
+    def test_down_nodes_send_and_receive_nothing(self):
+        plan = FaultPlan(node_outages=(NodeOutage(node=0, start_round=1),))
+        inj = MessageFaultInjector(plan)
+        inj.resolve_outages([0, 1, 2])
+        assert inj.node_down(0, 5) and not inj.node_down(1, 5)
+        m = np.full(4, 0.25)
+        delivered, record = inj.process_round(
+            1, [(0, 1, m), (1, 0, m), (1, 2, m)]
+        )
+        assert [(s, d) for s, d, _ in delivered] == [(1, 2)]
+        assert record["sender_down"] == 1
+        assert record["messages_dropped"] == 1  # receiver down
+
+
+class TestDegradeMeasurements:
+    def test_no_faults_returns_same_object(self):
+        _, ms = _scenario()
+        out, log = degrade_measurements(ms, FaultPlan.none())
+        assert out is ms
+        assert log.total_events == 0
+
+    def test_link_loss_symmetric_and_seeded(self):
+        _, ms = _scenario()
+        plan = FaultPlan(seed=3, link_loss_rate=0.4)
+        a, log = degrade_measurements(ms, plan)
+        b, _ = degrade_measurements(ms, plan)
+        assert np.array_equal(a.adjacency, b.adjacency)
+        assert np.array_equal(a.adjacency, a.adjacency.T)
+        assert log.counters["links_lost"] > 0
+        assert a.adjacency.sum() < ms.adjacency.sum()
+        # lost links also lose their range observations
+        gone = ms.adjacency & ~a.adjacency
+        assert np.isnan(a.observed_distances[gone]).all()
+
+    def test_anchor_failure_demotes_and_silences(self):
+        _, ms = _scenario()
+        victim = int(ms.anchor_ids[0])
+        plan = FaultPlan(failed_anchors=(victim,))
+        out, log = degrade_measurements(ms, plan)
+        assert not out.anchor_mask[victim]
+        assert not out.adjacency[victim].any()
+        assert np.isnan(out.anchor_positions_full[victim]).all()
+        assert log.counters["anchors_failed"] == 1
+        assert ms.anchor_mask[victim]  # input untouched
+
+    def test_failed_anchor_must_be_anchor(self):
+        _, ms = _scenario()
+        victim = int(ms.unknown_ids[0])
+        with pytest.raises(ValueError, match="non-anchor"):
+            degrade_measurements(ms, FaultPlan(failed_anchors=(victim,)))
+
+    def test_outliers_bias_surviving_links(self):
+        _, ms = _scenario()
+        plan = FaultPlan(seed=5, outlier_fraction=0.5, outlier_bias_ratio=1.0)
+        out, log = degrade_measurements(ms, plan)
+        assert log.counters["outlier_links"] > 0
+        diff = out.observed_distances - ms.observed_distances
+        hit = np.nan_to_num(diff) > 0
+        assert hit.sum() == 2 * log.counters["outlier_links"]  # both directions
+        assert np.allclose(diff[hit], ms.radio_range)
+
+    def test_include_crashes_flag(self):
+        _, ms = _scenario()
+        plan = FaultPlan(seed=6, node_crash_rate=0.9)
+        static, log = degrade_measurements(ms, plan)
+        assert log.counters["nodes_crashed"] > 0
+        dynamic, log2 = degrade_measurements(ms, plan, include_crashes=False)
+        assert dynamic is ms  # crash-only plan: nothing static to apply
+        assert "nodes_crashed" not in log2.counters
+
+
+# ---------------------------------------------------------------------- #
+class TestHealthGuards:
+    def test_healthy_belief_rows(self):
+        b = np.full((3, 4), 0.25)
+        b[1, 0] = np.nan
+        b[2] = 0.0
+        assert healthy_belief_rows(b).tolist() == [True, False, False]
+
+    def test_repair_nonfinite_messages(self):
+        msgs = np.full((3, 4), 0.25)
+        msgs[1, 2] = np.inf
+        n = repair_nonfinite_messages(msgs)
+        assert n == 1
+        assert np.allclose(msgs[1], 0.25)
+        assert repair_nonfinite_messages(msgs) == 0
+
+    def test_residuals_diverging_is_conservative(self):
+        assert not residuals_diverging([])
+        assert not residuals_diverging([1.0, 0.5, 0.3, 0.2])  # converging
+        assert not residuals_diverging([0.1, 0.2, 0.3])  # too short
+        # growing but tiny: below the absolute floor
+        assert not residuals_diverging([1e-9, 1e-8, 2e-8, 4e-8])
+        assert residuals_diverging([1e-4, 1e-3, 0.1, 0.5, 1.0])
+
+    def test_fallback_position_prefers_heard_anchors(self):
+        _, ms = _scenario()
+        u = int(ms.unknown_ids[0])
+        heard = [a for a in ms.anchor_ids if ms.adjacency[u, a]]
+        pos = fallback_position(ms, u)
+        if heard:
+            expect = ms.anchor_positions_full[heard].mean(axis=0)
+            assert np.allclose(pos, expect)
+        assert np.isfinite(pos).all()
+
+    def test_fallback_position_field_center_when_deaf(self):
+        _, ms = _scenario()
+        adj = ms.adjacency.copy()
+        u = int(ms.unknown_ids[0])
+        adj[u, :] = adj[:, u] = False
+        deaf = dataclasses.replace(ms, adjacency=adj)
+        assert np.allclose(
+            fallback_position(deaf, u), [ms.width / 2, ms.height / 2]
+        )
+
+    def test_grid_bp_health_checks_do_not_change_healthy_runs(self):
+        _, ms = _scenario()
+        on = GridBPLocalizer(config=_CFG).localize(ms)
+        off = GridBPLocalizer(
+            config=dataclasses.replace(_CFG, health_checks=False)
+        ).localize(ms)
+        assert np.array_equal(on.estimates, off.estimates)
+        assert not on.fallback_mask.any()
+
+
+# ---------------------------------------------------------------------- #
+class TestSimulatorValidation:
+    def test_rejects_non_measurement_set(self):
+        with pytest.raises(TypeError, match="MeasurementSet"):
+            DistributedBPSimulator(config=_CFG).run("network")
+
+    def test_rejects_bad_faults_type(self):
+        with pytest.raises(TypeError, match="FaultPlan"):
+            DistributedBPSimulator(config=_CFG, faults={"drop": 0.5})
+
+    def test_rejects_asymmetric_adjacency(self):
+        _, ms = _scenario()
+        bad = dataclasses.replace(ms, adjacency=ms.adjacency.copy())
+        bad.adjacency[0, 1] = not bad.adjacency[1, 0]
+        with pytest.raises(ValueError, match="symmetric"):
+            DistributedBPSimulator(config=_CFG).run(bad)
+
+    def test_rejects_all_anchor_network(self):
+        net, ms = _scenario()
+        allanchor = dataclasses.replace(
+            ms,
+            anchor_mask=np.ones(ms.n_nodes, dtype=bool),
+            anchor_positions_full=net.positions.copy(),
+        )
+        with pytest.raises(ValueError, match="no unknown nodes"):
+            DistributedBPSimulator(config=_CFG).run(allanchor)
+
+
+class TestFaultedSimulator:
+    def test_none_plan_bit_identical(self):
+        _, ms = _scenario()
+        r0, s0 = DistributedBPSimulator(config=_CFG).run(ms)
+        r1, s1 = DistributedBPSimulator(config=_CFG, faults=FaultPlan.none()).run(ms)
+        assert np.array_equal(r0.estimates, r1.estimates)
+        for u in r0.extras["beliefs"]:
+            assert np.array_equal(
+                r0.extras["beliefs"][u], r1.extras["beliefs"][u]
+            )
+        assert s0 == s1
+        assert "fault_log" not in r1.extras
+        assert not r1.fallback_mask.any()
+
+    def test_message_loss_deterministic_and_logged(self):
+        _, ms = _scenario()
+        plan = FaultPlan.message_loss(0.3, seed=5)
+        ra, sa = DistributedBPSimulator(config=_CFG, faults=plan).run(ms)
+        rb, sb = DistributedBPSimulator(config=_CFG, faults=plan).run(ms)
+        assert np.array_equal(ra.estimates, rb.estimates)
+        assert sa == sb
+        dropped = sum(s.dropped for s in sa)
+        assert dropped > 0
+        counters = ra.extras["fault_log"]["messages"]["counters"]
+        assert counters["messages_dropped"] == dropped
+        # fewer deliveries than the fault-free run would make
+        assert all(s.messages + s.dropped >= s.messages for s in sa)
+
+    def test_loss_changes_results(self):
+        _, ms = _scenario()
+        clean, _ = DistributedBPSimulator(config=_CFG).run(ms)
+        lossy, _ = DistributedBPSimulator(
+            config=_CFG, faults=FaultPlan.message_loss(0.5, seed=1)
+        ).run(ms)
+        assert not np.array_equal(clean.estimates, lossy.estimates)
+        assert np.isfinite(lossy.estimates[lossy.localized_mask]).all()
+
+    def test_crashed_node_sends_nothing(self):
+        _, ms = _scenario()
+        victim = int(ms.unknown_ids[0])
+        plan = FaultPlan(node_outages=(NodeOutage(node=victim, start_round=1),))
+        result, stats = DistributedBPSimulator(config=_CFG, faults=plan).run(ms)
+        clean, cstats = DistributedBPSimulator(config=_CFG).run(ms)
+        assert stats[0].messages < cstats[0].messages
+        # the victim still gets an estimate (stale/prior belief)
+        assert result.localized_mask[victim]
+
+    def test_fault_events_reach_tracer(self):
+        _, ms = _scenario()
+        tracer = Tracer()
+        plan = FaultPlan(seed=2, message_drop_rate=0.3, message_corrupt_rate=0.2)
+        result, _ = DistributedBPSimulator(
+            config=_CFG, faults=plan, tracer=tracer
+        ).run(ms)
+        snap = tracer.snapshot(include_timings=False)
+        assert snap["counters"]["faults.messages_dropped"] > 0
+        assert snap["counters"]["faults.messages_corrupted"] > 0
+        assert result.telemetry is not None
+
+    def test_delays_postpone_convergence_claim(self):
+        _, ms = _scenario()
+        plan = FaultPlan(seed=3, message_delay_rate=0.4, max_delay_rounds=3)
+        result, stats = DistributedBPSimulator(config=_CFG, faults=plan).run(ms)
+        counters = result.extras["fault_log"]["messages"]["counters"]
+        assert counters["messages_delayed"] > 0
+        assert counters["messages_arrived_late"] > 0
+
+    def test_measurement_faults_apply_in_simulator(self):
+        _, ms = _scenario()
+        victim = int(ms.anchor_ids[0])
+        plan = FaultPlan(failed_anchors=(victim,))
+        result, _ = DistributedBPSimulator(config=_CFG, faults=plan).run(ms)
+        meas = result.extras["fault_log"]["measurements"]["counters"]
+        assert meas["anchors_failed"] == 1
+        # the demoted anchor is now estimated like any unknown
+        assert result.localized_mask[victim]
+        assert np.isfinite(result.estimates[victim]).all()
+
+
+# ---------------------------------------------------------------------- #
+def _faulted_trial(seed: int) -> dict:
+    """Picklable trial: faulted distributed run under a tracer.
+
+    Returns estimates, final beliefs, and the deterministic part of the
+    obs trace so worker counts can be compared bit-for-bit.
+    """
+    net = generate_network(
+        NetworkConfig(
+            n_nodes=14,
+            anchor_ratio=0.3,
+            radio=UnitDiskRadio(0.5),
+            require_connected=True,
+        ),
+        rng=seed,
+    )
+    ms = observe(net, GaussianRanging(0.05), rng=seed + 1)
+    tracer = Tracer()
+    sim = DistributedBPSimulator(
+        config=GridBPConfig(grid_size=6, max_iterations=6, tol=1e-9),
+        faults=FaultPlan(
+            seed=seed, message_drop_rate=0.25, message_corrupt_rate=0.1
+        ),
+        tracer=tracer,
+    )
+    result, stats = sim.run(ms)
+    return {
+        "estimates": result.estimates.tolist(),
+        "beliefs": {u: b.tolist() for u, b in result.extras["beliefs"].items()},
+        "fault_log": result.extras["fault_log"]["messages"],
+        "trace": tracer.snapshot(include_timings=False),
+        "rounds": [(s.messages, s.dropped, s.corrupted) for s in stats],
+    }
+
+
+class TestFaultDeterminismAcrossWorkers:
+    def test_same_seed_same_plan_same_everything_serial(self):
+        a = run_trials(_faulted_trial, 2, seed=11, n_workers=1)
+        b = run_trials(_faulted_trial, 2, seed=11, n_workers=1)
+        assert a == b
+
+    @pytest.mark.slow
+    def test_workers_do_not_change_faulted_results(self):
+        serial = run_trials(_faulted_trial, 2, seed=11, n_workers=1)
+        parallel = run_trials(_faulted_trial, 2, seed=11, n_workers=2)
+        assert serial == parallel
