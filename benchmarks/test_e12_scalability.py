@@ -6,14 +6,25 @@ message passing is local — and the distributed traffic per node stays
 flat, so the scheme scales to large networks.  The Monte-Carlo trial
 executor is also exercised to show trials parallelize without changing
 results.
+
+The A/B lane times the largest configuration twice — reference kernels
+with a cold potential cache per trial, versus the vectorized hot path
+with the process-wide registry kept warm — asserts the optimized path
+is at least 2x faster, and writes the timings to ``BENCH_e12.json`` at
+the repository root (both paths produce bit-identical estimates, which
+is also asserted).
 """
 
+import dataclasses
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 from conftest import report
 
 from repro.core import GridBPConfig, GridBPLocalizer
+from repro.core.potentials import shared_registry
 from repro.experiments import ScenarioConfig, build_scenario
 from repro.parallel import run_trials
 from repro.utils.rng import spawn_seeds
@@ -55,6 +66,56 @@ def run_experiment():
     return [_one_size(n) for n in SIZES]
 
 
+def run_ab_comparison() -> dict:
+    """Time the largest configuration with and without the fast path.
+
+    Baseline: reference (unoptimized) kernels, registry cleared before
+    every trial so each pays full potential construction.  Optimized:
+    vectorized kernels with the shared registry warm across trials
+    (cleared once, so trial 1 is the cold miss and the rest hit).
+    """
+    n = SIZES[-1]
+    cfg = ScenarioConfig(
+        n_nodes=n,
+        anchor_ratio=0.1,
+        radio_range=0.2 * np.sqrt(100.0 / n),
+        require_connected=False,
+    )
+    scenarios = [build_scenario(cfg, s) for s in spawn_seeds(620, N_TRIALS)]
+
+    base_cfg = dataclasses.replace(BP_CFG, optimized=False, shared_cache=False)
+    t0 = time.perf_counter()
+    base = []
+    for _net, ms, prior in scenarios:
+        shared_registry().clear()
+        base.append(GridBPLocalizer(prior=prior, config=base_cfg).localize(ms))
+    t_base = time.perf_counter() - t0
+
+    shared_registry().clear()
+    t0 = time.perf_counter()
+    opt = [
+        GridBPLocalizer(prior=prior, config=BP_CFG).localize(ms)
+        for _net, ms, prior in scenarios
+    ]
+    t_opt = time.perf_counter() - t0
+
+    identical = all(
+        np.array_equal(b.estimates, o.estimates) for b, o in zip(base, opt)
+    )
+    stats = shared_registry().stats()
+    return {
+        "n_nodes": n,
+        "grid_size": BP_CFG.grid_size,
+        "max_iterations": BP_CFG.max_iterations,
+        "n_trials": N_TRIALS,
+        "baseline_seconds": t_base,
+        "optimized_seconds": t_opt,
+        "speedup": t_base / t_opt,
+        "bit_identical_estimates": identical,
+        "cache_stats": stats,
+    }
+
+
 def _executor_trial(seed: int) -> float:
     cfg = ScenarioConfig(n_nodes=40, anchor_ratio=0.15, radio_range=0.25)
     net, ms, prior = build_scenario(cfg, seed)
@@ -66,14 +127,27 @@ def _executor_trial(seed: int) -> float:
 
 def test_e12_scalability(benchmark):
     rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report(
-        "e12_scalability",
-        format_table(
-            ["n_nodes", "links", "runtime_s", "messages", "msgs/node"],
-            rows,
-            title=f"E12: grid-BP scaling with network size ({N_TRIALS} trials)",
-        ),
+    ab = run_ab_comparison()
+    text = format_table(
+        ["n_nodes", "links", "runtime_s", "messages", "msgs/node"],
+        rows,
+        title=f"E12: grid-BP scaling with network size ({N_TRIALS} trials)",
     )
+    text += (
+        f"\nA/B on n={ab['n_nodes']} (grid {ab['grid_size']}^2, "
+        f"{ab['max_iterations']} iters, {ab['n_trials']} trials): "
+        f"baseline {ab['baseline_seconds']:.3f}s, "
+        f"optimized {ab['optimized_seconds']:.3f}s, "
+        f"speedup {ab['speedup']:.2f}x "
+        f"(bit-identical estimates: {ab['bit_identical_estimates']})\n"
+    )
+    report("e12_scalability", text)
+    bench_path = Path(__file__).resolve().parent.parent / "BENCH_e12.json"
+    bench_path.write_text(json.dumps(ab, indent=2) + "\n")
+
+    # the fast path must not change answers, and must actually be fast
+    assert ab["bit_identical_estimates"]
+    assert ab["speedup"] >= 2.0
     # runtime grows sublinearly in n² — i.e. roughly with the link count:
     # time per link at the largest size is within 4x of the smallest
     per_link = [r[2] / r[1] for r in rows]

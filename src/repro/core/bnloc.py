@@ -14,9 +14,11 @@ usual pairwise construction:
 
 Inference is synchronous loopy sum-product BP — exactly the computation a
 real network performs distributively, each node broadcasting its outgoing
-messages to neighbors once per round.  Messages are ``K``-vectors, so the
-communication cost per round is ``2·|edges| ``messages of ``8K`` bytes,
-which the result records for the E7 cost/accuracy experiment.
+messages to neighbors once per round.  Communication accounting (shared
+with :class:`~repro.parallel.messaging.DistributedBPSimulator` and the E7
+cost/accuracy experiment): unknowns exchange belief messages of ``8·K``
+bytes (a ``K``-vector of float64), ``2·|edges|`` of them per round, while
+an anchor broadcast carries only its own position (``2·8`` bytes).
 
 Pre-knowledge enters solely through ``prior``; running the *same* inference
 with :class:`~repro.priors.deployment.UniformPrior` is the paper's
@@ -32,12 +34,15 @@ import numpy as np
 from repro.core.grid import Grid2D
 from repro.core.potentials import (
     RangingPotentialCache,
+    _normalize_matrix,
     anchor_bearing_potential,
     anchor_connectivity_potential,
     anchor_ranging_potential,
     connectivity_potential,
     negative_anchor_potential,
     pairwise_bearing_potential,
+    ranging_potential_from_distances,
+    shared_registry,
 )
 from repro.core.result import LocalizationResult, Localizer
 from repro.measurement.measurements import MeasurementSet
@@ -50,6 +55,11 @@ from repro.utils.rng import RNGLike
 __all__ = ["GridBPLocalizer", "GridBPConfig"]
 
 _MSG_FLOOR = 1e-12  # keeps log-space products finite after truncation
+
+#: bytes of one anchor broadcast — the anchor's own position (2 float64).
+#: Unknown-unknown belief messages cost ``8·K`` bytes instead; both
+#: solvers and the E7 benchmark share this convention.
+_ANCHOR_BROADCAST_BYTES = 2 * 8
 
 
 def _max_product_matvec(op, hvec: np.ndarray) -> np.ndarray:
@@ -128,6 +138,19 @@ class GridBPConfig:
     restart_damping:
         Damping used by the automatic restart (must exceed the normal
         *damping* to be useful).
+    optimized:
+        Use the vectorized hot paths (per-anchor hoisting in the node
+        potentials, cached logs and batched same-kernel sparse matmuls in
+        the BP rounds).  ``False`` selects the straightforward reference
+        implementation, kept for A/B benchmarking and the bit-identity
+        regression tests — both paths produce byte-identical beliefs.
+    shared_cache:
+        Reuse ranging-potential kernels and grid distance matrices from
+        the process-level :func:`~repro.core.potentials.shared_registry`
+        across solver runs with identical (grid, ranging, radio, blur)
+        parameters — the common case inside Monte-Carlo sweeps.  Warm
+        runs are bit-identical to cold ones; disable to force per-run
+        rebuilds.
     """
 
     grid_size: int = 20
@@ -144,6 +167,8 @@ class GridBPConfig:
     record_trace: bool = False
     health_checks: bool = True
     restart_damping: float = 0.5
+    optimized: bool = True
+    shared_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.grid_size < 2:
@@ -238,12 +263,19 @@ class GridBPLocalizer(Localizer):
         anchor_msgs = 0
         with tracer.timer("edge_potentials"):
             if ms.has_ranging:
-                cache = RangingPotentialCache(
-                    grid,
-                    ms.ranging,
-                    radio if cfg.use_connectivity_in_ranging else None,
-                    blur_sigma=cfg.cell_blur_fraction * grid.cell_diagonal,
-                )
+                blur = cfg.cell_blur_fraction * grid.cell_diagonal
+                conn_radio = radio if cfg.use_connectivity_in_ranging else None
+                if cfg.shared_cache:
+                    # Cross-trial reuse: identical (grid, ranging, radio,
+                    # blur) keys get the warm kernels built by earlier runs
+                    # in this process.
+                    cache = shared_registry().ranging_cache(
+                        grid, ms.ranging, conn_radio, blur
+                    )
+                else:
+                    cache = RangingPotentialCache(
+                        grid, ms.ranging, conn_radio, blur_sigma=blur
+                    )
             conn_psi = None
             for i, j in ms.edges():
                 i, j = int(i), int(j)
@@ -256,6 +288,8 @@ class GridBPLocalizer(Localizer):
                     psi = cache.get(ms.observed_distances[i, j])
                 else:
                     if conn_psi is None:
+                        if cfg.shared_cache:
+                            shared_registry().pairwise_distances(grid)
                         conn_psi = connectivity_potential(
                             grid.pairwise_center_distances(), radio
                         )
@@ -360,9 +394,13 @@ class GridBPLocalizer(Localizer):
                 trace.append(snap)
 
         # Communication accounting (distributed execution model): one
-        # anchor broadcast per anchor-unknown link, plus 2 messages per
-        # unknown-unknown edge per BP round, each a K-vector of float64.
-        messages = anchor_msgs + 2 * len(edges) * n_iter
+        # anchor broadcast (the anchor's own position, 2 float64) per
+        # anchor-unknown link, plus 2 messages per unknown-unknown edge per
+        # BP round, each a K-vector of float64.  Shared convention with
+        # DistributedBPSimulator and the E7 benchmark.
+        uu_msgs = 2 * len(edges) * n_iter
+        messages = anchor_msgs + uu_msgs
+        bytes_sent = anchor_msgs * _ANCHOR_BROADCAST_BYTES + uu_msgs * K * 8
         if tracer.enabled:
             tracer.annotate("method", self.name)
             tracer.annotate("schedule", cfg.schedule)
@@ -373,7 +411,7 @@ class GridBPLocalizer(Localizer):
             tracer.count("bp_iterations", n_iter)
             tracer.count("anchor_broadcasts", anchor_msgs)
             tracer.count("messages", messages)
-            tracer.count("bytes", messages * K * 8)
+            tracer.count("bytes", bytes_sent)
             if health["message_repairs"]:
                 tracer.count("message_repairs", health["message_repairs"])
             if n_fallback:
@@ -388,7 +426,7 @@ class GridBPLocalizer(Localizer):
             converged=converged,
             trace=trace,
             messages_sent=messages,
-            bytes_sent=messages * K * 8,
+            bytes_sent=bytes_sent,
             fallback_mask=fallback,
             extras={
                 "beliefs": {int(u): beliefs[ui] for ui, u in enumerate(unknowns)},
@@ -406,7 +444,136 @@ class GridBPLocalizer(Localizer):
         radio: RadioModel,
         unknowns: np.ndarray,
     ) -> np.ndarray:
-        """Log node potentials ``(n_unknown, K)``: prior × anchor evidence."""
+        """Log node potentials ``(n_unknown, K)``: prior × anchor evidence.
+
+        The anchor-side terms depend only on the anchor, not on the
+        unknown, so each anchor's distance field, detection probabilities,
+        and log-potentials are computed once and reused across all
+        unknowns (the baseline recomputed them per (unknown, anchor)
+        pair — O(n_unknown × n_anchor × K) redundant work).  Output is
+        bit-identical to :meth:`_node_potentials_baseline`.
+        """
+        cfg = self.config
+        if not cfg.optimized:
+            return self._node_potentials_baseline(ms, grid, prior, radio, unknowns)
+        log_phi = np.empty((len(unknowns), grid.n_cells))
+        anchor_ids = ms.anchor_ids
+        hops = None
+        if cfg.use_hop_bounds:
+            from scipy.sparse import csr_matrix
+            from scipy.sparse.csgraph import shortest_path
+
+            hops = shortest_path(
+                csr_matrix(ms.adjacency.astype(np.int8)),
+                method="D",
+                unweighted=True,
+                directed=False,
+            )[:, anchor_ids]
+        n_a = len(anchor_ids)
+        anchor_d = [
+            grid.distances_to_point(ms.anchor_positions_full[int(a)])
+            for a in anchor_ids
+        ]
+        anchor_pd: list[np.ndarray | None] = [None] * n_a
+        log_neg: list[np.ndarray | None] = [None] * n_a
+        log_conn: list[np.ndarray | None] = [None] * n_a
+        blur = cfg.cell_blur_fraction * grid.cell_diagonal
+        conn_radio = radio if cfg.use_connectivity_in_ranging else None
+        log_tiny = np.log(1e-300)
+
+        def pdet(ai: int) -> np.ndarray:
+            # Lazy like everything below: only touch the radio model for
+            # anchors whose terms are actually used, as the baseline does.
+            out = anchor_pd[ai]
+            if out is None:
+                out = radio.p_detect(anchor_d[ai])
+                anchor_pd[ai] = out
+            return out
+
+        def neg_log(ai: int) -> np.ndarray:
+            out = log_neg[ai]
+            if out is None:
+                vals = 1.0 - pdet(ai)
+                if vals.max() <= 0:
+                    # same failure mode as negative_anchor_potential
+                    raise ValueError(
+                        "negative evidence eliminated every cell — anchor's "
+                        "radio range covers the entire grid"
+                    )
+                out = np.log(np.maximum(vals, 1e-300))
+                log_neg[ai] = out
+            return out
+
+        def conn_log(ai: int) -> np.ndarray:
+            out = log_conn[ai]
+            if out is None:
+                out = np.log(np.maximum(_normalize_matrix(pdet(ai)), 1e-300))
+                log_conn[ai] = out
+            return out
+
+        for ui, u in enumerate(unknowns):
+            u = int(u)
+            w = prior.grid_weights(u, grid)
+            lp = np.log(np.maximum(w, 1e-300))
+            for ai, a in enumerate(anchor_ids):
+                a = int(a)
+                if (
+                    hops is not None
+                    and not ms.adjacency[u, a]
+                    and np.isfinite(hops[u, ai])
+                    and hops[u, ai] >= 2
+                ):
+                    # h-hop reachability: each hop covers at most the radio
+                    # range, so the node lies within h·r of the anchor.
+                    reach = hops[u, ai] * ms.radio_range
+                    lp = lp + np.where(anchor_d[ai] <= reach, 0.0, log_tiny)
+                if ms.adjacency[u, a]:
+                    if ms.has_ranging:
+                        pot = ranging_potential_from_distances(
+                            anchor_d[ai],
+                            ms.observed_distances[u, a],
+                            ms.ranging,
+                            conn_radio,
+                            blur_sigma=blur,
+                            p_detect=pdet(ai) if conn_radio is not None else None,
+                        )
+                        lp = lp + np.log(np.maximum(pot, 1e-300))
+                    else:
+                        lp = lp + conn_log(ai)
+                    if ms.has_bearings:
+                        bpot = anchor_bearing_potential(
+                            grid,
+                            ms.anchor_positions_full[a],
+                            ms.observed_bearings[u, a],
+                            ms.observed_bearings[a, u],
+                            ms.bearing_model,
+                        )
+                        lp = lp + np.log(np.maximum(bpot, 1e-300))
+                elif cfg.use_negative_evidence:
+                    lp = lp + neg_log(ai)
+            peak = lp.max()
+            if not np.isfinite(peak):
+                raise ValueError(
+                    f"node {u}: evidence and prior are mutually exclusive on "
+                    "the grid (prior support excludes all feasible cells?)"
+                )
+            log_phi[ui] = lp - peak
+        return log_phi
+
+    def _node_potentials_baseline(
+        self,
+        ms: MeasurementSet,
+        grid: Grid2D,
+        prior: PositionPrior,
+        radio: RadioModel,
+        unknowns: np.ndarray,
+    ) -> np.ndarray:
+        """Reference implementation of :meth:`_node_potentials`.
+
+        Kept for A/B benchmarking (``GridBPConfig(optimized=False)``) and
+        the bit-identity regression tests; recomputes every anchor field
+        per unknown.
+        """
         cfg = self.config
         log_phi = np.empty((len(unknowns), grid.n_cells))
         anchor_ids = ms.anchor_ids
@@ -495,6 +662,248 @@ class GridBPLocalizer(Localizer):
         An enabled *tracer* additionally receives one iteration record per
         round (message residual, beliefs-changed count, message/byte
         spend); tracing only reads the state, never alters it.
+
+        Two hot-path optimizations over :meth:`_run_bp_baseline`, both
+        bit-identical by construction (regression-tested):
+
+        * ``np.log(messages)`` is maintained as one stacked array,
+          refreshed once per round, instead of being recomputed per
+          directed slot (``np.log`` on equal inputs is deterministic, so
+          cached logs equal recomputed ones bit-for-bit);
+        * on the synchronous sum-product schedule, outgoing messages whose
+          edges share one sparse kernel (the common case — the
+          RangingPotentialCache quantizes distances exactly so edges share
+          ``csr`` objects) are computed by a single sparse mat-mat instead
+          of one mat-vec per slot.  scipy's CSR mat-mat accumulates each
+          column in the same index order as the mat-vec kernel, so the
+          batched columns are bit-identical to per-slot products; dense
+          operators stay on the mat-vec path because BLAS gemm/gemv are
+          *not* bit-identical.
+        """
+        if not cfg.optimized:
+            return GridBPLocalizer._run_bp_baseline(
+                log_phi, edges, ops, grid, cfg, tracer
+            )
+        from scipy import sparse as _sparse
+
+        n_u, K = log_phi.shape
+        # Directed message storage: for each undirected edge e=(i,j), slot
+        # 2e is i->j and 2e+1 is j->i.
+        n_dir = 2 * len(edges)
+        messages = np.full((n_dir, K), 1.0 / K)
+        log_messages = np.log(messages)
+        in_slots: list[list[int]] = [[] for _ in range(n_u)]  # messages INTO node
+        out_slots: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(n_u)
+        ]  # (slot, edge_index, recipient)
+        for e, (i, j) in enumerate(edges):
+            in_slots[j].append(2 * e)
+            in_slots[i].append(2 * e + 1)
+            out_slots[i].append((2 * e, e, j))
+            out_slots[j].append((2 * e + 1, e, i))
+
+        def beliefs_now() -> np.ndarray:
+            out = np.empty((n_u, K))
+            for ui in range(n_u):
+                acc = log_phi[ui].copy()
+                for s in in_slots[ui]:
+                    acc += log_messages[s]
+                acc -= acc.max()
+                b = np.exp(acc)
+                out[ui] = b / b.sum()
+            return out
+
+        converged = False
+        n_iter = 0
+        trace: list[np.ndarray] = []
+        health = {"residuals": [], "message_repairs": 0}
+        if cfg.record_trace:
+            # Iteration 0: unary-only beliefs (prior + anchor evidence,
+            # before any cooperation) — the natural convergence baseline.
+            trace.append(beliefs_now())
+        if not edges:
+            return beliefs_now(), 0, True, trace, health
+
+        serial = cfg.schedule == "serial"
+        # Static batching plan (operators never change across rounds):
+        # group directed slots by sparse-kernel identity; groups of one
+        # keep the plain mat-vec.
+        sparse_groups: list[tuple] = []
+        slot_batched = np.zeros(n_dir, dtype=bool)
+        unbatched_slots: np.ndarray | None = None
+        src_of = dst_of = swap_of = None
+        if not serial and not cfg.max_product:
+            by_op: dict[int, list[int]] = {}
+            op_by_id: dict[int, object] = {}
+            for e in range(len(edges)):
+                for parity in (0, 1):
+                    op = ops[e][parity]
+                    if _sparse.issparse(op):
+                        by_op.setdefault(id(op), []).append(2 * e + parity)
+                        op_by_id[id(op)] = op
+            for key, slots in by_op.items():
+                if len(slots) > 1:
+                    arr = np.asarray(slots, dtype=np.intp)
+                    sparse_groups.append((op_by_id[key], arr))
+                    slot_batched[arr] = True
+            unbatched_slots = np.nonzero(~slot_batched)[0]
+            # Directed-slot endpoint maps for the vectorized h-build: slot
+            # 2e carries i->j (source i, destination j), 2e+1 the reverse.
+            src_of = np.empty(n_dir, dtype=np.intp)
+            dst_of = np.empty(n_dir, dtype=np.intp)
+            for e, (i, j) in enumerate(edges):
+                src_of[2 * e] = i
+                dst_of[2 * e] = j
+                src_of[2 * e + 1] = j
+                dst_of[2 * e + 1] = i
+            swap_of = np.arange(n_dir) ^ 1
+
+        prev_beliefs = beliefs_now() if tracer.enabled else None
+        round_msgs = 2 * len(edges)
+        msgs_cum = 0
+        H = np.empty((n_dir, K)) if not serial else None
+        for n_iter in range(1, cfg.max_iterations + 1):
+            # "sync" computes the whole round from the previous round's
+            # messages; "serial" commits each node's messages immediately
+            # so later nodes in the sweep see them.
+            new_messages = messages if serial else np.empty_like(messages)
+            old_messages = messages.copy() if serial else messages
+
+            def commit(slot: int, msg: np.ndarray) -> None:
+                s = msg.sum()
+                if s <= 0:
+                    msg = np.full(K, 1.0 / K)
+                else:
+                    msg = msg / s
+                if cfg.damping > 0:
+                    prev = old_messages[slot] if serial else messages[slot]
+                    msg = (1 - cfg.damping) * msg + cfg.damping * prev
+                    msg = msg / msg.sum()
+                np.maximum(msg, _MSG_FLOOR, out=msg)
+                new_messages[slot] = msg
+                if serial:
+                    # keep the log cache Gauss–Seidel-fresh
+                    log_messages[slot] = np.log(new_messages[slot])
+
+            def commit_rows(slots_arr: np.ndarray, res: np.ndarray) -> None:
+                # Vectorized commit for a block of sync-schedule slots.
+                # Every step is elementwise or a row-wise reduction, and
+                # numpy's axis-1 sum/max over a C-contiguous block uses the
+                # same pairwise kernel as the per-row reduction, so this is
+                # bit-identical to running `commit` on each row.
+                sums = res.sum(axis=1)
+                bad = sums <= 0
+                if bad.any():
+                    res[bad] = 1.0 / K
+                    sums[bad] = 1.0
+                res /= sums[:, None]
+                if cfg.damping > 0:
+                    res *= 1 - cfg.damping
+                    res += cfg.damping * messages[slots_arr]
+                    res /= res.sum(axis=1)[:, None]
+                np.maximum(res, _MSG_FLOOR, out=res)
+                new_messages[slots_arr] = res
+
+            if serial or cfg.max_product:
+                for ui in range(n_u):
+                    if not out_slots[ui]:
+                        continue
+                    total = log_phi[ui].copy()
+                    for s in in_slots[ui]:
+                        total += log_messages[s]
+                    for slot, e, _dst in out_slots[ui]:
+                        # Exclude the recipient's own message (slot^1 is
+                        # the reverse direction, which feeds INTO ui).
+                        back = slot ^ 1
+                        h = total - log_messages[back]
+                        h -= h.max()
+                        hvec = np.exp(h)
+                        # slot parity picks the operator orientation: even
+                        # slots are i→j (fwd), odd are j→i (bwd).
+                        op = ops[e][slot & 1]
+                        if cfg.max_product:
+                            msg = _max_product_matvec(op, hvec)
+                        else:
+                            msg = op.dot(hvec)
+                        commit(slot, msg)
+            else:
+                # Synchronous sum-product, fully vectorized.  Per-node
+                # message-product accumulation runs through np.add.at,
+                # whose unbuffered in-index-order adds replay the exact
+                # fadd sequence of the per-node loop (in_slots[ui] is in
+                # increasing slot order by construction, matching the
+                # slot-major iteration of the fancy index).
+                totals = log_phi.copy()
+                np.add.at(totals, dst_of, log_messages)
+                np.subtract(totals[src_of], log_messages[swap_of], out=H)
+                H -= H.max(axis=1, keepdims=True)
+                np.exp(H, out=H)
+                for op, slots in sparse_groups:
+                    res = np.ascontiguousarray(op.dot(H[slots].T).T)
+                    commit_rows(slots, res)
+                if len(unbatched_slots):
+                    res = np.empty((len(unbatched_slots), K))
+                    for k, slot in enumerate(unbatched_slots):
+                        res[k] = ops[slot >> 1][slot & 1].dot(H[slot])
+                    commit_rows(unbatched_slots, res)
+
+            max_delta = float(np.abs(new_messages - old_messages).max())
+            repaired = False
+            if cfg.health_checks and not np.isfinite(max_delta):
+                # A NaN/Inf somewhere in the round's messages (corrupted
+                # potentials / degenerate inputs): repair the offending
+                # rows to uniform so BP can keep going.  The trigger is a
+                # single float check, so healthy rounds pay nothing.
+                from repro.core.health import repair_nonfinite_messages
+
+                health["message_repairs"] += repair_nonfinite_messages(new_messages)
+                repaired = True
+                with np.errstate(invalid="ignore"):
+                    deltas = np.abs(new_messages - old_messages)
+                max_delta = float(np.nanmax(np.where(np.isfinite(deltas), deltas, 1.0)))
+            health["residuals"].append(max_delta)
+            messages = new_messages
+            if not serial or repaired:
+                log_messages = np.log(messages)
+            if cfg.record_trace:
+                trace.append(beliefs_now())
+            if tracer.enabled:
+                new_beliefs = beliefs_now()
+                changed = int(
+                    np.count_nonzero(
+                        np.abs(new_beliefs - prev_beliefs).max(axis=1) > cfg.tol
+                    )
+                )
+                prev_beliefs = new_beliefs
+                msgs_cum += round_msgs
+                tracer.iteration(
+                    residual=max_delta,
+                    beliefs_changed=changed,
+                    messages=round_msgs,
+                    messages_cum=msgs_cum,
+                    bytes_cum=msgs_cum * K * 8,
+                )
+            if max_delta < cfg.tol:
+                converged = True
+                break
+
+        return beliefs_now(), n_iter, converged, trace, health
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _run_bp_baseline(
+        log_phi: np.ndarray,
+        edges: list[tuple[int, int]],
+        ops: list[tuple],
+        grid: Grid2D,
+        cfg: GridBPConfig,
+        tracer: NullTracer = NULL_TRACER,
+    ) -> tuple[np.ndarray, int, bool, list[np.ndarray], dict]:
+        """Reference implementation of :meth:`_run_bp`.
+
+        Kept for A/B benchmarking (``GridBPConfig(optimized=False)``) and
+        the bit-identity regression tests; recomputes message logs per
+        slot and sends every message through its own mat-vec.
         """
         n_u, K = log_phi.shape
         # Directed message storage: for each undirected edge e=(i,j), slot

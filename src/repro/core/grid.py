@@ -74,6 +74,22 @@ class Grid2D:
             self._pairwise = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
         return self._pairwise
 
+    def use_shared_pairwise(self, matrix: np.ndarray) -> None:
+        """Install a precomputed center-distance matrix (cache adoption).
+
+        Lets a cross-trial cache (``repro.core.potentials.shared_registry``)
+        hand an identical grid the ``(K, K)`` matrix it already built,
+        instead of recomputing it.  The matrix must match this grid's cell
+        count; geometric equality is the caller's contract.
+        """
+        mat = np.asarray(matrix, dtype=np.float64)
+        if mat.shape != (self.n_cells, self.n_cells):
+            raise ValueError(
+                f"pairwise matrix must be ({self.n_cells}, {self.n_cells}), "
+                f"got {mat.shape}"
+            )
+        self._pairwise = mat
+
     def pairwise_center_bearings(self) -> np.ndarray:
         """``(K, K)`` bearings (radians, atan2 convention) between cell
         centers: entry ``[k, l]`` is the direction *from* cell k *to* cell

@@ -16,6 +16,8 @@ sparse 400×400 kernels instead of one dense matrix per edge.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 from scipy import sparse
 
@@ -25,6 +27,7 @@ from repro.network.radio import RadioModel
 
 __all__ = [
     "pairwise_ranging_potential",
+    "ranging_potential_from_distances",
     "connectivity_potential",
     "anchor_ranging_potential",
     "anchor_connectivity_potential",
@@ -32,6 +35,8 @@ __all__ = [
     "pairwise_bearing_potential",
     "anchor_bearing_potential",
     "RangingPotentialCache",
+    "PotentialCacheRegistry",
+    "shared_registry",
 ]
 
 
@@ -63,16 +68,56 @@ def _blurred_likelihood(
     by a quantization error.  Marginalizing the likelihood over that error
     (3-point Gauss–Hermite) prevents aliasing when the ranging noise is
     narrower than a cell.  ``blur_sigma=0`` is the plain likelihood.
+
+    All quadrature components share ONE log-offset (the global maximum):
+    normalizing each component by its own peak would rescale the mixture
+    terms relative to each other and distort the quadrature weights.
     """
     if blur_sigma <= 0:
         ll = ranging.log_likelihood(float(observed_distance), distances)
         return np.exp(ll - ll.max())
+    lls = [
+        ranging.log_likelihood(
+            float(observed_distance),
+            np.maximum(distances + node * blur_sigma, 0.0),
+        )
+        for node in _GH_NODES
+    ]
+    offset = max(ll.max() for ll in lls)
     vals = 0.0
-    for node, weight in zip(_GH_NODES, _GH_WEIGHTS):
-        shifted = np.maximum(distances + node * blur_sigma, 0.0)
-        ll = ranging.log_likelihood(float(observed_distance), shifted)
-        vals = vals + weight * np.exp(ll - ll.max())
+    for weight, ll in zip(_GH_WEIGHTS, lls):
+        vals = vals + weight * np.exp(ll - offset)
     return vals
+
+
+def ranging_potential_from_distances(
+    distances: np.ndarray,
+    observed_distance: float,
+    ranging: RangingModel,
+    radio: RadioModel | None = None,
+    blur_sigma: float = 0.0,
+    p_detect: np.ndarray | None = None,
+) -> np.ndarray:
+    """Ranging potential over precomputed candidate *distances*.
+
+    The shared kernel behind :func:`pairwise_ranging_potential` (pairwise
+    ``(K, K)`` cell distances) and :func:`anchor_ranging_potential` (unary
+    ``(K,)`` distances to an anchor).  Callers that evaluate many
+    observations against the *same* geometry pass the distance field — and
+    optionally the matching detection-probability field *p_detect* — once
+    instead of recomputing them per observation.
+    """
+    vals = _blurred_likelihood(distances, observed_distance, ranging, blur_sigma)
+    if radio is not None or p_detect is not None:
+        pd = p_detect if p_detect is not None else radio.p_detect(distances)
+        masked = vals * pd
+        if masked.max() <= 0:
+            # The observed distance is inconsistent with being in radio
+            # range (a gross outlier, e.g. severe NLOS): discard the range
+            # and keep the link evidence rather than zeroing the factor.
+            masked = pd
+        vals = masked
+    return _normalize_matrix(vals)
 
 
 def pairwise_ranging_potential(
@@ -90,18 +135,9 @@ def pairwise_ranging_potential(
     *blur_sigma* marginalizes the grid-quantization error (see
     :func:`_blurred_likelihood`).
     """
-    vals = _blurred_likelihood(
-        cell_distances, observed_distance, ranging, blur_sigma
+    return ranging_potential_from_distances(
+        cell_distances, observed_distance, ranging, radio, blur_sigma
     )
-    if radio is not None:
-        masked = vals * radio.p_detect(cell_distances)
-        if masked.max() <= 0:
-            # The observed distance is inconsistent with being in radio
-            # range (a gross outlier, e.g. severe NLOS): discard the range
-            # and keep the link evidence rather than zeroing the factor.
-            masked = radio.p_detect(cell_distances)
-        vals = masked
-    return _normalize_matrix(vals)
 
 
 def connectivity_potential(
@@ -120,16 +156,13 @@ def anchor_ranging_potential(
     blur_sigma: float = 0.0,
 ) -> np.ndarray:
     """Unary ``(K,)`` potential from a ranged anchor observation."""
-    d = grid.distances_to_point(anchor_position)
-    vals = _blurred_likelihood(d, observed_distance, ranging, blur_sigma)
-    if radio is not None:
-        masked = vals * radio.p_detect(d)
-        if masked.max() <= 0:
-            # Gross outlier (see pairwise_ranging_potential): keep the
-            # link-only evidence.
-            masked = radio.p_detect(d)
-        vals = masked
-    return _normalize_matrix(vals)
+    return ranging_potential_from_distances(
+        grid.distances_to_point(anchor_position),
+        observed_distance,
+        ranging,
+        radio,
+        blur_sigma,
+    )
 
 
 def anchor_connectivity_potential(
@@ -298,3 +331,164 @@ class RangingPotentialCache:
     @property
     def n_cached(self) -> int:
         return len(self._cache)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory held by the cached sparse kernels."""
+        return sum(
+            m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+            for m in self._cache.values()
+        )
+
+
+def _fingerprint(obj) -> tuple | None:
+    """Hashable identity of a model object, from its scalar attributes.
+
+    Two instances fingerprint equal iff they are the same class with the
+    same scalar (and recursively fingerprintable) attributes — exactly the
+    condition under which they produce identical potentials.  Returns
+    ``None`` for objects that carry non-scalar state (arrays, callables),
+    which the registry treats as uncacheable rather than guessing.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return ("scalar", obj)
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is None:
+        return None
+    items = []
+    for name in sorted(attrs):
+        value = attrs[name]
+        if isinstance(value, (bool, int, float, str, type(None))):
+            items.append((name, value))
+        else:
+            nested = _fingerprint(value)
+            if nested is None:
+                return None
+            items.append((name, nested))
+    return (type(obj).__module__, type(obj).__qualname__, tuple(items))
+
+
+class PotentialCacheRegistry:
+    """Process-level store of potential caches shared across solver runs.
+
+    Monte-Carlo sweeps (:func:`repro.parallel.run_trials` and the
+    resilient variant) run hundreds of trials over the *same* grid
+    geometry, ranging model, and radio — yet each
+    :class:`~repro.core.bnloc.GridBPLocalizer` call used to rebuild its
+    :class:`RangingPotentialCache` (and the grid's ``(K, K)`` center
+    distance matrix) from scratch.  This registry keys those artifacts on
+    ``(grid geometry, ranging model, radio model, blur_sigma)`` so every
+    trial after the first inside a worker process reuses the warm kernels.
+
+    Correctness: a cache entry is reused only when the fingerprint of all
+    four key components matches exactly, and the cached objects are pure
+    functions of that key — so a warm run is bit-identical to a cold one
+    (asserted by ``tests/test_perf_cache.py``).  Models whose state cannot
+    be fingerprinted (non-scalar attributes) bypass the registry and get a
+    private cache, never a wrong one.
+
+    The registry is bounded: at most *max_entries* ranging caches (and as
+    many distance matrices) are kept, evicted least-recently-used.  Hits,
+    misses, and resident bytes are available via :meth:`stats` and are
+    surfaced as tracer counters/gauges (``cache_hits``, ``cache_misses``,
+    ``cache_bytes``) by the call sites.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._ranging: "OrderedDict[tuple, RangingPotentialCache]" = OrderedDict()
+        self._pairwise: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _grid_key(grid: Grid2D) -> tuple:
+        return (grid.nx, grid.ny, float(grid.width), float(grid.height))
+
+    def pairwise_distances(self, grid: Grid2D) -> np.ndarray:
+        """Shared ``(K, K)`` cell-center distance matrix for *grid*.
+
+        Also installs the matrix into *grid*'s own cache slot, so
+        subsequent ``grid.pairwise_center_distances()`` calls hit it.
+        """
+        key = self._grid_key(grid)
+        mat = self._pairwise.get(key)
+        if mat is None:
+            mat = grid.pairwise_center_distances()
+            self._pairwise[key] = mat
+            while len(self._pairwise) > self.max_entries:
+                self._pairwise.popitem(last=False)
+        else:
+            self._pairwise.move_to_end(key)
+            grid.use_shared_pairwise(mat)
+        return mat
+
+    def ranging_cache(
+        self,
+        grid: Grid2D,
+        ranging: RangingModel,
+        radio: RadioModel | None,
+        blur_sigma: float,
+    ) -> RangingPotentialCache:
+        """A (possibly warm) :class:`RangingPotentialCache` for the key.
+
+        On a fingerprint match the previously built cache — including all
+        its quantized sparse kernels — is returned; otherwise a fresh one
+        is built, registered (when fingerprintable), and returned.
+        """
+        rkey = _fingerprint(ranging)
+        dkey = _fingerprint(radio)
+        if rkey is None or (radio is not None and dkey is None):
+            self.misses += 1
+            return RangingPotentialCache(
+                grid, ranging, radio, blur_sigma=blur_sigma
+            )
+        key = (self._grid_key(grid), rkey, dkey, float(blur_sigma))
+        cache = self._ranging.get(key)
+        if cache is not None:
+            self.hits += 1
+            self._ranging.move_to_end(key)
+            self.pairwise_distances(grid)  # install into the caller's grid
+            return cache
+        self.misses += 1
+        self.pairwise_distances(grid)  # share the distance matrix too
+        cache = RangingPotentialCache(grid, ranging, radio, blur_sigma=blur_sigma)
+        self._ranging[key] = cache
+        while len(self._ranging) > self.max_entries:
+            self._ranging.popitem(last=False)
+        return cache
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        return sum(c.nbytes for c in self._ranging.values()) + sum(
+            m.nbytes for m in self._pairwise.values()
+        )
+
+    def stats(self) -> dict:
+        """JSON-safe snapshot: hits, misses, entry counts, resident bytes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "ranging_entries": len(self._ranging),
+            "pairwise_entries": len(self._pairwise),
+            "bytes": self.nbytes,
+        }
+
+    def clear(self) -> None:
+        self._ranging.clear()
+        self._pairwise.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: process-level singleton; worker processes each grow their own copy
+_SHARED_REGISTRY = PotentialCacheRegistry()
+
+
+def shared_registry() -> PotentialCacheRegistry:
+    """The process-level :class:`PotentialCacheRegistry` singleton."""
+    return _SHARED_REGISTRY

@@ -24,6 +24,7 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from repro.core.potentials import shared_registry
 from repro.obs import NULL_TRACER, NullTracer
 from repro.utils.rng import RNGLike, child_seed_ints, spawn_seeds
 
@@ -37,6 +38,22 @@ __all__ = [
     "TrialFailure",
     "TrialBatchResult",
 ]
+
+
+def _record_cache_stats(tracer: NullTracer, before: dict) -> None:
+    """Batch-level potential-cache telemetry: hit/miss deltas over the run
+    plus resident bytes.  Reflects this process's registry only — pool
+    workers each warm their own copy, which these counters cannot see
+    (their effect still shows up as wall-clock speedup).
+    """
+    after = shared_registry().stats()
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    if hits:
+        tracer.count("cache_hits", hits)
+    if misses:
+        tracer.count("cache_misses", misses)
+    tracer.gauge_max("cache_bytes", after["bytes"])
 
 
 class TrialExecutionError(RuntimeError):
@@ -122,6 +139,7 @@ def run_trials(
     seeds = child_seed_ints(seed, n_trials)
     if n_trials == 0:
         return []
+    cache_before = shared_registry().stats() if tracer.enabled else None
     with tracer.timer("run_trials"):
         if n_workers == 1:
             out = []
@@ -140,6 +158,7 @@ def run_trials(
     if tracer.enabled:
         tracer.count("trials", n_trials)
         tracer.annotate("n_workers", n_workers)
+        _record_cache_stats(tracer, cache_before)
     return out
 
 
@@ -341,6 +360,7 @@ def run_trials_resilient(
     if use_processes:
         _require_picklable(fn)
 
+    cache_before = shared_registry().stats() if tracer.enabled else None
     with tracer.timer("run_trials_resilient"):
         if use_processes:
             batch = _run_resilient_processes(
@@ -353,6 +373,7 @@ def run_trials_resilient(
         tracer.count("trials_failed", len(batch.failures))
         tracer.count("trial_retries", batch.retries)
         tracer.annotate("n_workers", n_workers)
+        _record_cache_stats(tracer, cache_before)
     return batch
 
 

@@ -28,10 +28,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bnloc import _MSG_FLOOR, GridBPConfig, GridBPLocalizer
+from repro.core.bnloc import (
+    _ANCHOR_BROADCAST_BYTES,
+    _MSG_FLOOR,
+    GridBPConfig,
+    GridBPLocalizer,
+)
 from repro.core.grid import Grid2D
 from repro.core.health import fallback_position
-from repro.core.potentials import RangingPotentialCache, connectivity_potential
+from repro.core.potentials import (
+    RangingPotentialCache,
+    connectivity_potential,
+    shared_registry,
+)
 from repro.core.result import LocalizationResult
 from repro.faults import FaultPlan, MessageFaultInjector, degrade_measurements
 from repro.measurement.measurements import MeasurementSet
@@ -206,12 +215,17 @@ class DistributedBPSimulator:
         }
 
         if ms.has_ranging:
-            cache = RangingPotentialCache(
-                grid,
-                ms.ranging,
-                radio if cfg.use_connectivity_in_ranging else None,
-                blur_sigma=cfg.cell_blur_fraction * grid.cell_diagonal,
-            )
+            blur = cfg.cell_blur_fraction * grid.cell_diagonal
+            conn_radio = radio if cfg.use_connectivity_in_ranging else None
+            if cfg.shared_cache:
+                # Same cross-trial kernel reuse as the centralized solver.
+                cache = shared_registry().ranging_cache(
+                    grid, ms.ranging, conn_radio, blur
+                )
+            else:
+                cache = RangingPotentialCache(
+                    grid, ms.ranging, conn_radio, blur_sigma=blur
+                )
         conn_psi = None
         anchor_broadcasts = 0
         for i, j in ms.edges():
@@ -227,6 +241,8 @@ class DistributedBPSimulator:
                 if conn_psi is None:
                     from scipy import sparse
 
+                    if cfg.shared_cache:
+                        shared_registry().pairwise_distances(grid)
                     conn_psi = sparse.csr_matrix(
                         connectivity_potential(grid.pairwise_center_distances(), radio)
                     )
@@ -355,13 +371,19 @@ class DistributedBPSimulator:
                 "messages": injector.log.to_dict() if injector is not None else None,
                 "measurements": meas_log.to_dict() if meas_log is not None else None,
             }
+        # Same accounting convention as GridBPLocalizer: anchor broadcasts
+        # carry a position (2 float64), unknowns exchange K-vectors.
         total_msgs = anchor_broadcasts + sum(s.messages for s in stats)
+        total_bytes = anchor_broadcasts * _ANCHOR_BROADCAST_BYTES + sum(
+            s.bytes for s in stats
+        )
         if tracer.enabled:
             tracer.annotate("method", self.name)
             tracer.annotate("converged", bool(converged))
             tracer.count("runs")
             tracer.count("bp_iterations", n_round)
             tracer.count("messages", total_msgs)
+            tracer.count("bytes", total_bytes)
             n_fallback = int(fallback.sum())
             if n_fallback:
                 tracer.count("fallback_nodes", n_fallback)
@@ -372,7 +394,7 @@ class DistributedBPSimulator:
             n_iterations=n_round,
             converged=converged,
             messages_sent=total_msgs,
-            bytes_sent=anchor_broadcasts * 2 * 8 + sum(s.bytes for s in stats),
+            bytes_sent=total_bytes,
             fallback_mask=fallback,
             extras=extras,
         )

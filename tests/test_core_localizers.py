@@ -124,7 +124,17 @@ class TestGridBPLocalizer:
     def test_message_accounting(self, measurements):
         result = GridBPLocalizer(config=SMALL_CFG).localize(measurements)
         assert result.messages_sent > 0
-        assert result.bytes_sent == result.messages_sent * 15 * 15 * 8
+        # Anchor broadcasts carry the anchor's position (2 float64);
+        # unknown-unknown messages carry a K-vector of float64.
+        ms = measurements
+        anchor_msgs = sum(
+            1
+            for i, j in ms.edges()
+            if bool(ms.anchor_mask[i]) != bool(ms.anchor_mask[j])
+        )
+        uu_msgs = result.messages_sent - anchor_msgs
+        assert uu_msgs > 0
+        assert result.bytes_sent == anchor_msgs * 2 * 8 + uu_msgs * 15 * 15 * 8
 
     def test_map_estimator_on_cell_centers(self, measurements):
         cfg = GridBPConfig(grid_size=15, max_iterations=6, estimator="map")

@@ -183,6 +183,12 @@ class TestDistributedBPSimulator:
         central = GridBPLocalizer(config=cfg).localize(ms)
         dist, stats = DistributedBPSimulator(config=cfg).run(ms)
         np.testing.assert_allclose(dist.estimates, central.estimates, atol=1e-6)
+        # Both solvers bill the same convention (anchor broadcast = one
+        # position of 2 float64, unknown-unknown message = K float64), so
+        # with identical round counts the accounting must agree exactly.
+        assert dist.n_iterations == central.n_iterations
+        assert dist.messages_sent == central.messages_sent
+        assert dist.bytes_sent == central.bytes_sent
 
     def test_round_stats_accounting(self, scenario):
         net, ms = scenario
