@@ -42,6 +42,7 @@ def _memoryless(traj, anchor_mask, ranging, gen):
 
 def run_experiment():
     curves = {"bayes-tracker": [], "memoryless": [], "mcl": []}
+    mcl_coverage = []
     ranging = GaussianRanging(0.02)
     for gen in spawn_generators(160, N_TRIALS):
         net = generate_network(
@@ -68,11 +69,18 @@ def run_experiment():
         mcl = MCLTracker(RADIO, v_max=4 * STEP_SIGMA, n_particles=100)
         mres = mcl.track(traj, net.anchor_mask, rng=gen)
         curves["mcl"].append(mres.mean_error_per_step(traj, unknown) / RADIO.range_)
-    return {m: np.mean(np.stack(v), axis=0) for m, v in curves.items()}
+        # Coverage counts only steps whose constraint filter succeeded:
+        # degraded steps report an unfiltered fallback cloud, not a fix.
+        good = mres.localized & ~mres.extras["degraded"]
+        mcl_coverage.append(float(good[:, unknown].mean()))
+    out = {m: np.mean(np.stack(v), axis=0) for m, v in curves.items()}
+    out["mcl-coverage"] = float(np.mean(mcl_coverage))
+    return out
 
 
 def test_e16_mobile_tracking(benchmark):
     curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    mcl_coverage = curves.pop("mcl-coverage")
     report(
         "e16_mobile_tracking",
         format_series(
@@ -81,7 +89,8 @@ def test_e16_mobile_tracking(benchmark):
             {m: list(v) for m, v in curves.items()},
             title=f"E16: tracking error / r per step ({N_TRIALS} trials, "
             f"random walk sigma={STEP_SIGMA})",
-        ),
+        )
+        + f"\nmcl coverage (degraded steps excluded): {mcl_coverage:.3f}",
     )
     steady = slice(3, None)
     bayes = curves["bayes-tracker"][steady].mean()

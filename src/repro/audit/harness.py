@@ -1,0 +1,468 @@
+"""Cross-solver differential testing over the audit corpus.
+
+Every :class:`DiffCase` names two runners (or one, for invariant-only
+cases) and the *equivalence tier* the pair must satisfy on each corpus
+scenario:
+
+``bit``
+    Byte-identical outputs — estimates, masks, beliefs, iteration count,
+    and the message/byte ledger.  Holds for pairs that execute the same
+    arithmetic in a different organization: centralized vs distributed
+    (fault-free), optimized vs reference kernels, shared-cache warm vs
+    cold, worker counts 1 vs N.
+``statistical``
+    Same accuracy within a tolerance band, full coverage on both sides —
+    for pairs that approximate the same posterior differently (multi-res
+    or NBP vs single-grid BP).
+``invariant``
+    No cross-solver claim (faulted runs): only the runtime invariant set
+    of :mod:`repro.audit.invariants` must hold.
+
+Regardless of tier, every :class:`~repro.core.result.LocalizationResult` a
+runner produces is additionally passed through the invariant bundle, so a
+"bit-equal but both broken" pair still fails.
+
+:func:`run_corpus` executes the case matrix over a corpus and returns one
+:class:`DiffReport` per (case, scenario); :func:`summarize` renders the
+table the ``repro audit`` CLI prints.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.audit.corpus import ScenarioSpec, make_corpus
+from repro.audit.invariants import (
+    AuditViolation,
+    audit_localization_result,
+    check_round_accounting,
+)
+from repro.core.bnloc import GridBPConfig, GridBPLocalizer
+from repro.core.result import LocalizationResult
+
+__all__ = [
+    "ScenarioContext",
+    "DiffCase",
+    "DiffReport",
+    "default_cases",
+    "run_case",
+    "run_corpus",
+    "summarize",
+]
+
+TIERS = ("bit", "statistical", "invariant")
+
+
+class ScenarioContext:
+    """One built corpus scenario, shared by every case that runs on it."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.network, self.measurements, self.prior = spec.build()
+
+    @property
+    def radio_range(self) -> float:
+        return self.network.radio_range
+
+
+@dataclass(frozen=True)
+class DiffCase:
+    """One solver pair (or single solver) and its declared equivalence tier.
+
+    ``run_ref`` / ``run_alt`` map a :class:`ScenarioContext` to a payload —
+    a :class:`LocalizationResult`, a ``(result, round_stats)`` tuple, or
+    (for executor cases) a plain nested list.  ``applies`` gates the case
+    per scenario (e.g. NBP needs ranging); ``slow`` marks cases excluded
+    from the default lane (process-spawning pairs).
+    """
+
+    name: str
+    tier: str
+    run_ref: Callable[[ScenarioContext], object]
+    run_alt: Callable[[ScenarioContext], object] | None = None
+    tol: float = 0.35
+    applies: Callable[[ScenarioSpec], bool] = lambda spec: True
+    slow: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise ValueError(f"tier must be one of {TIERS}, got {self.tier!r}")
+        if self.tier != "invariant" and self.run_alt is None:
+            raise ValueError(f"case {self.name!r}: tier {self.tier!r} needs run_alt")
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one case on one scenario."""
+
+    case: str
+    scenario_id: str
+    tier: str
+    passed: bool
+    detail: dict = field(default_factory=dict)
+    violations: list[AuditViolation] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.passed else "FAIL"
+
+
+# --------------------------------------------------------------------- #
+# payload plumbing
+# --------------------------------------------------------------------- #
+def _result_of(payload):
+    """The LocalizationResult inside a payload, or None."""
+    if isinstance(payload, LocalizationResult):
+        return payload
+    if (
+        isinstance(payload, tuple)
+        and payload
+        and isinstance(payload[0], LocalizationResult)
+    ):
+        return payload[0]
+    return None
+
+
+def _payload_invariants(payload, ctx: ScenarioContext) -> list[AuditViolation]:
+    result = _result_of(payload)
+    if result is None:
+        return []
+    ms = ctx.measurements
+    out = audit_localization_result(
+        result, ms.width, ms.height, anchor_mask=ms.anchor_mask
+    )
+    if isinstance(payload, tuple) and len(payload) == 2:
+        from repro.core.bnloc import _ANCHOR_BROADCAST_BYTES
+
+        result, stats = payload
+        anchor_broadcasts = result.messages_sent - sum(s.messages for s in stats)
+        K = result.extras["grid"].n_cells if "grid" in result.extras else None
+        if K is not None:
+            out += check_round_accounting(
+                result,
+                stats,
+                anchor_broadcasts,
+                _ANCHOR_BROADCAST_BYTES,
+                msg_bytes=K * 8,
+            )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# tier comparisons
+# --------------------------------------------------------------------- #
+def _bit_equal_results(
+    ref: LocalizationResult, alt: LocalizationResult
+) -> tuple[bool, dict]:
+    detail: dict = {}
+    if not np.array_equal(ref.localized_mask, alt.localized_mask):
+        detail["mismatch"] = "localized_mask"
+        return False, detail
+    m = ref.localized_mask
+    if not np.array_equal(ref.estimates[m], alt.estimates[m]):
+        detail["mismatch"] = "estimates"
+        detail["max_deviation"] = float(
+            np.abs(ref.estimates[m] - alt.estimates[m]).max()
+        )
+        return False, detail
+    for fld in ("n_iterations", "converged", "messages_sent", "bytes_sent"):
+        if getattr(ref, fld) != getattr(alt, fld):
+            detail["mismatch"] = fld
+            detail["ref"] = getattr(ref, fld)
+            detail["alt"] = getattr(alt, fld)
+            return False, detail
+    b_ref = ref.extras.get("beliefs")
+    b_alt = alt.extras.get("beliefs")
+    if isinstance(b_ref, dict) and isinstance(b_alt, dict):
+        if sorted(b_ref) != sorted(b_alt):
+            detail["mismatch"] = "belief keys"
+            return False, detail
+        for u in b_ref:
+            if not np.array_equal(b_ref[u], b_alt[u]):
+                detail["mismatch"] = "beliefs"
+                detail["node"] = int(u)
+                detail["max_deviation"] = float(np.abs(b_ref[u] - b_alt[u]).max())
+                return False, detail
+    detail["max_deviation"] = 0.0
+    return True, detail
+
+
+def _compare_bit(ref, alt) -> tuple[bool, dict]:
+    r_ref, r_alt = _result_of(ref), _result_of(alt)
+    if r_ref is not None and r_alt is not None:
+        return _bit_equal_results(r_ref, r_alt)
+    # executor payloads: nested lists / arrays — exact equality
+    a = np.asarray(ref, dtype=np.float64)
+    b = np.asarray(alt, dtype=np.float64)
+    if a.shape != b.shape:
+        return False, {"mismatch": "shape", "ref": str(a.shape), "alt": str(b.shape)}
+    eq = np.array_equal(a, b, equal_nan=True)
+    detail = {"max_deviation": 0.0 if eq else float(np.nanmax(np.abs(a - b)))}
+    if not eq:
+        detail["mismatch"] = "payload"
+    return eq, detail
+
+
+def _compare_statistical(
+    ref, alt, ctx: ScenarioContext, tol: float
+) -> tuple[bool, dict]:
+    r_ref, r_alt = _result_of(ref), _result_of(alt)
+    truth = ctx.network.positions
+    unknown = ~ctx.network.anchor_mask
+    r = ctx.radio_range
+
+    def mean_err(res: LocalizationResult) -> float:
+        with np.errstate(invalid="ignore"):
+            return float(np.nanmean(res.errors(truth)[unknown])) / r
+
+    def coverage(res: LocalizationResult) -> float:
+        return float(res.localized_mask[unknown].mean())
+
+    e_ref, e_alt = mean_err(r_ref), mean_err(r_alt)
+    gap = abs(e_ref - e_alt)
+    cov_gap = abs(coverage(r_ref) - coverage(r_alt))
+    detail = {
+        "ref_error": round(e_ref, 4),
+        "alt_error": round(e_alt, 4),
+        "error_gap": round(gap, 4),
+        "coverage_gap": round(cov_gap, 4),
+        "tol": tol,
+    }
+    passed = bool(np.isfinite(gap)) and gap <= tol and cov_gap <= 1e-12
+    if not passed:
+        detail["mismatch"] = "accuracy band" if cov_gap <= 1e-12 else "coverage"
+    return passed, detail
+
+
+# --------------------------------------------------------------------- #
+# the standard case matrix
+# --------------------------------------------------------------------- #
+def _audit_bp_config(**overrides) -> GridBPConfig:
+    """The harness's compact solver settings (small grid, pinned rounds)."""
+    base = dict(grid_size=10, max_iterations=6, tol=1e-9)
+    base.update(overrides)
+    return GridBPConfig(**base)
+
+
+def _run_grid(ctx: ScenarioContext, **overrides) -> LocalizationResult:
+    cfg = _audit_bp_config(**overrides)
+    return GridBPLocalizer(prior=ctx.prior, config=cfg).localize(ctx.measurements)
+
+
+def _run_distributed(ctx: ScenarioContext, with_stats: bool = False, **overrides):
+    from repro.parallel.messaging import DistributedBPSimulator
+
+    cfg = _audit_bp_config(**overrides)
+    sim = DistributedBPSimulator(
+        prior=ctx.prior, config=cfg, faults=ctx.spec.faults
+    )
+    result, stats = sim.run(ctx.measurements)
+    return (result, stats) if with_stats else result
+
+
+def _run_grid_warm(ctx: ScenarioContext) -> LocalizationResult:
+    """Guaranteed-warm shared-cache run (prime once, then measure)."""
+    _run_grid(ctx, shared_cache=True)
+    return _run_grid(ctx, shared_cache=True)
+
+
+def _run_multires(ctx: ScenarioContext) -> LocalizationResult:
+    from repro.core.multires import MultiResolutionLocalizer
+
+    return MultiResolutionLocalizer(
+        prior=ctx.prior,
+        levels=(8, 12),
+        iterations_per_level=(6, 4),
+        config=_audit_bp_config(grid_size=12),
+    ).localize(ctx.measurements)
+
+
+def _run_nbp(ctx: ScenarioContext) -> LocalizationResult:
+    from repro.core.nbp import NBPConfig, NBPLocalizer
+
+    return NBPLocalizer(
+        prior=ctx.prior,
+        config=NBPConfig(n_particles=150, n_iterations=4),
+    ).localize(ctx.measurements, np.random.default_rng(ctx.spec.seed))
+
+
+def _executor_trial(spec: ScenarioSpec, seed: int) -> list:
+    """Module-level (picklable) trial for the worker-count bit case."""
+    ctx = ScenarioContext(spec)
+    return _run_grid(ctx).estimates.tolist()
+
+
+def _run_trials_with_workers(ctx: ScenarioContext, n_workers: int) -> list:
+    from repro.parallel import run_trials
+
+    return run_trials(
+        functools.partial(_executor_trial, ctx.spec),
+        n_trials=2,
+        seed=ctx.spec.seed,
+        n_workers=n_workers,
+    )
+
+
+def default_cases() -> list[DiffCase]:
+    """The standing case matrix (see module docstring for the tiers)."""
+    fault_free = lambda spec: spec.faults is None
+    faulted = lambda spec: spec.faults is not None
+    ranged = lambda spec: spec.faults is None and spec.config.ranging != "none"
+    return [
+        DiffCase(
+            "central-vs-distributed",
+            "bit",
+            run_ref=_run_grid,
+            run_alt=_run_distributed,
+            applies=fault_free,
+        ),
+        DiffCase(
+            "optimized-vs-reference",
+            "bit",
+            run_ref=functools.partial(_run_grid, optimized=True),
+            run_alt=functools.partial(_run_grid, optimized=False),
+            applies=fault_free,
+        ),
+        DiffCase(
+            "serial-optimized-vs-reference",
+            "bit",
+            run_ref=functools.partial(_run_grid, schedule="serial", optimized=True),
+            run_alt=functools.partial(_run_grid, schedule="serial", optimized=False),
+            applies=fault_free,
+        ),
+        DiffCase(
+            "cache-warm-vs-cold",
+            "bit",
+            run_ref=functools.partial(_run_grid, shared_cache=False),
+            run_alt=_run_grid_warm,
+            applies=fault_free,
+        ),
+        DiffCase(
+            "workers-1-vs-2",
+            "bit",
+            run_ref=functools.partial(_run_trials_with_workers, n_workers=1),
+            run_alt=functools.partial(_run_trials_with_workers, n_workers=2),
+            applies=fault_free,
+            slow=True,
+        ),
+        DiffCase(
+            "multires-vs-grid",
+            "statistical",
+            run_ref=functools.partial(_run_grid, grid_size=12),
+            run_alt=_run_multires,
+            tol=0.35,
+            applies=fault_free,
+        ),
+        DiffCase(
+            "nbp-vs-grid",
+            "statistical",
+            run_ref=_run_grid,
+            run_alt=_run_nbp,
+            tol=0.75,
+            applies=ranged,
+        ),
+        DiffCase(
+            "faulted-distributed-invariants",
+            "invariant",
+            run_ref=functools.partial(_run_distributed, with_stats=True),
+            applies=faulted,
+        ),
+        DiffCase(
+            "grid-invariants",
+            "invariant",
+            run_ref=_run_grid,
+            applies=fault_free,
+        ),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------- #
+def run_case(case: DiffCase, ctx: ScenarioContext) -> DiffReport:
+    """Execute one case on one built scenario."""
+    ref = case.run_ref(ctx)
+    violations = _payload_invariants(ref, ctx)
+    detail: dict = {}
+    passed = True
+    if case.tier == "invariant":
+        passed = not violations
+    else:
+        alt = case.run_alt(ctx)
+        violations += _payload_invariants(alt, ctx)
+        if case.tier == "bit":
+            passed, detail = _compare_bit(ref, alt)
+        else:
+            passed, detail = _compare_statistical(ref, alt, ctx, case.tol)
+        passed = passed and not violations
+    return DiffReport(
+        case=case.name,
+        scenario_id=ctx.spec.scenario_id,
+        tier=case.tier,
+        passed=passed,
+        detail=detail,
+        violations=violations,
+    )
+
+
+def run_corpus(
+    corpus: str | Sequence[ScenarioSpec] = "smoke",
+    cases: Sequence[DiffCase] | None = None,
+    include_slow: bool = False,
+) -> list[DiffReport]:
+    """Run the case matrix over a corpus (name or explicit spec list)."""
+    specs = make_corpus(corpus) if isinstance(corpus, str) else list(corpus)
+    if cases is None:
+        cases = default_cases()
+    cases = [c for c in cases if include_slow or not c.slow]
+    reports: list[DiffReport] = []
+    for spec in specs:
+        ctx = ScenarioContext(spec)
+        for case in cases:
+            if not case.applies(spec):
+                continue
+            reports.append(run_case(case, ctx))
+    return reports
+
+
+def summarize(reports: Sequence[DiffReport]) -> str:
+    """Plain-text table of the reports plus a per-tier pass count."""
+    if not reports:
+        return "no audit cases ran (empty corpus or nothing applied)"
+    rows = []
+    for r in reports:
+        note = ""
+        if r.detail.get("mismatch"):
+            note = f"mismatch={r.detail['mismatch']}"
+        elif r.tier == "statistical":
+            note = f"gap={r.detail.get('error_gap')}"
+        if r.violations:
+            sep = "; " if note else ""
+            note = f"{note}{sep}{len(r.violations)} invariant violation(s)"
+        rows.append((r.case, r.scenario_id, r.tier, r.status, note))
+    w0 = max(len(r[0]) for r in rows + [("case",)*1])
+    w1 = max(len(r[1]) for r in rows)
+    w1 = max(w1, len("scenario"))
+    lines = [
+        f"{'case':<{w0}}  {'scenario':<{w1}}  {'tier':<11}  {'status':<6}  note",
+        "-" * (w0 + w1 + 35),
+    ]
+    for case, scenario, tier, status, note in rows:
+        lines.append(f"{case:<{w0}}  {scenario:<{w1}}  {tier:<11}  {status:<6}  {note}")
+    by_tier: dict[str, list[DiffReport]] = {}
+    for r in reports:
+        by_tier.setdefault(r.tier, []).append(r)
+    lines.append("")
+    for tier in TIERS:
+        if tier in by_tier:
+            ok = sum(r.passed for r in by_tier[tier])
+            lines.append(f"{tier}: {ok}/{len(by_tier[tier])} passed")
+    n_fail = sum(not r.passed for r in reports)
+    lines.append(
+        "all clear" if n_fail == 0 else f"{n_fail}/{len(reports)} case runs FAILED"
+    )
+    return "\n".join(lines)

@@ -9,6 +9,7 @@ Runs complete localization experiments without writing Python::
                           --methods bn-pk,bn --trials 3
     python -m repro trace --nodes 60 --method grid-bp --seed 0
     python -m repro faults --nodes 60 --loss-rates 0,0.2,0.5
+    python -m repro audit --corpus smoke
     python -m repro demo
 
 Output is the same plain-text tables the benchmark suite produces.
@@ -192,6 +193,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_faults.set_defaults(func=cmd_faults)
 
+    p_audit = sub.add_parser(
+        "audit",
+        help="cross-solver differential audit over a seeded scenario corpus",
+    )
+    p_audit.add_argument(
+        "--corpus",
+        choices=["smoke", "full"],
+        default="smoke",
+        help="scenario corpus: 'smoke' is the fast tier-1 set",
+    )
+    p_audit.add_argument(
+        "--slow",
+        action="store_true",
+        help="include slow cases (process-pool worker equivalence)",
+    )
+    p_audit.add_argument(
+        "--manifest",
+        default=None,
+        help="write the corpus seed manifest JSON to this path and exit",
+    )
+    p_audit.set_defaults(func=cmd_audit)
+
     p_demo = sub.add_parser("demo", help="small quick demonstration run")
     p_demo.set_defaults(func=cmd_demo)
     return parser
@@ -358,6 +381,21 @@ def cmd_faults(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit import make_corpus, run_corpus, save_manifest, summarize
+
+    if args.manifest:
+        try:
+            save_manifest(make_corpus(args.corpus), args.corpus, args.manifest)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write {args.manifest}: {exc}")
+        print(f"wrote {args.corpus} corpus manifest to {args.manifest}")
+        return 0
+    reports = run_corpus(args.corpus, include_slow=args.slow)
+    print(summarize(reports))
+    return 0 if all(r.passed for r in reports) else 1
 
 
 def cmd_demo(args: argparse.Namespace) -> int:

@@ -144,6 +144,13 @@ class GridBPConfig:
         the BP rounds).  ``False`` selects the straightforward reference
         implementation, kept for A/B benchmarking and the bit-identity
         regression tests — both paths produce byte-identical beliefs.
+    audit:
+        Runtime invariant guards (:mod:`repro.audit`): ``None`` defers to
+        the ``REPRO_AUDIT`` environment toggle, ``"off"`` disables,
+        ``"warn"`` reports violations as warnings (and through the
+        tracer), ``"raise"`` escalates to
+        :class:`~repro.audit.AuditError`.  Observation-only and zero-cost
+        when off; auditing never changes solver outputs.
     shared_cache:
         Reuse ranging-potential kernels and grid distance matrices from
         the process-level :func:`~repro.core.potentials.shared_registry`
@@ -169,8 +176,13 @@ class GridBPConfig:
     restart_damping: float = 0.5
     optimized: bool = True
     shared_cache: bool = True
+    audit: str | None = None
 
     def __post_init__(self) -> None:
+        if self.audit not in (None, "off", "warn", "raise"):
+            raise ValueError(
+                f"audit must be None, 'off', 'warn', or 'raise', got {self.audit!r}"
+            )
         if self.grid_size < 2:
             raise ValueError("grid_size must be >= 2")
         if self.max_iterations < 1:
@@ -288,10 +300,21 @@ class GridBPLocalizer(Localizer):
                     psi = cache.get(ms.observed_distances[i, j])
                 else:
                     if conn_psi is None:
+                        from scipy import sparse as _sparse
+
                         if cfg.shared_cache:
                             shared_registry().pairwise_distances(grid)
-                        conn_psi = connectivity_potential(
-                            grid.pairwise_center_distances(), radio
+                        # CSR like the ranging kernels (and exactly like
+                        # DistributedBPSimulator builds it): the dense
+                        # operator went through BLAS gemv, whose rounding
+                        # differs from the sparse kernel, so the two
+                        # solvers' range-free beliefs diverged in the last
+                        # bit (caught by the repro.audit differential
+                        # harness, scenario smoke-rangefree).
+                        conn_psi = _sparse.csr_matrix(
+                            connectivity_potential(
+                                grid.pairwise_center_distances(), radio
+                            )
                         )
                     psi = conn_psi
                 if ms.has_bearings:
@@ -418,7 +441,7 @@ class GridBPLocalizer(Localizer):
                 tracer.count("fallback_nodes", n_fallback)
             if restarted:
                 tracer.annotate("damped_restart", True)
-        return LocalizationResult(
+        result = LocalizationResult(
             estimates=estimates,
             localized_mask=mask,
             method=self.name,
@@ -434,6 +457,36 @@ class GridBPLocalizer(Localizer):
                 "grid": grid,
             },
         )
+        self._maybe_audit(result, ms, ops, tracer)
+        return result
+
+    def _maybe_audit(self, result, ms: MeasurementSet, ops, tracer) -> None:
+        """Run the :mod:`repro.audit` invariant guards when enabled.
+
+        Observation-only: never mutates the result.  The common off path
+        costs one config check plus one environment lookup.
+        """
+        from repro.audit.invariants import resolve_audit_mode
+
+        mode = resolve_audit_mode(self.config.audit)
+        if mode is None:
+            return
+        from repro.audit.invariants import (
+            Auditor,
+            audit_localization_result,
+            check_symmetric_ops,
+        )
+
+        auditor = Auditor(mode, tracer=tracer, solver=self.name)
+        auditor.extend(
+            audit_localization_result(
+                result, ms.width, ms.height, anchor_mask=ms.anchor_mask
+            )
+        )
+        if not ms.has_bearings:
+            # pure ranging / connectivity operators are claimed symmetric
+            auditor.extend(check_symmetric_ops(ops))
+        auditor.finish()
 
     # ------------------------------------------------------------------ #
     def _node_potentials(

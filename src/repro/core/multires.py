@@ -83,13 +83,24 @@ class MultiResolutionLocalizer(Localizer):
     def localize(
         self, measurements: MeasurementSet, rng: RNGLike = None
     ) -> LocalizationResult:
+        """Run the ladder and aggregate into one fresh result.
+
+        Aggregate field semantics (the finest level's result is *not*
+        mutated — estimates, masks, beliefs, and grid come from the finest
+        level, the ladder-wide fields are recomputed):
+
+        * ``n_iterations`` — total BP iterations across all levels;
+        * ``converged`` — True only if *every* level met its tolerance;
+        * ``messages_sent`` / ``bytes_sent`` — summed over levels;
+        * ``extras["levels"]`` — per-level detail (``grid_size``,
+          ``n_iterations``, ``converged``, ``messages_sent``,
+          ``bytes_sent``).
+        """
         from dataclasses import replace
 
         prior: PositionPrior | None = self.prior
         result: LocalizationResult | None = None
-        total_messages = 0
-        total_bytes = 0
-        total_iters = 0
+        level_detail: list[dict] = []
         for level, (grid_size, iters) in enumerate(
             zip(self.levels, self.iterations_per_level)
         ):
@@ -98,9 +109,15 @@ class MultiResolutionLocalizer(Localizer):
             )
             solver = GridBPLocalizer(prior=prior, config=cfg)
             result = solver.localize(measurements, rng)
-            total_messages += result.messages_sent
-            total_bytes += result.bytes_sent
-            total_iters += result.n_iterations
+            level_detail.append(
+                {
+                    "grid_size": grid_size,
+                    "n_iterations": result.n_iterations,
+                    "converged": bool(result.converged),
+                    "messages_sent": result.messages_sent,
+                    "bytes_sent": result.bytes_sent,
+                }
+            )
             if level + 1 < len(self.levels):
                 grid: Grid2D = result.extras["grid"]
                 handoff: PositionPrior = GridBeliefPrior(
@@ -115,8 +132,16 @@ class MultiResolutionLocalizer(Localizer):
                     handoff = combine(handoff, self.prior)
                 prior = handoff
         assert result is not None
-        result.method = self.name
-        result.messages_sent = total_messages
-        result.bytes_sent = total_bytes
-        result.n_iterations = total_iters
-        return result
+        return LocalizationResult(
+            estimates=result.estimates,
+            localized_mask=result.localized_mask,
+            method=self.name,
+            n_iterations=sum(d["n_iterations"] for d in level_detail),
+            converged=all(d["converged"] for d in level_detail),
+            trace=result.trace,
+            messages_sent=sum(d["messages_sent"] for d in level_detail),
+            bytes_sent=sum(d["bytes_sent"] for d in level_detail),
+            telemetry=result.telemetry,
+            fallback_mask=result.fallback_mask,
+            extras={**result.extras, "levels": level_detail},
+        )

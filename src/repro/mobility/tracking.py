@@ -43,6 +43,12 @@ class TrackingResult:
         ``(T+1, n)`` boolean mask.
     method:
         Tracker name.
+    extras:
+        Tracker-specific payloads.  :class:`MCLTracker` stores a
+        ``(T+1, n)`` ``"degraded"`` mask: True where the constraint
+        filter failed every resample round and the reported estimate
+        came from an unfiltered fallback cloud (coverage metrics should
+        exclude those steps).
     """
 
     estimates: np.ndarray
@@ -226,6 +232,7 @@ class MCLTracker:
         }
         estimates = np.full((T1, n, 2), np.nan)
         localized = np.zeros((T1, n), dtype=bool)
+        degraded = np.zeros((T1, n), dtype=bool)
         estimates[:, anchor_mask] = traj[:, anchor_mask]
         localized[:, anchor_mask] = True
 
@@ -276,15 +283,68 @@ class MCLTracker:
                         kept = center + gen.uniform(
                             -r, r, size=(self.n_particles, 2)
                         )
+                        # Re-seeded particles must stay in the deployment
+                        # field, like the prediction path above — a node
+                        # kidnapped near the boundary would otherwise get
+                        # an out-of-field cloud (and estimate).
+                        np.clip(kept[:, 0], 0, width, out=kept[:, 0])
+                        np.clip(kept[:, 1], 0, height, out=kept[:, 1])
                         ok = self._constraints_ok(kept, one_pos, two_pos, sil_pos, r)
                         if ok.any():
                             kept = kept[ok]
+                        else:
+                            degraded[t, u] = True
                     else:
                         kept = cloud
+                        degraded[t, u] = True
                 if len(kept) < self.n_particles:
                     idx = gen.integers(0, len(kept), size=self.n_particles)
                     kept = kept[idx]
                 clouds[u] = kept
                 estimates[t, u] = kept.mean(axis=0)
                 localized[t, u] = True
-        return TrackingResult(estimates, localized, "mcl")
+        result = TrackingResult(
+            estimates, localized, "mcl", extras={"degraded": degraded}
+        )
+        self._maybe_audit(result, width, height)
+        return result
+
+    def _maybe_audit(
+        self, result: TrackingResult, width: float, height: float
+    ) -> None:
+        # Env-toggle only (REPRO_AUDIT) — MCL has no config dataclass.
+        from repro.audit.invariants import resolve_audit_mode
+
+        mode = resolve_audit_mode(None)
+        if mode is None:
+            return
+        from repro.audit.invariants import Auditor, AuditViolation
+
+        auditor = Auditor(mode, solver=result.method)
+        est = result.estimates[result.localized]
+        if not np.isfinite(est).all():
+            auditor.extend(
+                [
+                    AuditViolation(
+                        "tracking-estimate-finite",
+                        "localized tracking estimates contain non-finite values",
+                        {},
+                    )
+                ]
+            )
+        elif len(est) and (
+            (est[:, 0] < 0).any()
+            or (est[:, 0] > width).any()
+            or (est[:, 1] < 0).any()
+            or (est[:, 1] > height).any()
+        ):
+            auditor.extend(
+                [
+                    AuditViolation(
+                        "tracking-estimate-in-field",
+                        "tracking estimates leave the deployment field",
+                        {"width": width, "height": height},
+                    )
+                ]
+            )
+        auditor.finish()

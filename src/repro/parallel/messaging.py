@@ -89,16 +89,29 @@ class SensorNodeAgent:
 
     def compute_outgoing(self, damping: float) -> dict[int, np.ndarray]:
         """One message per neighbor, from the current inbox."""
-        total = self.log_phi.copy()
-        for m in self.inbox.values():
-            total += np.log(m)
+        # log(0) = -inf is tolerated here: the degenerate-inbox guard
+        # below turns it into the uniform fallback, so silence numpy.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            total = self.log_phi.copy()
+            for m in self.inbox.values():
+                total += np.log(m)
         out: dict[int, np.ndarray] = {}
         K = len(self.log_phi)
         for other, psi in self.psi.items():
-            h = total - np.log(self.inbox[other])
-            h -= h.max()
-            msg = psi.dot(np.exp(h))
-            s = msg.sum()
+            with np.errstate(divide="ignore", invalid="ignore"):
+                h = total - np.log(self.inbox[other])
+            peak = h.max()
+            if np.isfinite(peak):
+                h -= peak
+                msg = psi.dot(np.exp(h))
+                s = msg.sum()
+            else:
+                # Degenerate inbox (summed potential is -inf everywhere,
+                # e.g. a zeroed message under fault injection): without
+                # this guard ``h - (-inf)`` turns NaN and
+                # ``psi.dot(np.exp(h))`` silently propagates it to every
+                # neighbor.  Fall back to the uninformative message.
+                s = 0.0
             msg = msg / s if s > 0 else np.full(K, 1.0 / K)
             if damping > 0:
                 # Damp against what *we last sent* to this neighbor; the
@@ -118,10 +131,16 @@ class SensorNodeAgent:
         self._last_sent = {o: np.full(K, 1.0 / K) for o in self.psi}
 
     def belief(self) -> np.ndarray:
-        acc = self.log_phi.copy()
-        for m in self.inbox.values():
-            acc += np.log(m)
-        acc -= acc.max()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            acc = self.log_phi.copy()
+            for m in self.inbox.values():
+                acc += np.log(m)
+        peak = acc.max()
+        if not np.isfinite(peak):
+            # same degenerate-inbox case as compute_outgoing: an all--inf
+            # accumulator would yield an all-NaN belief
+            return np.full(len(acc), 1.0 / len(acc))
+        acc -= peak
         b = np.exp(acc)
         return b / b.sum()
 
@@ -400,4 +419,49 @@ class DistributedBPSimulator:
         )
         if tracer.enabled:
             result.telemetry = tracer.snapshot()
+        self._maybe_audit(result, stats, ms, agents, anchor_broadcasts, K, tracer)
         return result, stats
+
+    def _maybe_audit(
+        self, result, stats, ms, agents, anchor_broadcasts: int, K: int, tracer
+    ) -> None:
+        """Invariant guards (:mod:`repro.audit`) — observation-only, free
+        when off.  On top of the shared result-level bundle, the simulator
+        checks the per-round ledger against the result totals and every
+        agent's inbox against the message floor."""
+        from repro.audit.invariants import resolve_audit_mode
+
+        mode = resolve_audit_mode(self.config.audit)
+        if mode is None:
+            return
+        from repro.audit.invariants import (
+            Auditor,
+            audit_localization_result,
+            check_message_floor,
+            check_round_accounting,
+        )
+
+        auditor = Auditor(mode, tracer=tracer, solver=self.name)
+        auditor.extend(
+            audit_localization_result(
+                result, ms.width, ms.height, anchor_mask=ms.anchor_mask
+            )
+        )
+        auditor.extend(
+            check_round_accounting(
+                result,
+                stats,
+                anchor_broadcasts,
+                _ANCHOR_BROADCAST_BYTES,
+                msg_bytes=K * 8,
+            )
+        )
+        if self.faults is None or not self.faults.enabled:
+            # The floor is a *solver* commitment; corrupted in-transit
+            # messages are renormalized by the injector and may
+            # legitimately dip below it.
+            inbox_msgs = [m for a in agents.values() for m in a.inbox.values()]
+            auditor.extend(
+                check_message_floor(inbox_msgs, _MSG_FLOOR, what="inbox message")
+            )
+        auditor.finish()

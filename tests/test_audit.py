@@ -1,0 +1,446 @@
+"""Tests for repro.audit: invariant checkers, the differential harness,
+the corpus manifest, and regression pins for the bugs the harness found.
+
+Every equivalence tier gets (a) a passing case from the standing matrix
+and (b) a deliberately broken fixture proving the harness detects the
+breakage — a differential harness that cannot fail is not a harness.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    AuditError,
+    Auditor,
+    AuditViolation,
+    DiffCase,
+    ScenarioContext,
+    audit_localization_result,
+    check_belief_matrix,
+    check_message_floor,
+    check_result_geometry,
+    check_round_accounting,
+    check_symmetric_ops,
+    load_manifest,
+    make_corpus,
+    manifest_dict,
+    resolve_audit_mode,
+    run_case,
+    run_corpus,
+    summarize,
+)
+from repro.audit.harness import _run_distributed, _run_grid, _run_nbp
+from repro.core.result import LocalizationResult
+
+pytestmark = pytest.mark.audit
+
+DATA = os.path.join(os.path.dirname(__file__), "data")
+
+
+def _spec(scenario_id):
+    specs = {s.scenario_id: s for s in make_corpus("smoke")}
+    return specs[scenario_id]
+
+
+@pytest.fixture(scope="module")
+def ranging_ctx():
+    return ScenarioContext(_spec("smoke-ranging-pk"))
+
+
+# --------------------------------------------------------------------- #
+# invariant checkers
+# --------------------------------------------------------------------- #
+class TestCheckers:
+    def test_healthy_beliefs_pass(self):
+        b = np.full((3, 4), 0.25)
+        assert check_belief_matrix(b) == []
+
+    def test_nan_negative_unnormalized_caught(self):
+        b = np.full((3, 4), 0.25)
+        b[0, 0] = np.nan
+        b[1, 1] = -0.1
+        b[2] = 0.3
+        names = {v.name for v in check_belief_matrix(b)}
+        assert names == {"belief-finite", "belief-nonnegative", "belief-normalized"}
+
+    def test_message_floor(self):
+        ok = [np.array([0.5, 0.5]), np.array([1e-12, 1.0])]
+        assert check_message_floor(ok, 1e-12) == []
+        bad = [np.array([1e-13, 1.0])]
+        assert [v.name for v in check_message_floor(bad, 1e-12)] == ["message-floor"]
+        nan = [np.array([np.nan, 1.0])]
+        assert [v.name for v in check_message_floor(nan, 1e-12)] == ["message-finite"]
+
+    def test_symmetric_ops(self):
+        sym = np.array([[1.0, 2.0], [2.0, 1.0]])
+        assert check_symmetric_ops([(sym, sym)]) == []
+        fwd = np.array([[1.0, 2.0], [3.0, 1.0]])
+        assert check_symmetric_ops([(fwd, fwd.T)]) == []
+        bad = check_symmetric_ops([(fwd, fwd)])
+        assert [v.name for v in bad] == ["potential-symmetric"]
+
+    def test_result_geometry(self):
+        est = np.array([[0.5, 0.5], [1.5, 0.5]])
+        mask = np.array([True, True])
+        res = LocalizationResult(est, mask, "t")
+        names = [v.name for v in check_result_geometry(res, 1.0, 1.0)]
+        assert names == ["estimate-in-field"]
+        anchors = np.array([False, True])
+        res2 = LocalizationResult(
+            np.array([[0.5, 0.5], [0.6, 0.6]]), np.array([True, False]), "t"
+        )
+        names = [
+            v.name for v in check_result_geometry(res2, 1.0, 1.0, anchor_mask=anchors)
+        ]
+        assert names == ["localized-superset-anchors"]
+
+    def test_round_accounting(self, ranging_ctx):
+        result, stats = _run_distributed(ranging_ctx, with_stats=True)
+        K = result.extras["grid"].n_cells
+        anchor_broadcasts = result.messages_sent - sum(s.messages for s in stats)
+        from repro.core.bnloc import _ANCHOR_BROADCAST_BYTES
+
+        assert (
+            check_round_accounting(
+                result, stats, anchor_broadcasts, _ANCHOR_BROADCAST_BYTES, K * 8
+            )
+            == []
+        )
+        # a leaked message must trip conservation
+        result.messages_sent += 1
+        bad = check_round_accounting(
+            result, stats, anchor_broadcasts, _ANCHOR_BROADCAST_BYTES, K * 8
+        )
+        assert "accounting-messages-conserved" in [v.name for v in bad]
+
+    def test_bundle_covers_beliefs(self, ranging_ctx):
+        res = _run_grid(ranging_ctx)
+        ms = ranging_ctx.measurements
+        assert (
+            audit_localization_result(
+                res, ms.width, ms.height, anchor_mask=ms.anchor_mask
+            )
+            == []
+        )
+        u = next(iter(res.extras["beliefs"]))
+        res.extras["beliefs"][u] = res.extras["beliefs"][u] * 2.0
+        names = [
+            v.name
+            for v in audit_localization_result(
+                res, ms.width, ms.height, anchor_mask=ms.anchor_mask
+            )
+        ]
+        assert "belief-normalized" in names
+
+
+class TestAuditorAndModes:
+    def test_mode_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        assert resolve_audit_mode(None) is None
+        assert resolve_audit_mode("off") is None
+        assert resolve_audit_mode("warn") == "warn"
+        assert resolve_audit_mode("raise") == "raise"
+        monkeypatch.setenv("REPRO_AUDIT", "warn")
+        assert resolve_audit_mode(None) == "warn"
+        assert resolve_audit_mode("off") is None  # config wins
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        assert resolve_audit_mode(None) == "raise"
+        monkeypatch.setenv("REPRO_AUDIT", "0")
+        assert resolve_audit_mode(None) is None
+        with pytest.raises(ValueError):
+            resolve_audit_mode("loud")
+
+    def test_warn_and_raise(self):
+        v = AuditViolation("x", "boom", {"k": 1})
+        a = Auditor("warn", solver="s")
+        a.extend([v])
+        with pytest.warns(RuntimeWarning, match="boom"):
+            a.finish()
+        b = Auditor("raise")
+        b.extend([v])
+        with pytest.raises(AuditError, match="boom"):
+            b.finish()
+        # clean finish is silent
+        Auditor("raise").finish()
+
+    def test_solver_raise_mode_clean_run(self, ranging_ctx):
+        from repro.core.bnloc import GridBPConfig, GridBPLocalizer
+
+        cfg = GridBPConfig(grid_size=8, max_iterations=4, audit="raise")
+        res = GridBPLocalizer(prior=ranging_ctx.prior, config=cfg).localize(
+            ranging_ctx.measurements
+        )
+        assert res.localized_mask.all()
+
+    def test_env_toggle_reaches_solver(self, ranging_ctx, monkeypatch):
+        from repro.core.bnloc import GridBPConfig, GridBPLocalizer
+
+        monkeypatch.setenv("REPRO_AUDIT", "raise")
+        cfg = GridBPConfig(grid_size=8, max_iterations=4)
+        res = GridBPLocalizer(prior=ranging_ctx.prior, config=cfg).localize(
+            ranging_ctx.measurements
+        )
+        assert res.localized_mask.all()
+
+    def test_config_rejects_bad_mode(self):
+        from repro.core.bnloc import GridBPConfig
+        from repro.core.nbp import NBPConfig
+
+        with pytest.raises(ValueError):
+            GridBPConfig(audit="loud")
+        with pytest.raises(ValueError):
+            NBPConfig(audit="loud")
+
+
+# --------------------------------------------------------------------- #
+# corpus + manifest
+# --------------------------------------------------------------------- #
+class TestCorpus:
+    def test_deterministic(self):
+        a = make_corpus("smoke")
+        b = make_corpus("smoke")
+        assert [s.scenario_id for s in a] == [s.scenario_id for s in b]
+        assert a == b
+
+    def test_full_superset_of_smoke(self):
+        smoke = {s.scenario_id for s in make_corpus("smoke")}
+        full = {s.scenario_id for s in make_corpus("full")}
+        assert smoke < full
+
+    def test_unknown_corpus(self):
+        with pytest.raises(ValueError):
+            make_corpus("nightly")
+
+    def test_manifest_roundtrip(self, tmp_path):
+        from repro.audit import save_manifest
+
+        corpus = make_corpus("smoke")
+        path = tmp_path / "m.json"
+        save_manifest(corpus, "smoke", path)
+        assert load_manifest(path) == corpus
+
+    def test_pinned_manifest_matches_code(self):
+        """tests/data pin == what the code generates, so any corpus edit
+        must consciously regenerate the replay file."""
+        path = os.path.join(DATA, "audit_corpus_smoke.json")
+        assert load_manifest(path) == make_corpus("smoke")
+        with open(path, encoding="utf-8") as fh:
+            on_disk = json.load(fh)
+        assert on_disk == json.loads(
+            json.dumps(manifest_dict(make_corpus("smoke"), "smoke"))
+        )
+
+    def test_manifest_schema_guard(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 99, "scenarios": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_manifest(path)
+
+
+# --------------------------------------------------------------------- #
+# differential harness: each tier passes, and each tier detects breakage
+# --------------------------------------------------------------------- #
+def _broken_bit_runner(ctx):
+    res = _run_grid(ctx)
+    res.estimates = res.estimates.copy()
+    u = int(np.flatnonzero(~ctx.measurements.anchor_mask)[0])
+    res.estimates[u, 0] += 1e-9  # one ULP-scale nudge must be caught
+    return res
+
+
+def _broken_statistical_runner(ctx):
+    res = _run_grid(ctx)
+    res.estimates = res.estimates.copy()
+    unknown = ~ctx.measurements.anchor_mask
+    # shift every unknown estimate by 2 radio ranges: far outside any band
+    res.estimates[unknown, 0] = np.clip(
+        res.estimates[unknown, 0] + 2 * ctx.radio_range, 0, ctx.measurements.width
+    )
+    return res
+
+
+def _broken_invariant_runner(ctx):
+    res = _run_grid(ctx)
+    res.estimates = res.estimates.copy()
+    u = int(np.flatnonzero(~ctx.measurements.anchor_mask)[0])
+    res.estimates[u] = (ctx.measurements.width + 0.5, -0.25)
+    return res
+
+
+class TestHarnessTiers:
+    def test_bit_tier_passes(self, ranging_ctx):
+        case = DiffCase(
+            "central-vs-distributed", "bit", run_ref=_run_grid, run_alt=_run_distributed
+        )
+        report = run_case(case, ranging_ctx)
+        assert report.passed and report.detail["max_deviation"] == 0.0
+
+    def test_bit_tier_detects_single_ulp(self, ranging_ctx):
+        case = DiffCase(
+            "broken-bit", "bit", run_ref=_run_grid, run_alt=_broken_bit_runner
+        )
+        report = run_case(case, ranging_ctx)
+        assert not report.passed
+        assert report.detail["mismatch"] == "estimates"
+
+    def test_statistical_tier_passes(self, ranging_ctx):
+        case = DiffCase(
+            "nbp-vs-grid", "statistical", run_ref=_run_grid, run_alt=_run_nbp, tol=0.75
+        )
+        assert run_case(case, ranging_ctx).passed
+
+    def test_statistical_tier_detects_shift(self, ranging_ctx):
+        case = DiffCase(
+            "broken-stat",
+            "statistical",
+            run_ref=_run_grid,
+            run_alt=_broken_statistical_runner,
+            tol=0.75,
+        )
+        report = run_case(case, ranging_ctx)
+        assert not report.passed
+        assert report.detail["mismatch"] == "accuracy band"
+
+    def test_invariant_tier_passes(self, ranging_ctx):
+        case = DiffCase("grid-invariants", "invariant", run_ref=_run_grid)
+        report = run_case(case, ranging_ctx)
+        assert report.passed and not report.violations
+
+    def test_invariant_tier_detects_out_of_field(self, ranging_ctx):
+        case = DiffCase(
+            "broken-invariant", "invariant", run_ref=_broken_invariant_runner
+        )
+        report = run_case(case, ranging_ctx)
+        assert not report.passed
+        assert "estimate-in-field" in [v.name for v in report.violations]
+
+    def test_invariants_guard_every_tier(self, ranging_ctx):
+        """A bit-equal pair that is *broken the same way* still fails."""
+        case = DiffCase(
+            "both-broken",
+            "bit",
+            run_ref=_broken_invariant_runner,
+            run_alt=_broken_invariant_runner,
+        )
+        report = run_case(case, ranging_ctx)
+        assert not report.passed and report.violations
+
+    def test_case_validation(self):
+        with pytest.raises(ValueError, match="tier"):
+            DiffCase("x", "fuzzy", run_ref=_run_grid)
+        with pytest.raises(ValueError, match="run_alt"):
+            DiffCase("x", "bit", run_ref=_run_grid)
+
+
+class TestRunCorpusSmoke:
+    """The tier-1 smoke lane: the full standing matrix must be green."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return run_corpus("smoke")
+
+    def test_all_clear(self, reports):
+        failed = [r for r in reports if not r.passed]
+        assert not failed, summarize(reports)
+
+    def test_every_tier_exercised(self, reports):
+        assert {r.tier for r in reports} == {"bit", "statistical", "invariant"}
+
+    def test_summarize_renders(self, reports):
+        text = summarize(reports)
+        assert "all clear" in text and "bit:" in text
+        assert summarize([]).startswith("no audit cases ran")
+
+    @pytest.mark.slow
+    def test_worker_count_bit_identity(self):
+        spec = _spec("smoke-ranging-pk")
+        from repro.audit.harness import default_cases
+
+        case = {c.name: c for c in default_cases()}["workers-1-vs-2"]
+        assert run_case(case, ScenarioContext(spec)).passed
+
+
+# --------------------------------------------------------------------- #
+# regression pins for the bugs the harness surfaced
+# --------------------------------------------------------------------- #
+class TestHarnessBugRegressions:
+    def test_rangefree_central_vs_distributed_bit_identical(self):
+        """Pinned: smoke-rangefree once diverged at the last ulp because
+        the centralized solver used a dense connectivity potential (BLAS
+        gemv) while the distributed one used CSR matvec."""
+        ctx = ScenarioContext(_spec("smoke-rangefree"))
+        case = DiffCase(
+            "central-vs-distributed", "bit", run_ref=_run_grid, run_alt=_run_distributed
+        )
+        report = run_case(case, ctx)
+        assert report.passed, report.detail
+
+    def test_nbp_estimates_stay_in_field(self):
+        """Pinned: smoke-dense-anchors once produced NBP estimates outside
+        the deployment field — unclipped proposals survived reweighting
+        under the unbounded Gaussian pre-knowledge prior."""
+        ctx = ScenarioContext(_spec("smoke-dense-anchors"))
+        res = _run_nbp(ctx)
+        ms = ctx.measurements
+        assert check_result_geometry(res, ms.width, ms.height) == []
+        est = res.estimates[res.localized_mask]
+        assert (est[:, 0] >= 0).all() and (est[:, 0] <= ms.width).all()
+        assert (est[:, 1] >= 0).all() and (est[:, 1] <= ms.height).all()
+
+
+class TestDegenerateInbox:
+    """SensorNodeAgent must survive an all--inf summed potential without
+    emitting NaN messages or beliefs (the psi.dot(exp(h)) poison path)."""
+
+    def _agent(self, K=4):
+        from repro.parallel.messaging import SensorNodeAgent
+
+        psi = np.full((K, K), 1.0 / K)
+        agent = SensorNodeAgent(0, log_phi=np.full(K, -np.inf))
+        agent.add_neighbor(1, psi, K)
+        agent.reset_memory(K)
+        return agent, K
+
+    def test_outgoing_uniform_not_nan(self):
+        agent, K = self._agent()
+        out = agent.compute_outgoing(damping=0.0)
+        np.testing.assert_allclose(out[1], np.full(K, 1.0 / K))
+        assert np.isfinite(out[1]).all()
+
+    def test_outgoing_with_damping(self):
+        agent, K = self._agent()
+        out = agent.compute_outgoing(damping=0.5)
+        assert np.isfinite(out[1]).all()
+        np.testing.assert_allclose(out[1].sum(), 1.0)
+
+    def test_belief_uniform_not_nan(self):
+        agent, K = self._agent()
+        np.testing.assert_allclose(agent.belief(), np.full(K, 1.0 / K))
+
+    def test_zeroed_inbox_message(self):
+        # a fault-zeroed incoming message: log(0) = -inf enters `total`
+        agent, K = self._agent()
+        agent.log_phi = np.zeros(K)
+        agent.inbox[1] = np.zeros(K)
+        out = agent.compute_outgoing(damping=0.0)
+        assert np.isfinite(out[1]).all()
+        assert np.isfinite(agent.belief()).all()
+
+
+class TestCLIAudit:
+    def test_cli_smoke_green(self, capsys):
+        from repro.cli import main
+
+        assert main(["audit", "--corpus", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "all clear" in out
+
+    def test_cli_manifest_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "manifest.json"
+        assert main(["audit", "--manifest", str(path)]) == 0
+        assert load_manifest(path) == make_corpus("smoke")

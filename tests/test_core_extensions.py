@@ -138,6 +138,31 @@ class TestMultiResolutionLocalizer:
         with pytest.raises(ValueError):
             MultiResolutionLocalizer(levels=(8,), iterations_per_level=(0,))
 
+    def test_per_level_detail_and_aggregates(self, ms):
+        """Regression: the ladder used to mutate the finest level's result
+        in place, leaving ``converged`` meaning "last level converged"
+        while ``n_iterations`` was the cross-level total."""
+        res = MultiResolutionLocalizer(
+            levels=(8, 16), iterations_per_level=(6, 4)
+        ).localize(ms)
+        levels = res.extras["levels"]
+        assert [d["grid_size"] for d in levels] == [8, 16]
+        assert res.n_iterations == sum(d["n_iterations"] for d in levels)
+        assert res.converged == all(d["converged"] for d in levels)
+        assert res.messages_sent == sum(d["messages_sent"] for d in levels)
+        assert res.bytes_sent == sum(d["bytes_sent"] for d in levels)
+
+    def test_does_not_mutate_level_result(self, ms):
+        """The finest level's own result must keep its single-level
+        accounting; the aggregate lives only in the fresh ladder result."""
+        loc = MultiResolutionLocalizer(levels=(8, 16), iterations_per_level=(6, 4))
+        res = loc.localize(ms)
+        fine = res.extras["levels"][-1]
+        # the ladder total includes the coarse level, so it must strictly
+        # exceed what the finest level alone sent
+        assert res.messages_sent > fine["messages_sent"]
+        assert res.method == "grid-bp-multires"
+
 
 class TestRefineEstimates:
     def test_improves_grid_estimate(self, net, ms):
