@@ -41,6 +41,7 @@ from repro.audit.invariants import (
     audit_localization_result,
     check_belief_dict,
     check_belief_matrix,
+    check_delay_conservation,
     check_message_floor,
     check_result_geometry,
     check_round_accounting,
@@ -56,6 +57,7 @@ __all__ = [
     "audit_localization_result",
     "check_belief_matrix",
     "check_belief_dict",
+    "check_delay_conservation",
     "check_message_floor",
     "check_symmetric_ops",
     "check_result_geometry",

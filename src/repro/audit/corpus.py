@@ -51,9 +51,11 @@ class ScenarioSpec:
         return build_scenario(self.config, self.seed)
 
     def to_dict(self) -> dict:
-        cfg = dataclasses.asdict(self.config)
-        cfg["pk_offset"] = list(cfg["pk_offset"])
-        d = {"scenario_id": self.scenario_id, "seed": int(self.seed), "config": cfg}
+        d = {
+            "scenario_id": self.scenario_id,
+            "seed": int(self.seed),
+            "config": self.config.to_dict(),
+        }
         if self.faults is not None:
             f = dataclasses.asdict(self.faults)
             f["node_outages"] = [dataclasses.asdict(o) for o in self.faults.node_outages]
@@ -65,8 +67,6 @@ class ScenarioSpec:
     def from_dict(cls, d: dict) -> "ScenarioSpec":
         from repro.faults import NodeOutage
 
-        cfg = dict(d["config"])
-        cfg["pk_offset"] = tuple(cfg["pk_offset"])
         faults = None
         if d.get("faults") is not None:
             f = dict(d["faults"])
@@ -75,7 +75,7 @@ class ScenarioSpec:
             faults = FaultPlan(**f)
         return cls(
             scenario_id=str(d["scenario_id"]),
-            config=ScenarioConfig(**cfg),
+            config=ScenarioConfig.from_dict(d["config"]),
             seed=int(d["seed"]),
             faults=faults,
         )

@@ -29,6 +29,7 @@ table the ``repro audit`` CLI prints.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -39,6 +40,7 @@ from repro.audit.corpus import ScenarioSpec, make_corpus
 from repro.audit.invariants import (
     AuditViolation,
     audit_localization_result,
+    check_delay_conservation,
     check_round_accounting,
 )
 from repro.core.bnloc import GridBPConfig, GridBPLocalizer
@@ -135,6 +137,11 @@ def _payload_invariants(payload, ctx: ScenarioContext) -> list[AuditViolation]:
     out = audit_localization_result(
         result, ms.width, ms.height, anchor_mask=ms.anchor_mask
     )
+    fault_log = (
+        result.extras.get("fault_log") if isinstance(result.extras, dict) else None
+    )
+    if fault_log and fault_log.get("messages"):
+        out += check_delay_conservation(fault_log["messages"]["counters"])
     if isinstance(payload, tuple) and len(payload) == 2:
         from repro.core.bnloc import _ANCHOR_BROADCAST_BYTES
 
@@ -307,6 +314,64 @@ def _run_trials_with_workers(ctx: ScenarioContext, n_workers: int) -> list:
     )
 
 
+def _flatten_evaluation(evaluation: dict) -> list:
+    """Deterministic nested-list view of an ``evaluate_methods`` result.
+
+    Summaries and message counts only — ``runtimes`` are wall-clock and
+    can never be bit-stable across runs.
+    """
+    rows = []
+    for name in sorted(evaluation):
+        mr = evaluation[name]
+        for summary, messages in zip(mr.summaries, mr.messages):
+            rows.append(
+                [float(v) for v in dataclasses.astuple(summary)]
+                + [float(messages)]
+            )
+    return rows
+
+
+def _run_ckpt_evaluation(ctx: ScenarioContext, interrupt: bool) -> list:
+    """The checkpoint/resume bit case: an evaluation that is aborted after
+    its first durable record and resumed from the ledger must match the
+    uninterrupted evaluation exactly."""
+    from repro.experiments.runner import evaluate_methods, standard_methods
+
+    methods = standard_methods(
+        grid_size=10, max_iterations=6, include=["bn-pk", "centroid"]
+    )
+    cfg = ctx.spec.config
+    if not interrupt:
+        return _flatten_evaluation(
+            evaluate_methods(cfg, methods, n_trials=2, seed=ctx.spec.seed)
+        )
+    import os
+    import tempfile
+
+    from repro.ckpt import Checkpoint, CheckpointAbort
+
+    with tempfile.TemporaryDirectory() as td:
+        path = os.path.join(td, "ledger.jsonl")
+        ck = Checkpoint(path, abort_after=1)
+        try:
+            evaluate_methods(
+                cfg, methods, n_trials=2, seed=ctx.spec.seed, checkpoint=ck
+            )
+            raise RuntimeError(
+                "checkpoint abort hook never fired — the case is not "
+                "exercising a resume"
+            )
+        except CheckpointAbort:
+            pass
+        finally:
+            ck.close()
+        return _flatten_evaluation(
+            evaluate_methods(
+                cfg, methods, n_trials=2, seed=ctx.spec.seed, checkpoint=path
+            )
+        )
+
+
 def default_cases() -> list[DiffCase]:
     """The standing case matrix (see module docstring for the tiers)."""
     fault_free = lambda spec: spec.faults is None
@@ -348,6 +413,13 @@ def default_cases() -> list[DiffCase]:
             run_alt=functools.partial(_run_trials_with_workers, n_workers=2),
             applies=fault_free,
             slow=True,
+        ),
+        DiffCase(
+            "ckpt-resume-vs-uninterrupted",
+            "bit",
+            run_ref=functools.partial(_run_ckpt_evaluation, interrupt=False),
+            run_alt=functools.partial(_run_ckpt_evaluation, interrupt=True),
+            applies=fault_free,
         ),
         DiffCase(
             "multires-vs-grid",

@@ -40,6 +40,7 @@ __all__ = [
     "check_symmetric_ops",
     "check_result_geometry",
     "check_round_accounting",
+    "check_delay_conservation",
     "audit_localization_result",
 ]
 
@@ -354,6 +355,36 @@ def check_round_accounting(
             )
         )
     return out
+
+
+def check_delay_conservation(counters: dict) -> list[AuditViolation]:
+    """Every delayed message must be accounted for at end of run.
+
+    The injector's ledger: ``messages_delayed`` enter the delay queue and
+    leave it exactly one way — delivered late, expired against a downed
+    receiver, or still in flight when the run ends
+    (:meth:`~repro.faults.MessageFaultInjector.finalize`).  A gap means
+    messages silently vanished from the accounting.
+    """
+    delayed = int(counters.get("messages_delayed", 0))
+    late = int(counters.get("messages_arrived_late", 0))
+    expired = int(counters.get("messages_delayed_expired", 0))
+    in_flight = int(counters.get("messages_in_flight_at_end", 0))
+    if delayed != late + expired + in_flight:
+        return [
+            AuditViolation(
+                "delay-conservation",
+                "delayed messages are not conserved "
+                "(delayed != arrived_late + expired + in_flight_at_end)",
+                {
+                    "delayed": delayed,
+                    "arrived_late": late,
+                    "expired": expired,
+                    "in_flight_at_end": in_flight,
+                },
+            )
+        ]
+    return []
 
 
 def audit_localization_result(

@@ -1,0 +1,201 @@
+"""Write-ahead trial ledger: CRC-framed, fsync'd, append-only JSONL.
+
+One ledger file records one long-running experiment: a header line pins
+the run's identity (entry point, config, seed fingerprint), then every
+completed trial appends one record.  The framing is built to survive the
+failure modes that actually happen to long sweeps:
+
+* **Crash mid-append** — each line is ``crc32 <space> payload``; a torn
+  tail line fails to frame and is dropped with a warning, everything
+  before it is intact (appends are flushed and ``fsync``'d, so a record
+  once returned from :meth:`LedgerWriter.append` survives ``kill -9``).
+* **Bit rot / concurrent scribbling mid-file** — a line whose CRC does
+  not match its payload is quarantined (warning, skipped), not fatal;
+  resume simply re-runs the affected trial.
+* **Format drift** — the header carries ``schema``; an unknown version
+  raises :class:`LedgerError` instead of silently misreading records.
+
+The payload is canonical JSON (sorted keys, no whitespace), so a record
+is byte-stable for a given body and the CRC is well-defined.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "LedgerError",
+    "LedgerWriter",
+    "LedgerContents",
+    "read_ledger",
+    "frame_record",
+    "parse_line",
+]
+
+#: bumped whenever the record layout changes incompatibly
+LEDGER_SCHEMA_VERSION = 1
+
+#: record kinds this schema version understands
+_KINDS = ("header", "trial")
+
+
+class LedgerError(ValueError):
+    """The ledger cannot be used at all (unknown schema, no header
+    ahead of trial records, unreadable file).  Per-record damage is
+    *not* a LedgerError — damaged records are quarantined with a
+    warning so the surviving trials still resume."""
+
+
+def frame_record(body: dict) -> str:
+    """One ledger line: ``crc32(payload) payload\\n`` (canonical JSON)."""
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}\n"
+
+
+def parse_line(line: str) -> dict | None:
+    """Decode one framed line; ``None`` if the frame or CRC is bad."""
+    head, sep, payload = line.partition(" ")
+    if not sep or len(head) != 8:
+        return None
+    try:
+        crc = int(head, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        body = json.loads(payload)
+    except json.JSONDecodeError:
+        return None
+    return body if isinstance(body, dict) else None
+
+
+class LedgerWriter:
+    """Append-only writer; every :meth:`append` is flushed and fsync'd
+    before returning, so a record is durable the moment the trial that
+    produced it is considered done (write-ahead discipline)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, body: dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"ledger writer for {self.path} is closed")
+        self._fh.write(frame_record(body))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def __enter__(self) -> "LedgerWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+@dataclass
+class LedgerContents:
+    """Everything salvaged from one ledger file.
+
+    ``records`` maps trial key → payload, **last record wins** — a trial
+    legitimately re-recorded (e.g. re-run with more methods) supersedes
+    its earlier entry.  ``n_corrupt`` counts quarantined mid-file lines
+    and ``truncated_tail`` flags a torn final line; both mean "those
+    trials re-run on resume", never data loss of the intact ones.
+    """
+
+    header: dict | None = None
+    records: dict[str, dict] = field(default_factory=dict)
+    n_records: int = 0
+    n_corrupt: int = 0
+    truncated_tail: bool = False
+
+    @property
+    def meta(self) -> dict | None:
+        return None if self.header is None else self.header.get("meta")
+
+
+def read_ledger(path: str | Path) -> LedgerContents:
+    """Replay a ledger, tolerating a torn tail and quarantining damage.
+
+    Raises :class:`LedgerError` only for damage that makes the whole
+    file unusable: an unknown schema version, or trial records with no
+    header in front of them.  A missing or empty file is a valid empty
+    ledger (fresh run).
+    """
+    path = Path(path)
+    if not path.exists():
+        return LedgerContents()
+    text = path.read_text(encoding="utf-8", errors="replace")
+    if not text:
+        return LedgerContents()
+    complete, _, tail = text.rpartition("\n")
+    out = LedgerContents()
+    if tail:
+        # Torn final append (the crash window): drop it, keep the rest.
+        out.truncated_tail = True
+        warnings.warn(
+            f"ledger {path}: dropping torn final record "
+            "(interrupted append); the affected trial will re-run",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    lines = complete.split("\n") if complete else []
+    for lineno, line in enumerate(lines, start=1):
+        body = parse_line(line)
+        if body is None or body.get("kind") not in _KINDS:
+            out.n_corrupt += 1
+            warnings.warn(
+                f"ledger {path}: quarantining corrupt record at line "
+                f"{lineno} (bad frame, CRC, or kind); the affected trial "
+                "will re-run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        if body["kind"] == "header":
+            schema = body.get("schema")
+            if schema != LEDGER_SCHEMA_VERSION:
+                raise LedgerError(
+                    f"ledger {path}: unknown schema version {schema!r} "
+                    f"(this build reads {LEDGER_SCHEMA_VERSION}); refusing "
+                    "to guess at the record layout"
+                )
+            if out.header is None:
+                out.header = body
+            continue
+        if out.header is None:
+            raise LedgerError(
+                f"ledger {path}: trial record at line {lineno} precedes "
+                "the header; the file is not a repro checkpoint ledger"
+            )
+        key = body.get("key")
+        if not isinstance(key, str):
+            out.n_corrupt += 1
+            warnings.warn(
+                f"ledger {path}: quarantining keyless trial record at "
+                f"line {lineno}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        out.records[key] = body.get("payload", {})
+        out.n_records += 1
+    return out

@@ -1,0 +1,95 @@
+"""Bit-exact JSON codec for checkpointed trial payloads.
+
+The resume guarantee is *bit-identity*: a trial replayed from the ledger
+must be indistinguishable from one that just ran.  Plain ``json`` almost
+delivers that for Python scalars (``repr``-based floats round-trip
+float64 exactly), but trial results also carry tuples, NumPy arrays and
+scalars, and :class:`~repro.metrics.error.ErrorSummary` dataclasses.
+This codec tags those so decoding restores the exact type and bytes:
+
+* NumPy arrays are stored as base64 of their raw buffer plus dtype and
+  shape — byte-exact, including NaN payloads, and far more compact than
+  digit lists.
+* Tuples, non-string-keyed dicts, and ``ErrorSummary`` get explicit
+  ``__repro__`` tags.
+* Anything else raises :class:`TypeError` with guidance (return plain
+  data from checkpointed trial functions).
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+
+import numpy as np
+
+from repro.metrics.error import ErrorSummary
+
+__all__ = ["encode_value", "decode_value"]
+
+_TAG = "__repro__"
+
+_SCALARS = (bool, int, float, str, type(None))
+
+
+def encode_value(value):
+    """JSON-safe, type- and bit-preserving encoding of *value*."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        return {_TAG: "npscalar", "dtype": str(value.dtype), "value": value.item()}
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        return {
+            _TAG: "ndarray",
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "b64": base64.b64encode(arr.tobytes()).decode("ascii"),
+        }
+    if isinstance(value, ErrorSummary):
+        return {_TAG: "error_summary", **dataclasses.asdict(value)}
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and _TAG not in value:
+            return {k: encode_value(v) for k, v in value.items()}
+        return {
+            _TAG: "dict",
+            "items": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    raise TypeError(
+        f"cannot checkpoint a {type(value).__name__}: trial results must be "
+        "built from scalars, lists, tuples, dicts, NumPy arrays/scalars, or "
+        "ErrorSummary (return plain data from checkpointed trial functions)"
+    )
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        tag = value.get(_TAG)
+        if tag is None:
+            return {k: decode_value(v) for k, v in value.items()}
+        if tag == "npscalar":
+            return np.dtype(value["dtype"]).type(value["value"])
+        if tag == "ndarray":
+            raw = base64.b64decode(value["b64"])
+            arr = np.frombuffer(raw, dtype=np.dtype(value["dtype"]))
+            return arr.reshape(value["shape"]).copy()
+        if tag == "error_summary":
+            fields = {k: v for k, v in value.items() if k != _TAG}
+            return ErrorSummary(**fields)
+        if tag == "tuple":
+            return tuple(decode_value(v) for v in value["items"])
+        if tag == "dict":
+            return {decode_value(k): decode_value(v) for k, v in value["items"]}
+        raise ValueError(f"unknown checkpoint payload tag {tag!r}")
+    raise ValueError(
+        f"malformed checkpoint payload of type {type(value).__name__}"
+    )

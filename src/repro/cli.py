@@ -10,6 +10,9 @@ Runs complete localization experiments without writing Python::
     python -m repro trace --nodes 60 --method grid-bp --seed 0
     python -m repro faults --nodes 60 --loss-rates 0,0.2,0.5
     python -m repro audit --corpus smoke
+    python -m repro sweep --param noise_ratio --values 0.05,0.1,0.2 \
+                          --methods bn-pk --trials 3 --checkpoint run.jsonl
+    python -m repro resume run.jsonl
     python -m repro demo
 
 Output is the same plain-text tables the benchmark suite produces.
@@ -86,6 +89,14 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
         default="bn-pk,bn,centroid,dv-hop,mds-map",
         help="comma-separated method names (see `info`)",
     )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="LEDGER",
+        help="durable write-ahead ledger: every finished trial is fsync'd "
+        "to this file, and rerunning (or `repro resume LEDGER`) continues "
+        "a killed run bit-identically instead of starting over",
+    )
 
 
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
@@ -111,6 +122,22 @@ def _methods_from_args(args: argparse.Namespace) -> dict:
         return standard_methods(grid_size=args.grid_size, include=names)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+
+
+def _checkpoint_meta(args: argparse.Namespace) -> dict | None:
+    """Extra ledger-header keys that let `repro resume` rebuild the run."""
+    if not getattr(args, "checkpoint", None):
+        return None
+    return {"method_kwargs": {"grid_size": args.grid_size}}
+
+
+def _reraise_unless_checkpoint_error(exc: Exception) -> None:
+    """Turn unusable-ledger errors into clean CLI exits; re-raise the rest."""
+    from repro.ckpt import CheckpointMismatch, LedgerError
+
+    if isinstance(exc, (CheckpointMismatch, LedgerError)):
+        raise SystemExit(f"error: {exc}") from exc
+    raise exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,6 +242,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_audit.set_defaults(func=cmd_audit)
 
+    p_resume = sub.add_parser(
+        "resume",
+        help="report a checkpoint ledger's progress and continue the run",
+    )
+    p_resume.add_argument(
+        "ledger", help="ledger file written by run/sweep --checkpoint"
+    )
+    p_resume.add_argument(
+        "--status",
+        action="store_true",
+        help="only report progress; run nothing",
+    )
+    p_resume.set_defaults(func=cmd_resume)
+
     p_demo = sub.add_parser("demo", help="small quick demonstration run")
     p_demo.set_defaults(func=cmd_demo)
     return parser
@@ -248,7 +289,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         result = first.localize(measurements, np.random.default_rng(s_run))
         print(render_network(network, result))
         print()
-    results = evaluate_methods(cfg, methods, n_trials=args.trials, seed=args.seed)
+    try:
+        results = evaluate_methods(
+            cfg,
+            methods,
+            n_trials=args.trials,
+            seed=args.seed,
+            checkpoint=args.checkpoint,
+            checkpoint_meta=_checkpoint_meta(args),
+        )
+    except Exception as exc:
+        _reraise_unless_checkpoint_error(exc)
     print(
         methods_table(
             results,
@@ -274,9 +325,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("error: --values must contain at least one value")
     if args.param == "pk_error":
         values = [v if v > 0 else None for v in values]
-    sweep = run_sweep(
-        cfg, args.param, values, methods, n_trials=args.trials, seed=args.seed
-    )
+    try:
+        sweep = run_sweep(
+            cfg,
+            args.param,
+            values,
+            methods,
+            n_trials=args.trials,
+            seed=args.seed,
+            checkpoint=args.checkpoint,
+            checkpoint_meta=_checkpoint_meta(args),
+        )
+    except Exception as exc:
+        _reraise_unless_checkpoint_error(exc)
     print(
         sweep_table(
             sweep,
@@ -396,6 +457,87 @@ def cmd_audit(args: argparse.Namespace) -> int:
     reports = run_corpus(args.corpus, include_slow=args.slow)
     print(summarize(reports))
     return 0 if all(r.passed for r in reports) else 1
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.ckpt import LedgerError, format_progress, ledger_progress
+
+    try:
+        progress = ledger_progress(args.ledger)
+    except LedgerError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(format_progress(progress))
+    if args.status:
+        return 0
+
+    meta = progress.meta or {}
+    kind = meta.get("kind")
+    if kind not in ("evaluate", "sweep"):
+        raise SystemExit(
+            f"error: cannot resume a {kind!r} ledger from the CLI — only "
+            "'evaluate' and 'sweep' runs started with --checkpoint are "
+            "reconstructable here (resume API runs via their entry points)"
+        )
+    seed_fp = meta.get("seed") or {}
+    if seed_fp.get("type") != "int":
+        raise SystemExit(
+            "error: the ledger's master seed is not a plain integer; resume "
+            "it from Python with the original SeedSequence"
+        )
+    seed = int(seed_fp["value"])
+    try:
+        cfg = ScenarioConfig.from_dict(meta["config"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"error: ledger config cannot be reconstructed: {exc}")
+    try:
+        methods = standard_methods(
+            include=meta.get("methods"), **(meta.get("method_kwargs") or {})
+        )
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(
+            f"error: ledger methods cannot be reconstructed: {exc} (only "
+            "standard_methods lineups started from this CLI are supported)"
+        )
+    n_trials = int(meta.get("n_trials") or 0)
+    if n_trials < 1:
+        raise SystemExit("error: ledger header has no usable trial count")
+
+    print()
+    try:
+        if kind == "sweep":
+            sweep = run_sweep(
+                cfg,
+                meta["param"],
+                meta["values"],
+                methods,
+                n_trials=n_trials,
+                seed=seed,
+                checkpoint=args.ledger,
+            )
+            print(
+                sweep_table(
+                    sweep,
+                    title=f"resumed sweep of {meta['param']} "
+                    f"({n_trials} trials, seed {seed})",
+                )
+            )
+        else:
+            results = evaluate_methods(
+                cfg,
+                methods,
+                n_trials=n_trials,
+                seed=seed,
+                checkpoint=args.ledger,
+            )
+            print(
+                methods_table(
+                    results,
+                    title=f"resumed evaluation ({n_trials} trials, seed {seed})",
+                )
+            )
+    except Exception as exc:
+        _reraise_unless_checkpoint_error(exc)
+    return 0
 
 
 def cmd_demo(args: argparse.Namespace) -> int:

@@ -17,6 +17,7 @@ pre-knowledge.  ``pk_error = None`` disables pre-knowledge entirely.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, replace as dc_replace
 
 import numpy as np
@@ -131,6 +132,19 @@ class ScenarioConfig:
     def replace(self, **changes) -> "ScenarioConfig":
         """A copy with the given fields changed (sweep helper)."""
         return dc_replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-safe export (audit manifests, checkpoint ledger headers)."""
+        d = dataclasses.asdict(self)
+        d["pk_offset"] = list(d["pk_offset"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScenarioConfig":
+        """Inverse of :meth:`to_dict`."""
+        d = dict(d)
+        d["pk_offset"] = tuple(d.get("pk_offset", (0.0, 0.0)))
+        return cls(**d)
 
     # ------------------------------------------------------------------ #
     def make_deployment(self) -> DeploymentModel:

@@ -7,11 +7,20 @@ every method sees the *same* network and measurements within a trial.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
+
+from repro.ckpt import (
+    decode_value,
+    encode_value,
+    resolve_checkpoint,
+    seed_fingerprint,
+    trap_signals,
+)
 
 from repro.baselines import (
     CentroidLocalizer,
@@ -170,27 +179,100 @@ def _collect(
     return out
 
 
+def _json_safe(value):
+    """Plain-Python view of sweep values / kwargs for ledger headers."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def _evaluate_meta(config, names, n_trials, seed, kind, extra) -> dict:
+    meta = {
+        "kind": kind,
+        "config": config.to_dict(),
+        "methods": list(names),
+        "n_trials": int(n_trials),
+        "seed": seed_fingerprint(seed),
+        "total_cells": int(n_trials),
+    }
+    if extra:
+        meta.update(extra)
+    return meta
+
+
+def _replay_trial(ck, i: int, names) -> dict | None:
+    """Decode trial *i* from the ledger, or ``None`` if it must run.
+
+    A replayed record missing a requested method reruns the whole trial:
+    every method draws from a fresh ``default_rng(s_run)``, so the rerun
+    is still bit-identical for the methods that were present.
+    """
+    if ck is None:
+        return None
+    payload = ck.get(f"trial:{i}")
+    if payload is None:
+        return None
+    trial = decode_value(payload["result"])
+    if not set(names) <= set(trial):
+        return None
+    return {name: trial[name] for name in names}
+
+
 def evaluate_methods(
     config: ScenarioConfig,
     methods: Mapping[str, MethodFactory],
     n_trials: int,
     seed: RNGLike = 0,
     tracer: NullTracer | None = None,
+    checkpoint=None,
+    checkpoint_meta: dict | None = None,
 ) -> dict[str, MethodResult]:
     """Run every method on *n_trials* independent scenario draws.
 
     An attached :class:`~repro.obs.Tracer` times the whole evaluation
     (``"evaluate"``) with per-method child timers, and counts trials and
     messages per method.
+
+    With ``checkpoint=<ledger path>`` (or a :class:`~repro.ckpt.Checkpoint`
+    / :class:`~repro.ckpt.CheckpointScope`), each finished trial is durably
+    appended to a write-ahead ledger; restarting the identical call skips
+    the recorded trials and produces bit-identical ``MethodResult``
+    summaries and message counts (``runtimes`` are wall-clock and reflect
+    the original runs).  The master seed must be reproducible (int or
+    ``SeedSequence``).  *checkpoint_meta* adds extra keys to a fresh
+    ledger header (e.g. method kwargs for ``repro resume``).
     """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
     tracer = tracer if tracer is not None else NULL_TRACER
-    with tracer.timer("evaluate"):
-        per_trial = [
-            _run_one_trial(config, methods, trial_seed, tracer)
-            for trial_seed in spawn_seeds(seed, n_trials)
-        ]
+    names = list(methods)
+    ck = None
+    owned = False
+    if checkpoint is not None:
+        ck, owned = resolve_checkpoint(
+            checkpoint,
+            lambda: _evaluate_meta(
+                config, names, n_trials, seed, "evaluate", checkpoint_meta
+            ),
+        )
+    trap = trap_signals() if ck is not None else contextlib.nullcontext()
+    try:
+        with tracer.timer("evaluate"), trap:
+            per_trial = []
+            for i, trial_seed in enumerate(spawn_seeds(seed, n_trials)):
+                trial = _replay_trial(ck, i, names)
+                if trial is None:
+                    trial = _run_one_trial(config, methods, trial_seed, tracer)
+                    if ck is not None:
+                        ck.record(f"trial:{i}", {"result": encode_value(trial)})
+                per_trial.append(trial)
+    finally:
+        if ck is not None:
+            ck.emit_counters(tracer)
+            if owned:
+                ck.close()
     return _collect(per_trial, methods)
 
 
@@ -211,6 +293,8 @@ def evaluate_methods_parallel(
     max_iterations: int = 15,
     nbp_particles: int = 150,
     tracer: NullTracer | None = None,
+    checkpoint=None,
+    checkpoint_meta: dict | None = None,
 ) -> dict[str, MethodResult]:
     """Multiprocess variant of :func:`evaluate_methods`.
 
@@ -223,6 +307,15 @@ def evaluate_methods_parallel(
     boundaries — have the trial function export and return
     ``Tracer.snapshot()`` dicts and combine them with
     :func:`repro.obs.merge_traces` for per-worker telemetry).
+
+    With ``checkpoint=``, finished trials are durably recorded the moment
+    each one completes (``apply_async`` per trial instead of one blocking
+    ``map``), so a killed run resumes from the last fsync'd record with
+    any worker count.  The ledger kind is ``"evaluate-parallel"``: trial
+    seed streams differ from :func:`evaluate_methods`, so the two entry
+    points never silently resume each other's ledgers.  On any
+    interruption — including a trapped SIGTERM — the pool is terminated
+    and joined rather than orphaned.
     """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
@@ -240,15 +333,86 @@ def evaluate_methods_parallel(
 
     seeds = child_seed_ints(seed, n_trials)
     args = [(config, names, std_kwargs, s) for s in seeds]
-    with tracer.timer("evaluate_parallel"):
-        if n_workers == 1:
-            per_trial = [_parallel_worker(a) for a in args]
-        else:
-            import multiprocessing as mp
 
-            ctx = mp.get_context("spawn")
-            with ctx.Pool(processes=n_workers) as pool:
-                per_trial = pool.map(_parallel_worker, args)
+    ck = None
+    owned = False
+    if checkpoint is not None:
+        extra = {"method_kwargs": dict(std_kwargs)}
+        extra.update(checkpoint_meta or {})
+        ck, owned = resolve_checkpoint(
+            checkpoint,
+            lambda: _evaluate_meta(
+                config, names, n_trials, seed, "evaluate-parallel", extra
+            ),
+        )
+    per_trial: list = [None] * n_trials
+    pending = list(range(n_trials))
+    if ck is not None:
+        pending = []
+        for i in range(n_trials):
+            trial = _replay_trial(ck, i, names)
+            if trial is None:
+                pending.append(i)
+            else:
+                per_trial[i] = trial
+
+    def _record(i: int, trial: dict) -> None:
+        if ck is not None:
+            ck.record(f"trial:{i}", {"result": encode_value(trial)})
+
+    trap = trap_signals() if ck is not None else contextlib.nullcontext()
+    try:
+        with tracer.timer("evaluate_parallel"), trap:
+            if n_workers == 1:
+                for i in pending:
+                    per_trial[i] = _parallel_worker(args[i])
+                    _record(i, per_trial[i])
+            elif pending:
+                import multiprocessing as mp
+
+                from repro.parallel.executor import pool_map_interruptible
+
+                ctx = mp.get_context("spawn")
+                pool = ctx.Pool(processes=n_workers)
+                try:
+                    if ck is None:
+                        out = pool_map_interruptible(
+                            pool, _parallel_worker, [args[i] for i in pending]
+                        )
+                        for i, trial in zip(pending, out):
+                            per_trial[i] = trial
+                    else:
+                        # One async task per trial so every completion can
+                        # be recorded durably as soon as it lands.
+                        handles = {
+                            i: pool.apply_async(_parallel_worker, (args[i],))
+                            for i in pending
+                        }
+                        remaining = set(pending)
+                        while remaining:
+                            progressed = False
+                            for i in sorted(remaining):
+                                if handles[i].ready():
+                                    per_trial[i] = handles[i].get()
+                                    _record(i, per_trial[i])
+                                    remaining.discard(i)
+                                    progressed = True
+                            if not progressed:
+                                time.sleep(0.02)
+                    pool.close()
+                    pool.join()
+                except BaseException:
+                    # KeyboardInterrupt (possibly a trapped SIGTERM), a
+                    # worker exception, or a CheckpointAbort: kill the
+                    # workers instead of orphaning them.
+                    pool.terminate()
+                    pool.join()
+                    raise
+    finally:
+        if ck is not None:
+            ck.emit_counters(tracer)
+            if owned:
+                ck.close()
     if tracer.enabled:
         tracer.count("trials", n_trials)
         tracer.annotate("n_workers", n_workers)
@@ -275,6 +439,22 @@ class SweepResult:
         return min(pt, key=lambda m: getattr(pt[m], stat))
 
 
+def _sweep_meta(base, param, values, names, n_trials, seed, extra) -> dict:
+    meta = {
+        "kind": "sweep",
+        "config": base.to_dict(),
+        "param": param,
+        "values": _json_safe(list(values)),
+        "methods": list(names),
+        "n_trials": int(n_trials),
+        "seed": seed_fingerprint(seed),
+        "total_cells": int(len(values) * n_trials),
+    }
+    if extra:
+        meta.update(extra)
+    return meta
+
+
 def run_sweep(
     base: ScenarioConfig,
     param: str,
@@ -282,15 +462,49 @@ def run_sweep(
     methods: Mapping[str, MethodFactory],
     n_trials: int,
     seed: RNGLike = 0,
+    checkpoint=None,
+    checkpoint_meta: dict | None = None,
 ) -> SweepResult:
     """Sweep one :class:`ScenarioConfig` field across *values*.
 
     Each parameter point gets an independent spawned seed block, so the
     curve is stable under adding/removing points.
+
+    With ``checkpoint=<ledger path>``, the sweep owns one write-ahead
+    ledger and hands every parameter point a key-scoped view
+    (``pt0:trial:0``, …), so a killed sweep resumes mid-curve: finished
+    (point, trial) cells replay from the ledger, the rest run on their
+    original spawned seed blocks, and the resulting :class:`SweepResult`
+    is bit-identical to an uninterrupted run (wall-clock ``runtimes``
+    excepted).  Resuming a finished ledger re-runs nothing.
     """
+    names = list(methods)
+    ck = None
+    owned = False
+    if checkpoint is not None:
+        ck, owned = resolve_checkpoint(
+            checkpoint,
+            lambda: _sweep_meta(
+                base, param, values, names, n_trials, seed, checkpoint_meta
+            ),
+        )
     blocks = spawn_seeds(seed, len(values))
     points = []
-    for value, block in zip(values, blocks):
-        cfg = base.replace(**{param: value})
-        points.append(evaluate_methods(cfg, methods, n_trials, block))
+    trap = trap_signals() if ck is not None else contextlib.nullcontext()
+    try:
+        with trap:
+            for j, (value, block) in enumerate(zip(values, blocks)):
+                cfg = base.replace(**{param: value})
+                points.append(
+                    evaluate_methods(
+                        cfg,
+                        methods,
+                        n_trials,
+                        block,
+                        checkpoint=None if ck is None else ck.scoped(f"pt{j}"),
+                    )
+                )
+    finally:
+        if ck is not None and owned:
+            ck.close()
     return SweepResult(param, list(values), points)

@@ -89,12 +89,16 @@ class MessageFaultInjector:
 
         delivered: list[tuple[int, int, np.ndarray]] = []
         arrived_late = 0
+        expired = 0
         still_delayed: list[tuple[int, int, int, np.ndarray]] = []
         for due, src, dst, msg in self._delayed:
             if due > round_index:
                 still_delayed.append((due, src, dst, msg))
             elif dst in down:
-                pass  # receiver is off; the message evaporates
+                # Receiver is off at delivery time; the message evaporates —
+                # counted, so delayed = late + expired + in-flight always
+                # balances (the audit conservation check relies on it).
+                expired += 1
             else:
                 delivered.append((src, dst, msg))
                 arrived_late += 1
@@ -130,6 +134,7 @@ class MessageFaultInjector:
             messages_corrupted=corrupted,
             messages_delayed=delayed,
             messages_arrived_late=arrived_late,
+            messages_delayed_expired=expired,
             sender_down=suppressed,
         )
         if self.tracer.enabled:
@@ -142,6 +147,21 @@ class MessageFaultInjector:
                 if record.get(name):
                     self.tracer.count(f"faults.{name}", record[name])
         return delivered, record
+
+    def finalize(self) -> int:
+        """Close the books at end of run: messages still sitting in the
+        delay queue never arrived anywhere.  Without this they simply
+        vanish from the accounting; recording them as
+        ``messages_in_flight_at_end`` keeps the delay ledger conserved
+        (``delayed == arrived_late + expired + in_flight``).  Idempotent —
+        repeat calls add nothing.  Returns the in-flight count.
+        """
+        n = len(self._delayed)
+        if n and "messages_in_flight_at_end" not in self.log.counters:
+            self.log.count("messages_in_flight_at_end", n)
+            if self.tracer.enabled:
+                self.tracer.count("faults.messages_in_flight_at_end", n)
+        return n
 
     def _corrupt(self, msg: np.ndarray, gen: np.random.Generator) -> np.ndarray:
         """Multiplicative log-normal corruption, renormalized — the message

@@ -1,6 +1,7 @@
 """Serialization of networks and results (JSON and NPZ)."""
 
 from repro.io.serialize import (
+    atomic_write_text,
     network_to_dict,
     network_from_dict,
     save_network_json,
@@ -14,6 +15,7 @@ from repro.io.serialize import (
 )
 
 __all__ = [
+    "atomic_write_text",
     "network_to_dict",
     "network_from_dict",
     "save_network_json",

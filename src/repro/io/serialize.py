@@ -13,6 +13,7 @@ configs, which are plain dataclasses the caller owns.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.core.result import LocalizationResult
 from repro.network.topology import WSNetwork
 
 __all__ = [
+    "atomic_write_text",
     "network_to_dict",
     "network_from_dict",
     "save_network_json",
@@ -32,6 +34,28 @@ __all__ = [
     "save_trace_json",
     "load_trace_json",
 ]
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Crash-safe replacement for ``Path.write_text``.
+
+    Writes to ``<name>.tmp`` in the same directory, flushes and fsyncs,
+    then ``os.replace``s over the target — so a reader never observes a
+    torn file: either the old content or the complete new content exists,
+    even if the process dies mid-write (the write-ahead ledger of
+    :mod:`repro.ckpt` relies on the same discipline for its appends).
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def network_to_dict(network: WSNetwork) -> dict:
@@ -75,7 +99,7 @@ def network_from_dict(data: dict) -> WSNetwork:
 
 
 def save_network_json(network: WSNetwork, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(network_to_dict(network)))
+    atomic_write_text(path, json.dumps(network_to_dict(network)))
 
 
 def load_network_json(path: str | Path) -> WSNetwork:
@@ -135,7 +159,7 @@ def result_to_dict(result: LocalizationResult) -> dict:
 
 
 def save_result_json(result: LocalizationResult, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(result_to_dict(result)))
+    atomic_write_text(path, json.dumps(result_to_dict(result)))
 
 
 def save_trace_json(trace: dict, path: str | Path) -> None:
@@ -149,7 +173,7 @@ def save_trace_json(trace: dict, path: str | Path) -> None:
             "trace must be a Tracer.snapshot() dict "
             f"(got {type(trace).__name__}; a NullTracer exports None)"
         )
-    Path(path).write_text(json.dumps(trace, sort_keys=True, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(trace, sort_keys=True, indent=2) + "\n")
 
 
 def load_trace_json(path: str | Path) -> dict:

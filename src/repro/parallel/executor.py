@@ -14,6 +14,7 @@ here with :mod:`multiprocessing` since no MPI runtime is assumed.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import pickle
 import time
@@ -24,6 +25,13 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from repro.ckpt import (
+    decode_value,
+    encode_value,
+    resolve_checkpoint,
+    seed_fingerprint,
+    trap_signals,
+)
 from repro.core.potentials import shared_registry
 from repro.obs import NULL_TRACER, NullTracer
 from repro.utils.rng import RNGLike, child_seed_ints, spawn_seeds
@@ -38,6 +46,21 @@ __all__ = [
     "TrialFailure",
     "TrialBatchResult",
 ]
+
+
+def pool_map_interruptible(pool, fn, iterable, chunksize=None):
+    """``pool.map`` that stays responsive to ``KeyboardInterrupt``.
+
+    A bare ``Pool.map`` blocks in an uninterruptible wait while workers
+    run; Ctrl-C (or a trapped SIGTERM) then leaves orphaned worker
+    processes behind.  Polling the async result with short timeouts keeps
+    the main thread receptive to signals; on any interruption the caller
+    must terminate/join the pool (see :func:`run_trials`).
+    """
+    result = pool.map_async(fn, iterable, chunksize=chunksize)
+    while not result.ready():
+        result.wait(0.2)
+    return result.get()
 
 
 def _record_cache_stats(tracer: NullTracer, before: dict) -> None:
@@ -153,8 +176,18 @@ def run_trials(
             if chunksize is None:
                 chunksize = max(1, (n_trials + 4 * n_workers - 1) // (4 * n_workers))
             ctx = mp.get_context("spawn")
-            with ctx.Pool(processes=n_workers) as pool:
-                out = pool.map(fn, seeds, chunksize=chunksize)
+            pool = ctx.Pool(processes=n_workers)
+            try:
+                out = pool_map_interruptible(pool, fn, seeds, chunksize=chunksize)
+                pool.close()
+                pool.join()
+            except BaseException:
+                # KeyboardInterrupt (possibly a trapped SIGTERM) or a
+                # worker exception: kill the workers instead of orphaning
+                # them behind an uninterruptible map().
+                pool.terminate()
+                pool.join()
+                raise
     if tracer.enabled:
         tracer.count("trials", n_trials)
         tracer.annotate("n_workers", n_workers)
@@ -310,6 +343,7 @@ def run_trials_resilient(
     backoff_factor: float = 2.0,
     timeout: float | None = None,
     tracer: NullTracer | None = None,
+    checkpoint=None,
 ) -> TrialBatchResult:
     """Fault-tolerant variant of :func:`run_trials`.
 
@@ -333,6 +367,21 @@ def run_trials_resilient(
     have produced: attempt-0 seeds are identical, and retry seeds are
     fresh spawned streams that cannot collide with them.
 
+    Checkpointing
+    -------------
+    With ``checkpoint=<ledger path>`` (or an open
+    :class:`~repro.ckpt.Checkpoint`), every successful trial is durably
+    appended to a write-ahead ledger the moment it completes; restarting
+    the identical call replays the ledger, skips finished trials, and
+    runs only the missing ones on the same attempt seeds — bit-identical
+    to an uninterrupted batch.  Trial results must be built from plain
+    data (scalars, lists, tuples, dicts, NumPy arrays — see
+    :mod:`repro.ckpt.snapshot`), the master seed must be reproducible
+    (int or ``SeedSequence``), and only successes are checkpointed:
+    previously failed trials get a fresh set of attempts on resume.
+    SIGTERM is trapped for the duration so the ledger closes flushed and
+    worker processes are torn down rather than orphaned.
+
     Returns
     -------
     TrialBatchResult
@@ -355,19 +404,55 @@ def run_trials_resilient(
     if n_trials == 0:
         return TrialBatchResult(results=[])
 
+    ck = owned = None
+    if checkpoint is not None:
+        ck, owned = resolve_checkpoint(
+            checkpoint,
+            lambda: {
+                "kind": "trials",
+                "n_trials": int(n_trials),
+                "seed": seed_fingerprint(seed),
+                "total_cells": int(n_trials),
+            },
+        )
+
     seeds = _attempt_seed_table(seed, n_trials, max_retries)
     use_processes = n_workers > 1 or timeout is not None
     if use_processes:
         _require_picklable(fn)
 
-    cache_before = shared_registry().stats() if tracer.enabled else None
-    with tracer.timer("run_trials_resilient"):
-        if use_processes:
-            batch = _run_resilient_processes(
-                fn, seeds, n_workers, backoff_base, backoff_factor, timeout
+    done: dict[int, object] = {}
+    record = None
+    if ck is not None:
+        for i in range(n_trials):
+            payload = ck.get(f"trial:{i}")
+            if payload is not None:
+                done[i] = decode_value(payload["result"])
+
+        def record(i: int, s: int, result) -> None:
+            ck.record(
+                f"trial:{i}", {"seed": int(s), "result": encode_value(result)}
             )
-        else:
-            batch = _run_resilient_serial(fn, seeds, backoff_base, backoff_factor)
+
+    cache_before = shared_registry().stats() if tracer.enabled else None
+    trap = trap_signals() if ck is not None else contextlib.nullcontext()
+    try:
+        with tracer.timer("run_trials_resilient"), trap:
+            if use_processes:
+                batch = _run_resilient_processes(
+                    fn, seeds, n_workers, backoff_base, backoff_factor, timeout,
+                    done=done, record=record,
+                )
+            else:
+                batch = _run_resilient_serial(
+                    fn, seeds, backoff_base, backoff_factor,
+                    done=done, record=record,
+                )
+    finally:
+        if ck is not None:
+            ck.emit_counters(tracer)
+            if owned:
+                ck.close()
     if tracer.enabled:
         tracer.count("trials", n_trials)
         tracer.count("trials_failed", len(batch.failures))
@@ -382,12 +467,21 @@ def _backoff(base: float, factor: float, attempt: int) -> float:
 
 
 def _run_resilient_serial(
-    fn, seeds: list[list[int]], backoff_base: float, backoff_factor: float
+    fn,
+    seeds: list[list[int]],
+    backoff_base: float,
+    backoff_factor: float,
+    done: dict | None = None,
+    record=None,
 ) -> TrialBatchResult:
     results: list = [None] * len(seeds)
     failures: list[TrialFailure] = []
     retries = 0
+    done = done or {}
     for i, attempt_seeds in enumerate(seeds):
+        if i in done:
+            results[i] = done[i]
+            continue
         last: tuple[str, str, str] | None = None
         for attempt, s in enumerate(attempt_seeds):
             if attempt > 0:
@@ -396,9 +490,14 @@ def _run_resilient_serial(
             try:
                 results[i] = fn(s)
                 last = None
-                break
             except Exception as exc:
                 last = (type(exc).__name__, str(exc), traceback.format_exc())
+                continue
+            # Outside the try: a ledger failure (or the CheckpointAbort
+            # test hook) must abort the batch, not look like a trial error.
+            if record is not None:
+                record(i, s, results[i])
+            break
         if last is not None:
             failures.append(
                 TrialFailure(i, list(attempt_seeds), last[0], last[1], last[2])
@@ -413,6 +512,8 @@ def _run_resilient_processes(
     backoff_base: float,
     backoff_factor: float,
     timeout: float | None,
+    done: dict | None = None,
+    record=None,
 ) -> TrialBatchResult:
     """Process-per-attempt execution: crashes and hangs are contained.
 
@@ -426,9 +527,12 @@ def _run_resilient_processes(
     errors: dict[int, tuple[str, str, str]] = {}
     failed: set[int] = set()
     retries = 0
+    done = done or {}
+    for i, r in done.items():
+        results[i] = r
 
     queue: deque[_Attempt] = deque(
-        _Attempt(trial_index=i, attempt=0) for i in range(n)
+        _Attempt(trial_index=i, attempt=0) for i in range(n) if i not in done
     )
     running: list[_Attempt] = []
 
@@ -451,6 +555,8 @@ def _run_resilient_processes(
         if outcome is not None and outcome[0] == "ok":
             results[i] = outcome[1]
             errors.pop(i, None)
+            if record is not None:
+                record(i, seeds[i][item.attempt], outcome[1])
             return
         if outcome is not None:
             errors[i] = (outcome[1], outcome[2], outcome[3])

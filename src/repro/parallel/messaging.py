@@ -362,6 +362,10 @@ class DistributedBPSimulator:
             if max_res < cfg.tol and round_quiet:
                 converged = True
                 break
+        if injector is not None:
+            # Close the delay-queue books before the fault log is exported:
+            # messages still in flight would otherwise vanish silently.
+            injector.finalize()
 
         estimates = np.full((ms.n_nodes, 2), np.nan)
         estimates[ms.anchor_mask] = ms.anchor_positions
@@ -437,6 +441,7 @@ class DistributedBPSimulator:
         from repro.audit.invariants import (
             Auditor,
             audit_localization_result,
+            check_delay_conservation,
             check_message_floor,
             check_round_accounting,
         )
@@ -456,6 +461,13 @@ class DistributedBPSimulator:
                 msg_bytes=K * 8,
             )
         )
+        fault_log = (
+            result.extras.get("fault_log") if isinstance(result.extras, dict) else None
+        )
+        if fault_log and fault_log.get("messages"):
+            auditor.extend(
+                check_delay_conservation(fault_log["messages"]["counters"])
+            )
         if self.faults is None or not self.faults.enabled:
             # The floor is a *solver* commitment; corrupted in-transit
             # messages are renormalized by the injector and may

@@ -444,3 +444,59 @@ class TestCLIAudit:
         path = tmp_path / "manifest.json"
         assert main(["audit", "--manifest", str(path)]) == 0
         assert load_manifest(path) == make_corpus("smoke")
+
+
+# --------------------------------------------------------------------- #
+# checkpoint/resume lane (repro.ckpt × repro.audit)
+# --------------------------------------------------------------------- #
+class TestDelayConservation:
+    def test_balanced_ledger_passes(self):
+        from repro.audit import check_delay_conservation
+
+        assert check_delay_conservation({}) == []
+        assert (
+            check_delay_conservation(
+                {
+                    "messages_delayed": 5,
+                    "messages_arrived_late": 2,
+                    "messages_delayed_expired": 1,
+                    "messages_in_flight_at_end": 2,
+                }
+            )
+            == []
+        )
+
+    def test_vanished_messages_flagged(self):
+        from repro.audit import check_delay_conservation
+
+        violations = check_delay_conservation(
+            {"messages_delayed": 5, "messages_arrived_late": 2}
+        )
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.name == "delay-conservation"
+        assert v.context["delayed"] == 5
+        assert v.context["in_flight_at_end"] == 0
+
+
+@pytest.mark.ckpt
+class TestCkptDiffCase:
+    """The resume guarantee is part of the standing audit matrix: an
+    interrupted-then-resumed evaluation must match the uninterrupted one
+    at the *bit* tier."""
+
+    def _case(self):
+        from repro.audit import default_cases
+
+        cases = {c.name: c for c in default_cases()}
+        assert "ckpt-resume-vs-uninterrupted" in cases
+        return cases["ckpt-resume-vs-uninterrupted"]
+
+    def test_registered_at_bit_tier_in_default_lane(self):
+        case = self._case()
+        assert case.tier == "bit"
+        assert not getattr(case, "slow", False)
+
+    def test_passes_on_smoke_scenario(self, ranging_ctx):
+        report = run_case(self._case(), ranging_ctx)
+        assert report.passed, report.detail

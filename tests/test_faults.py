@@ -466,3 +466,73 @@ class TestFaultDeterminismAcrossWorkers:
         serial = run_trials(_faulted_trial, 2, seed=11, n_workers=1)
         parallel = run_trials(_faulted_trial, 2, seed=11, n_workers=2)
         assert serial == parallel
+
+
+class TestDelayAccounting:
+    """End-of-run conservation of the delay ledger (satellite of the
+    checkpoint PR): every delayed message is delivered late, expired
+    against a downed receiver, or reported still in flight."""
+
+    @staticmethod
+    def _messages(n=4):
+        return [(i, i + 1, np.full(3, float(i))) for i in range(n)]
+
+    def test_finalize_reports_in_flight_messages(self):
+        plan = FaultPlan(seed=5, message_delay_rate=1.0, max_delay_rounds=6)
+        inj = MessageFaultInjector(plan)
+        _, record = inj.process_round(1, self._messages(4))
+        assert record["messages_delayed"] == 4
+        assert inj.n_in_flight == 4
+        assert inj.finalize() == 4
+        assert inj.log.counters["messages_in_flight_at_end"] == 4
+        # idempotent: closing the books twice adds nothing
+        assert inj.finalize() == 4
+        assert inj.log.counters["messages_in_flight_at_end"] == 4
+        from repro.audit.invariants import check_delay_conservation
+
+        assert check_delay_conservation(inj.log.counters) == []
+
+    def test_finalize_with_empty_queue_records_nothing(self):
+        inj = MessageFaultInjector(FaultPlan(seed=5, message_drop_rate=0.5))
+        inj.process_round(1, self._messages(4))
+        assert inj.finalize() == 0
+        assert "messages_in_flight_at_end" not in inj.log.counters
+
+    def test_expired_delivery_to_downed_receiver_counted(self):
+        plan = FaultPlan(
+            seed=5,
+            message_delay_rate=1.0,
+            max_delay_rounds=1,
+            node_outages=(NodeOutage(node=1, start_round=2),),
+        )
+        inj = MessageFaultInjector(plan)
+        inj.resolve_outages([0, 1, 2])
+        _, record = inj.process_round(1, [(0, 1, np.ones(3))])
+        assert record["messages_delayed"] == 1
+        # due in round 2, but node 1 is down by then: the message expires
+        delivered, record = inj.process_round(2, [])
+        assert delivered == []
+        assert record["messages_delayed_expired"] == 1
+        assert inj.n_in_flight == 0
+        assert inj.finalize() == 0
+        counters = inj.log.counters
+        assert counters["messages_delayed_expired"] == 1
+        from repro.audit.invariants import check_delay_conservation
+
+        assert check_delay_conservation(counters) == []
+
+    def test_simulator_finalizes_delay_ledger(self):
+        # few iterations + long delays guarantee messages are still in
+        # flight when the round loop ends
+        _, ms = _scenario()
+        plan = FaultPlan(seed=9, message_delay_rate=0.8, max_delay_rounds=10)
+        cfg = dataclasses.replace(_CFG, max_iterations=3)
+        result, _ = DistributedBPSimulator(config=cfg, faults=plan).run(ms)
+        counters = result.extras["fault_log"]["messages"]["counters"]
+        assert counters["messages_delayed"] > 0
+        assert counters.get("messages_in_flight_at_end", 0) > 0
+        assert counters["messages_delayed"] == (
+            counters.get("messages_arrived_late", 0)
+            + counters.get("messages_delayed_expired", 0)
+            + counters["messages_in_flight_at_end"]
+        )

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import GridBPConfig, GridBPLocalizer
 from repro.io import (
+    atomic_write_text,
     load_network_json,
     load_network_npz,
     network_from_dict,
@@ -87,3 +88,58 @@ class TestResultSerialization:
         res = LocalizationResult(est, np.array([True, False]), "m")
         d = result_to_dict(res)
         assert d["estimates"][1] == [None, None]
+
+
+class TestAtomicWrites:
+    """The torn-write regression lane: ``atomic_write_text`` must never
+    leave a partially written target, and the JSON savers ride on it."""
+
+    def test_write_and_overwrite(self, tmp_path):
+        p = tmp_path / "f.txt"
+        atomic_write_text(p, "first")
+        assert p.read_text() == "first"
+        atomic_write_text(p, "second")
+        assert p.read_text() == "second"
+        assert not p.with_name("f.txt.tmp").exists()
+
+    def test_fsync_failure_preserves_original(self, tmp_path, monkeypatch):
+        import os
+
+        p = tmp_path / "f.txt"
+        p.write_text("precious")
+        monkeypatch.setattr(os, "fsync", lambda fd: (_ for _ in ()).throw(OSError("disk full")))
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(p, "half-written garbage")
+        assert p.read_text() == "precious"  # old content fully intact
+        assert not p.with_name("f.txt.tmp").exists()  # tmp cleaned up
+
+    def test_replace_failure_preserves_original(self, tmp_path, monkeypatch):
+        import os
+
+        p = tmp_path / "f.txt"
+        p.write_text("precious")
+        real_replace = os.replace
+
+        def failing_replace(src, dst):
+            raise OSError("crossed a filesystem boundary")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(p, "new")
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert p.read_text() == "precious"
+        assert not p.with_name("f.txt.tmp").exists()
+
+    def test_save_network_json_is_atomic(self, net, tmp_path, monkeypatch):
+        import json
+        import os
+
+        p = tmp_path / "net.json"
+        save_network_json(net, p)
+        before = p.read_text()
+        monkeypatch.setattr(os, "fsync", lambda fd: (_ for _ in ()).throw(OSError("boom")))
+        with pytest.raises(OSError):
+            save_network_json(net, p)
+        # the crash mid-save did not corrupt the on-disk network
+        assert p.read_text() == before
+        assert_networks_equal(net, network_from_dict(json.loads(before)))
