@@ -8,8 +8,8 @@ scenario:
     Byte-identical outputs — estimates, masks, beliefs, iteration count,
     and the message/byte ledger.  Holds for pairs that execute the same
     arithmetic in a different organization: centralized vs distributed
-    (fault-free), optimized vs reference kernels, shared-cache warm vs
-    cold, worker counts 1 vs N.
+    (fault-free), optimized vs reference kernels, batched vs per-trial
+    kernel backends, shared-cache warm vs cold, worker counts 1 vs N.
 ``statistical``
     Same accuracy within a tolerance band, full coverage on both sides —
     for pairs that approximate the same posterior differently (multi-res
@@ -271,10 +271,40 @@ def _run_distributed(ctx: ScenarioContext, with_stats: bool = False, **overrides
     return (result, stats) if with_stats else result
 
 
-def _run_grid_warm(ctx: ScenarioContext) -> LocalizationResult:
+def _run_grid_warm(ctx: ScenarioContext, **overrides) -> LocalizationResult:
     """Guaranteed-warm shared-cache run (prime once, then measure)."""
-    _run_grid(ctx, shared_cache=True)
-    return _run_grid(ctx, shared_cache=True)
+    _run_grid(ctx, shared_cache=True, **overrides)
+    return _run_grid(ctx, shared_cache=True, **overrides)
+
+
+def _flatten_results(results: Sequence[LocalizationResult]) -> list:
+    """Nested-list view of a result batch for exact payload comparison."""
+    rows = []
+    for res in results:
+        rows.append(
+            [float(v) for v in res.estimates.ravel()]
+            + [
+                float(res.n_iterations),
+                float(res.converged),
+                float(res.messages_sent),
+                float(res.bytes_sent),
+            ]
+        )
+    return rows
+
+
+def _run_localize_batch(ctx: ScenarioContext, batched: bool) -> list:
+    """Batch-vs-sequential bit case: one stacked ``localize_batch`` call over
+    T compatible trials must match T sequential ``localize`` calls."""
+    from repro.core.bnloc import localize_batch
+
+    cfg = _audit_bp_config(backend="batched")
+    locs = [GridBPLocalizer(prior=ctx.prior, config=cfg) for _ in range(3)]
+    if batched:
+        results = localize_batch([(loc, ctx.measurements) for loc in locs])
+    else:
+        results = [loc.localize(ctx.measurements) for loc in locs]
+    return _flatten_results(results)
 
 
 def _run_multires(ctx: ScenarioContext) -> LocalizationResult:
@@ -297,17 +327,19 @@ def _run_nbp(ctx: ScenarioContext) -> LocalizationResult:
     ).localize(ctx.measurements, np.random.default_rng(ctx.spec.seed))
 
 
-def _executor_trial(spec: ScenarioSpec, seed: int) -> list:
+def _executor_trial(spec: ScenarioSpec, seed: int, backend: str = "reference") -> list:
     """Module-level (picklable) trial for the worker-count bit case."""
     ctx = ScenarioContext(spec)
-    return _run_grid(ctx).estimates.tolist()
+    return _run_grid(ctx, backend=backend).estimates.tolist()
 
 
-def _run_trials_with_workers(ctx: ScenarioContext, n_workers: int) -> list:
+def _run_trials_with_workers(
+    ctx: ScenarioContext, n_workers: int, backend: str = "reference"
+) -> list:
     from repro.parallel import run_trials
 
     return run_trials(
-        functools.partial(_executor_trial, ctx.spec),
+        functools.partial(_executor_trial, ctx.spec, backend=backend),
         n_trials=2,
         seed=ctx.spec.seed,
         n_workers=n_workers,
@@ -331,20 +363,26 @@ def _flatten_evaluation(evaluation: dict) -> list:
     return rows
 
 
-def _run_ckpt_evaluation(ctx: ScenarioContext, interrupt: bool) -> list:
+def _run_ckpt_evaluation(
+    ctx: ScenarioContext,
+    interrupt: bool,
+    backend: str = "reference",
+    batch_trials: int | None = None,
+) -> list:
     """The checkpoint/resume bit case: an evaluation that is aborted after
     its first durable record and resumed from the ledger must match the
     uninterrupted evaluation exactly."""
     from repro.experiments.runner import evaluate_methods, standard_methods
 
     methods = standard_methods(
-        grid_size=10, max_iterations=6, include=["bn-pk", "centroid"]
+        grid_size=10, max_iterations=6, include=["bn-pk", "centroid"], backend=backend
     )
     cfg = ctx.spec.config
+    eval_kwargs = dict(
+        n_trials=2, seed=ctx.spec.seed, batch_trials=batch_trials
+    )
     if not interrupt:
-        return _flatten_evaluation(
-            evaluate_methods(cfg, methods, n_trials=2, seed=ctx.spec.seed)
-        )
+        return _flatten_evaluation(evaluate_methods(cfg, methods, **eval_kwargs))
     import os
     import tempfile
 
@@ -354,9 +392,7 @@ def _run_ckpt_evaluation(ctx: ScenarioContext, interrupt: bool) -> list:
         path = os.path.join(td, "ledger.jsonl")
         ck = Checkpoint(path, abort_after=1)
         try:
-            evaluate_methods(
-                cfg, methods, n_trials=2, seed=ctx.spec.seed, checkpoint=ck
-            )
+            evaluate_methods(cfg, methods, checkpoint=ck, **eval_kwargs)
             raise RuntimeError(
                 "checkpoint abort hook never fired — the case is not "
                 "exercising a resume"
@@ -366,9 +402,7 @@ def _run_ckpt_evaluation(ctx: ScenarioContext, interrupt: bool) -> list:
         finally:
             ck.close()
         return _flatten_evaluation(
-            evaluate_methods(
-                cfg, methods, n_trials=2, seed=ctx.spec.seed, checkpoint=path
-            )
+            evaluate_methods(cfg, methods, checkpoint=path, **eval_kwargs)
         )
 
 
@@ -407,6 +441,36 @@ def default_cases() -> list[DiffCase]:
             applies=fault_free,
         ),
         DiffCase(
+            "batched-vs-reference",
+            "bit",
+            run_ref=functools.partial(_run_grid, backend="batched"),
+            run_alt=_run_grid,
+            applies=fault_free,
+        ),
+        DiffCase(
+            "serial-batched-vs-reference",
+            "bit",
+            run_ref=functools.partial(_run_grid, schedule="serial", backend="batched"),
+            run_alt=functools.partial(_run_grid, schedule="serial"),
+            applies=fault_free,
+        ),
+        DiffCase(
+            "batched-cache-warm-vs-cold",
+            "bit",
+            run_ref=functools.partial(
+                _run_grid, shared_cache=False, backend="batched"
+            ),
+            run_alt=functools.partial(_run_grid_warm, backend="batched"),
+            applies=fault_free,
+        ),
+        DiffCase(
+            "batched-batch-vs-sequential",
+            "bit",
+            run_ref=functools.partial(_run_localize_batch, batched=True),
+            run_alt=functools.partial(_run_localize_batch, batched=False),
+            applies=fault_free,
+        ),
+        DiffCase(
             "workers-1-vs-2",
             "bit",
             run_ref=functools.partial(_run_trials_with_workers, n_workers=1),
@@ -415,10 +479,39 @@ def default_cases() -> list[DiffCase]:
             slow=True,
         ),
         DiffCase(
+            "batched-workers-1-vs-2",
+            "bit",
+            run_ref=functools.partial(
+                _run_trials_with_workers, n_workers=1, backend="batched"
+            ),
+            run_alt=functools.partial(
+                _run_trials_with_workers, n_workers=2, backend="batched"
+            ),
+            applies=fault_free,
+            slow=True,
+        ),
+        DiffCase(
             "ckpt-resume-vs-uninterrupted",
             "bit",
             run_ref=functools.partial(_run_ckpt_evaluation, interrupt=False),
             run_alt=functools.partial(_run_ckpt_evaluation, interrupt=True),
+            applies=fault_free,
+        ),
+        DiffCase(
+            "ckpt-resume-vs-uninterrupted-batched",
+            "bit",
+            run_ref=functools.partial(
+                _run_ckpt_evaluation,
+                interrupt=False,
+                backend="batched",
+                batch_trials=2,
+            ),
+            run_alt=functools.partial(
+                _run_ckpt_evaluation,
+                interrupt=True,
+                backend="batched",
+                batch_trials=2,
+            ),
             applies=fault_free,
         ),
         DiffCase(

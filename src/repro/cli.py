@@ -90,6 +90,22 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
         help="comma-separated method names (see `info`)",
     )
     p.add_argument(
+        "--backend",
+        choices=["reference", "batched"],
+        default="reference",
+        help="grid-BP kernel backend (repro.kernels); bit-identical "
+        "results, the batched backend stacks compatible trials into one "
+        "tensor pass per BP round when combined with --batch-trials",
+    )
+    p.add_argument(
+        "--batch-trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run trials in blocks of N, batching the grid-BP methods "
+        "across each block (bit-identical, checkpoint-compatible)",
+    )
+    p.add_argument(
         "--checkpoint",
         default=None,
         metavar="LEDGER",
@@ -119,7 +135,11 @@ def _methods_from_args(args: argparse.Namespace) -> dict:
     if not names:
         raise SystemExit("error: --methods must name at least one method")
     try:
-        return standard_methods(grid_size=args.grid_size, include=names)
+        return standard_methods(
+            grid_size=args.grid_size,
+            include=names,
+            backend=getattr(args, "backend", "reference"),
+        )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
 
@@ -128,7 +148,14 @@ def _checkpoint_meta(args: argparse.Namespace) -> dict | None:
     """Extra ledger-header keys that let `repro resume` rebuild the run."""
     if not getattr(args, "checkpoint", None):
         return None
-    return {"method_kwargs": {"grid_size": args.grid_size}}
+    meta = {"method_kwargs": {"grid_size": args.grid_size}}
+    backend = getattr(args, "backend", "reference")
+    if backend != "reference":
+        # kernel backends are bit-identical, so an old reference ledger
+        # resumed with --backend batched (or vice versa) is still exact;
+        # record the choice anyway so `repro resume` replays it.
+        meta["method_kwargs"]["backend"] = backend
+    return meta
 
 
 def _reraise_unless_checkpoint_error(exc: Exception) -> None:
@@ -297,6 +324,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             checkpoint=args.checkpoint,
             checkpoint_meta=_checkpoint_meta(args),
+            batch_trials=args.batch_trials,
         )
     except Exception as exc:
         _reraise_unless_checkpoint_error(exc)
@@ -335,6 +363,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             checkpoint=args.checkpoint,
             checkpoint_meta=_checkpoint_meta(args),
+            batch_trials=args.batch_trials,
         )
     except Exception as exc:
         _reraise_unless_checkpoint_error(exc)

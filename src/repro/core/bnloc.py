@@ -45,6 +45,11 @@ from repro.core.potentials import (
     shared_registry,
 )
 from repro.core.result import LocalizationResult, Localizer
+from repro.kernels.base import BPOutcome, BPProblem, get_backend, group_compatible
+from repro.kernels.reference import (  # noqa: F401 — long-standing aliases
+    _MSG_FLOOR,
+    _max_product_matvec,
+)
 from repro.measurement.measurements import MeasurementSet
 from repro.network.radio import RadioModel, UnitDiskRadio
 from repro.obs import NULL_TRACER, NullTracer
@@ -52,29 +57,12 @@ from repro.priors.base import PositionPrior
 from repro.priors.deployment import UniformPrior
 from repro.utils.rng import RNGLike
 
-__all__ = ["GridBPLocalizer", "GridBPConfig"]
-
-_MSG_FLOOR = 1e-12  # keeps log-space products finite after truncation
+__all__ = ["GridBPLocalizer", "GridBPConfig", "localize_batch"]
 
 #: bytes of one anchor broadcast — the anchor's own position (2 float64).
 #: Unknown-unknown belief messages cost ``8·K`` bytes instead; both
 #: solvers and the E7 benchmark share this convention.
 _ANCHOR_BROADCAST_BYTES = 2 * 8
-
-
-def _max_product_matvec(op, hvec: np.ndarray) -> np.ndarray:
-    """``out[j] = max_k op[j, k] · h[k]`` — the max-product analogue of
-    ``op @ h`` (same operator orientation as the sum-product message).
-
-    Implicit sparse zeros contribute 0, which is the correct floor since
-    potentials and h are non-negative.
-    """
-    from scipy import sparse
-
-    if sparse.issparse(op):
-        scaled = op.multiply(hvec[None, :]).tocsr()
-        return np.asarray(scaled.max(axis=1).todense()).ravel()
-    return (op * hvec[None, :]).max(axis=1)
 
 
 @dataclass
@@ -158,6 +146,16 @@ class GridBPConfig:
         parameters — the common case inside Monte-Carlo sweeps.  Warm
         runs are bit-identical to cold ones; disable to force per-run
         rebuilds.
+    backend:
+        Kernel backend running the BP loop (:mod:`repro.kernels`):
+        ``"reference"`` is the per-trial kernel pair of PR 3 (with
+        ``optimized`` selecting the vectorized or baseline path);
+        ``"batched"`` is the trial-axis kernel — identical results on a
+        single run, and :func:`localize_batch` stacks compatible runs
+        into one tensor pass per BP round.  Any name registered through
+        :func:`repro.kernels.register_backend` is accepted.  All
+        backends are bit-identical (gated by ``tests/test_kernels.py``
+        and the ``repro.audit`` bit-tier DiffCases).
     """
 
     grid_size: int = 20
@@ -177,6 +175,7 @@ class GridBPConfig:
     optimized: bool = True
     shared_cache: bool = True
     audit: str | None = None
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.audit not in (None, "off", "warn", "raise"):
@@ -199,6 +198,31 @@ class GridBPConfig:
             raise ValueError(f"unknown estimator {self.estimator!r}")
         if not (0.0 <= self.restart_damping < 1.0):
             raise ValueError("restart_damping must lie in [0, 1)")
+        if self.backend not in ("reference", "batched"):
+            # builtin names validate for free; anything else must be a
+            # registered extension backend
+            from repro.kernels import available_backends
+
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown kernel backend {self.backend!r}; available: "
+                    f"{available_backends()}"
+                )
+
+
+@dataclass
+class _Prepared:
+    """Output of :meth:`GridBPLocalizer._prepare`: the kernel-ready
+    :class:`~repro.kernels.BPProblem` plus the context the estimate /
+    accounting stage needs after the BP loop ran."""
+
+    ms: MeasurementSet
+    grid: Grid2D
+    prior: PositionPrior
+    radio: RadioModel
+    unknowns: np.ndarray
+    anchor_msgs: int
+    problem: BPProblem
 
 
 class GridBPLocalizer(Localizer):
@@ -249,9 +273,36 @@ class GridBPLocalizer(Localizer):
             result.telemetry = tracer.snapshot()
         return result
 
+    def localize_batch(
+        self, measurements_list: list[MeasurementSet], rng: RNGLike = None
+    ) -> list[LocalizationResult]:
+        """Localize several measurement sets with this solver, stacking
+        compatible ones into batched kernel passes.
+
+        Results are bit-identical to calling :meth:`localize` on each set
+        in turn (grid BP is deterministic — *rng* is accepted for
+        interface symmetry and ignored).  See the module-level
+        :func:`localize_batch` for mixed-prior batches and the batching /
+        fallback rules.
+        """
+        return localize_batch([(self, ms) for ms in measurements_list])
+
     def _localize_traced(
         self, measurements: MeasurementSet, tracer: NullTracer
     ) -> LocalizationResult:
+        prep = self._prepare(measurements, tracer)
+        backend = get_backend(self.config.backend)
+        with tracer.timer("bp"):
+            outcome = backend.run(prep.problem, tracer)
+        outcome, restarted = self._maybe_restart(prep, outcome, backend, tracer)
+        return self._finish(prep, outcome, restarted, tracer)
+
+    def _prepare(
+        self, measurements: MeasurementSet, tracer: NullTracer
+    ) -> "_Prepared":
+        """Everything before the BP loop: grid, prior/radio resolution,
+        node potentials, edge operators.  Returns the prepared problem
+        plus the context :meth:`_finish` needs afterwards."""
         ms = measurements
         cfg = self.config
         grid = Grid2D(cfg.grid_size, cfg.grid_size, ms.width, ms.height)
@@ -259,8 +310,6 @@ class GridBPLocalizer(Localizer):
         radio = self.radio if self.radio is not None else UnitDiskRadio(ms.radio_range)
 
         unknowns = ms.unknown_ids
-        n = ms.n_nodes
-        K = grid.n_cells
         index = {int(u): ui for ui, u in enumerate(unknowns)}
 
         with tracer.timer("node_potentials"):
@@ -342,40 +391,88 @@ class GridBPLocalizer(Localizer):
             for fwd, _ in ops:
                 nnz = fwd.nnz if _sparse.issparse(fwd) else fwd.size
                 tracer.gauge_max("peak_factor_nnz", int(nnz))
+        return _Prepared(
+            ms=ms,
+            grid=grid,
+            prior=prior,
+            radio=radio,
+            unknowns=unknowns,
+            anchor_msgs=anchor_msgs,
+            problem=BPProblem(
+                log_phi=log_phi, edges=edges, ops=ops, grid=grid, cfg=cfg
+            ),
+        )
 
-        with tracer.timer("bp"):
-            beliefs, n_iter, converged, trace_logs, health = self._run_bp(
-                log_phi, edges, ops, grid, cfg, tracer
+    def _maybe_restart(
+        self,
+        prep: "_Prepared",
+        outcome: BPOutcome,
+        backend,
+        tracer: NullTracer,
+    ) -> tuple[BPOutcome, bool]:
+        """Graceful degradation: a numerically broken or diverging run gets
+        one damped restart before we resort to per-node fallbacks.  On
+        healthy runs (no repairs, finite beliefs, shrinking residuals)
+        this is observation-only — outputs stay bit-identical."""
+        cfg = self.config
+        if not (cfg.health_checks and prep.problem.edges):
+            return outcome, False
+        from repro.core.health import healthy_belief_rows, residuals_diverging
+
+        health = outcome.health
+        broken = (
+            health["message_repairs"] > 0
+            or not healthy_belief_rows(outcome.beliefs).all()
+            or (
+                not outcome.converged
+                and residuals_diverging(health["residuals"])
             )
+        )
+        if not broken:
+            return outcome, False
+        import dataclasses as _dc
 
-        # Graceful degradation: a numerically broken or diverging run gets
-        # one damped restart before we resort to per-node fallbacks.  On
-        # healthy runs (no repairs, finite beliefs, shrinking residuals)
-        # this is observation-only — outputs stay bit-identical.
-        restarted = False
-        if cfg.health_checks and edges:
-            from repro.core.health import healthy_belief_rows, residuals_diverging
-
-            broken = (
-                health["message_repairs"] > 0
-                or not healthy_belief_rows(beliefs).all()
-                or (not converged and residuals_diverging(health["residuals"]))
+        cfg_restart = _dc.replace(cfg, damping=max(cfg.damping, cfg.restart_damping))
+        with tracer.timer("damped_restart"):
+            rerun = backend.run(
+                _dc.replace(prep.problem, cfg=cfg_restart), tracer
             )
-            if broken:
-                import dataclasses as _dc
+        if tracer.enabled:
+            tracer.count("damped_restarts")
+        return (
+            BPOutcome(
+                beliefs=rerun.beliefs,
+                n_iterations=outcome.n_iterations + rerun.n_iterations,
+                converged=rerun.converged,
+                trace=rerun.trace,
+                health=rerun.health,
+            ),
+            True,
+        )
 
-                restarted = True
-                cfg_restart = _dc.replace(
-                    cfg, damping=max(cfg.damping, cfg.restart_damping)
-                )
-                with tracer.timer("damped_restart"):
-                    beliefs, n_more, converged, trace_logs, health = self._run_bp(
-                        log_phi, edges, ops, grid, cfg_restart, tracer
-                    )
-                n_iter += n_more
-                if tracer.enabled:
-                    tracer.count("damped_restarts")
-
+    def _finish(
+        self,
+        prep: "_Prepared",
+        outcome: BPOutcome,
+        restarted: bool,
+        tracer: NullTracer,
+    ) -> LocalizationResult:
+        """Everything after the BP loop: estimates, fallbacks, trace,
+        communication accounting, telemetry, audit."""
+        ms = prep.ms
+        cfg = self.config
+        grid = prep.grid
+        prior = prep.prior
+        unknowns = prep.unknowns
+        edges = prep.problem.edges
+        anchor_msgs = prep.anchor_msgs
+        n = ms.n_nodes
+        K = grid.n_cells
+        beliefs = outcome.beliefs
+        n_iter = outcome.n_iterations
+        converged = outcome.converged
+        trace_logs = outcome.trace
+        health = outcome.health
         with tracer.timer("estimate"):
             from repro.core.health import fallback_position, healthy_belief_rows
 
@@ -426,6 +523,7 @@ class GridBPLocalizer(Localizer):
         bytes_sent = anchor_msgs * _ANCHOR_BROADCAST_BYTES + uu_msgs * K * 8
         if tracer.enabled:
             tracer.annotate("method", self.name)
+            tracer.annotate("backend", cfg.backend)
             tracer.annotate("schedule", cfg.schedule)
             tracer.annotate("grid_cells", K)
             tracer.annotate("n_unknowns", len(unknowns))
@@ -457,7 +555,7 @@ class GridBPLocalizer(Localizer):
                 "grid": grid,
             },
         )
-        self._maybe_audit(result, ms, ops, tracer)
+        self._maybe_audit(result, ms, prep.problem.ops, tracer)
         return result
 
     def _maybe_audit(self, result, ms: MeasurementSet, ops, tracer) -> None:
@@ -503,8 +601,17 @@ class GridBPLocalizer(Localizer):
         unknown, so each anchor's distance field, detection probabilities,
         and log-potentials are computed once and reused across all
         unknowns (the baseline recomputed them per (unknown, anchor)
-        pair — O(n_unknown × n_anchor × K) redundant work).  Output is
-        bit-identical to :meth:`_node_potentials_baseline`.
+        pair — O(n_unknown × n_anchor × K) redundant work).  The
+        accumulation itself runs anchor-outer over row *blocks* of the
+        ``(n_unknown, K)`` output: per anchor, one vectorized add per
+        evidence kind instead of one Python-level add per (unknown,
+        anchor) pair.  Each row still receives exactly the baseline's
+        adds in the baseline's order — the anchor loop is the outer
+        sweep, and within one anchor the hop-bound, adjacency, and
+        negative-evidence terms hit *disjoint* row sets in the same
+        hop → ranging/connectivity → bearings → negative sequence — so
+        the output is bit-identical to
+        :meth:`_node_potentials_baseline`.
         """
         cfg = self.config
         if not cfg.optimized:
@@ -564,53 +671,72 @@ class GridBPLocalizer(Localizer):
                 log_conn[ai] = out
             return out
 
-        for ui, u in enumerate(unknowns):
-            u = int(u)
-            w = prior.grid_weights(u, grid)
-            lp = np.log(np.maximum(w, 1e-300))
-            for ai, a in enumerate(anchor_ids):
-                a = int(a)
-                if (
-                    hops is not None
-                    and not ms.adjacency[u, a]
-                    and np.isfinite(hops[u, ai])
-                    and hops[u, ai] >= 2
-                ):
-                    # h-hop reachability: each hop covers at most the radio
-                    # range, so the node lies within h·r of the anchor.
-                    reach = hops[u, ai] * ms.radio_range
-                    lp = lp + np.where(anchor_d[ai] <= reach, 0.0, log_tiny)
-                if ms.adjacency[u, a]:
-                    if ms.has_ranging:
-                        pot = ranging_potential_from_distances(
+        u_idx = np.asarray([int(u) for u in unknowns], dtype=np.intp)
+        for ui, u in enumerate(u_idx):
+            log_phi[ui] = prior.grid_weights(int(u), grid)
+        log_phi = np.log(np.maximum(log_phi, 1e-300))
+        adj_cols = (
+            ms.adjacency[np.ix_(u_idx, anchor_ids)]
+            if len(u_idx) and n_a
+            else np.zeros((len(u_idx), n_a), dtype=bool)
+        )
+        hops_u = hops[u_idx] if hops is not None else None
+        for ai, a in enumerate(anchor_ids):
+            a = int(a)
+            adj = adj_cols[:, ai].astype(bool)
+            if hops is not None:
+                # h-hop reachability: each hop covers at most the radio
+                # range, so the node lies within h·r of the anchor.
+                hcol = hops_u[:, ai]
+                with np.errstate(invalid="ignore"):
+                    sel = ~adj & np.isfinite(hcol) & (hcol >= 2)
+                rows = np.flatnonzero(sel)
+                if rows.size:
+                    reach = hcol[rows] * ms.radio_range
+                    log_phi[rows] += np.where(
+                        anchor_d[ai][None, :] <= reach[:, None], 0.0, log_tiny
+                    )
+            rows_adj = np.flatnonzero(adj)
+            if rows_adj.size:
+                if ms.has_ranging:
+                    pots = np.empty((rows_adj.size, grid.n_cells))
+                    pd = pdet(ai) if conn_radio is not None else None
+                    for k, ri in enumerate(rows_adj):
+                        pots[k] = ranging_potential_from_distances(
                             anchor_d[ai],
-                            ms.observed_distances[u, a],
+                            ms.observed_distances[int(u_idx[ri]), a],
                             ms.ranging,
                             conn_radio,
                             blur_sigma=blur,
-                            p_detect=pdet(ai) if conn_radio is not None else None,
+                            p_detect=pd,
                         )
-                        lp = lp + np.log(np.maximum(pot, 1e-300))
-                    else:
-                        lp = lp + conn_log(ai)
-                    if ms.has_bearings:
+                    log_phi[rows_adj] += np.log(np.maximum(pots, 1e-300))
+                else:
+                    log_phi[rows_adj] += conn_log(ai)[None, :]
+                if ms.has_bearings:
+                    for ri in rows_adj:
                         bpot = anchor_bearing_potential(
                             grid,
                             ms.anchor_positions_full[a],
-                            ms.observed_bearings[u, a],
-                            ms.observed_bearings[a, u],
+                            ms.observed_bearings[int(u_idx[ri]), a],
+                            ms.observed_bearings[a, int(u_idx[ri])],
                             ms.bearing_model,
                         )
-                        lp = lp + np.log(np.maximum(bpot, 1e-300))
-                elif cfg.use_negative_evidence:
-                    lp = lp + neg_log(ai)
-            peak = lp.max()
-            if not np.isfinite(peak):
-                raise ValueError(
-                    f"node {u}: evidence and prior are mutually exclusive on "
-                    "the grid (prior support excludes all feasible cells?)"
-                )
-            log_phi[ui] = lp - peak
+                        log_phi[ri] += np.log(np.maximum(bpot, 1e-300))
+            if cfg.use_negative_evidence:
+                rows_neg = np.flatnonzero(~adj)
+                if rows_neg.size:
+                    log_phi[rows_neg] += neg_log(ai)[None, :]
+        peaks = log_phi.max(axis=1) if len(u_idx) else np.empty(0)
+        bad = np.flatnonzero(~np.isfinite(peaks))
+        if bad.size:
+            raise ValueError(
+                f"node {int(u_idx[bad[0]])}: evidence and prior are mutually "
+                "exclusive on the grid (prior support excludes all feasible "
+                "cells?)"
+            )
+        if len(u_idx):
+            log_phi = log_phi - peaks[:, None]
         return log_phi
 
     def _node_potentials_baseline(
@@ -693,6 +819,7 @@ class GridBPLocalizer(Localizer):
             log_phi[ui] = lp - peak
         return log_phi
 
+
     # ------------------------------------------------------------------ #
     @staticmethod
     def _run_bp(
@@ -705,244 +832,14 @@ class GridBPLocalizer(Localizer):
     ) -> tuple[np.ndarray, int, bool, list[np.ndarray], dict]:
         """Loopy sum-product over unknown-unknown edges.
 
-        *ops[e]* is the oriented operator pair ``(fwd, bwd)`` of edge *e*
-        (see :meth:`localize`).  Returns normalized beliefs
-        ``(n_unknown, K)``, iteration count, convergence flag, (if
-        ``cfg.record_trace``) per-iteration beliefs, and a health dict
-        with the residual history and the count of non-finite messages
-        repaired to uniform (always 0 on numerically healthy runs — the
-        repair triggers only off a single NaN/Inf float check per round).
-        An enabled *tracer* additionally receives one iteration record per
-        round (message residual, beliefs-changed count, message/byte
-        spend); tracing only reads the state, never alters it.
-
-        Two hot-path optimizations over :meth:`_run_bp_baseline`, both
-        bit-identical by construction (regression-tested):
-
-        * ``np.log(messages)`` is maintained as one stacked array,
-          refreshed once per round, instead of being recomputed per
-          directed slot (``np.log`` on equal inputs is deterministic, so
-          cached logs equal recomputed ones bit-for-bit);
-        * on the synchronous sum-product schedule, outgoing messages whose
-          edges share one sparse kernel (the common case — the
-          RangingPotentialCache quantizes distances exactly so edges share
-          ``csr`` objects) are computed by a single sparse mat-mat instead
-          of one mat-vec per slot.  scipy's CSR mat-mat accumulates each
-          column in the same index order as the mat-vec kernel, so the
-          batched columns are bit-identical to per-slot products; dense
-          operators stay on the mat-vec path because BLAS gemm/gemv are
-          *not* bit-identical.
+        Delegates to :func:`repro.kernels.reference.run_bp` (the kernels
+        moved there when backends became pluggable); kept as a staticmethod
+        for callers that predate :mod:`repro.kernels`.
         """
-        if not cfg.optimized:
-            return GridBPLocalizer._run_bp_baseline(
-                log_phi, edges, ops, grid, cfg, tracer
-            )
-        from scipy import sparse as _sparse
+        from repro.kernels.reference import run_bp
 
-        n_u, K = log_phi.shape
-        # Directed message storage: for each undirected edge e=(i,j), slot
-        # 2e is i->j and 2e+1 is j->i.
-        n_dir = 2 * len(edges)
-        messages = np.full((n_dir, K), 1.0 / K)
-        log_messages = np.log(messages)
-        in_slots: list[list[int]] = [[] for _ in range(n_u)]  # messages INTO node
-        out_slots: list[list[tuple[int, int, int]]] = [
-            [] for _ in range(n_u)
-        ]  # (slot, edge_index, recipient)
-        for e, (i, j) in enumerate(edges):
-            in_slots[j].append(2 * e)
-            in_slots[i].append(2 * e + 1)
-            out_slots[i].append((2 * e, e, j))
-            out_slots[j].append((2 * e + 1, e, i))
+        return run_bp(log_phi, edges, ops, grid, cfg, tracer)
 
-        def beliefs_now() -> np.ndarray:
-            out = np.empty((n_u, K))
-            for ui in range(n_u):
-                acc = log_phi[ui].copy()
-                for s in in_slots[ui]:
-                    acc += log_messages[s]
-                acc -= acc.max()
-                b = np.exp(acc)
-                out[ui] = b / b.sum()
-            return out
-
-        converged = False
-        n_iter = 0
-        trace: list[np.ndarray] = []
-        health = {"residuals": [], "message_repairs": 0}
-        if cfg.record_trace:
-            # Iteration 0: unary-only beliefs (prior + anchor evidence,
-            # before any cooperation) — the natural convergence baseline.
-            trace.append(beliefs_now())
-        if not edges:
-            return beliefs_now(), 0, True, trace, health
-
-        serial = cfg.schedule == "serial"
-        # Static batching plan (operators never change across rounds):
-        # group directed slots by sparse-kernel identity; groups of one
-        # keep the plain mat-vec.
-        sparse_groups: list[tuple] = []
-        slot_batched = np.zeros(n_dir, dtype=bool)
-        unbatched_slots: np.ndarray | None = None
-        src_of = dst_of = swap_of = None
-        if not serial and not cfg.max_product:
-            by_op: dict[int, list[int]] = {}
-            op_by_id: dict[int, object] = {}
-            for e in range(len(edges)):
-                for parity in (0, 1):
-                    op = ops[e][parity]
-                    if _sparse.issparse(op):
-                        by_op.setdefault(id(op), []).append(2 * e + parity)
-                        op_by_id[id(op)] = op
-            for key, slots in by_op.items():
-                if len(slots) > 1:
-                    arr = np.asarray(slots, dtype=np.intp)
-                    sparse_groups.append((op_by_id[key], arr))
-                    slot_batched[arr] = True
-            unbatched_slots = np.nonzero(~slot_batched)[0]
-            # Directed-slot endpoint maps for the vectorized h-build: slot
-            # 2e carries i->j (source i, destination j), 2e+1 the reverse.
-            src_of = np.empty(n_dir, dtype=np.intp)
-            dst_of = np.empty(n_dir, dtype=np.intp)
-            for e, (i, j) in enumerate(edges):
-                src_of[2 * e] = i
-                dst_of[2 * e] = j
-                src_of[2 * e + 1] = j
-                dst_of[2 * e + 1] = i
-            swap_of = np.arange(n_dir) ^ 1
-
-        prev_beliefs = beliefs_now() if tracer.enabled else None
-        round_msgs = 2 * len(edges)
-        msgs_cum = 0
-        H = np.empty((n_dir, K)) if not serial else None
-        for n_iter in range(1, cfg.max_iterations + 1):
-            # "sync" computes the whole round from the previous round's
-            # messages; "serial" commits each node's messages immediately
-            # so later nodes in the sweep see them.
-            new_messages = messages if serial else np.empty_like(messages)
-            old_messages = messages.copy() if serial else messages
-
-            def commit(slot: int, msg: np.ndarray) -> None:
-                s = msg.sum()
-                if s <= 0:
-                    msg = np.full(K, 1.0 / K)
-                else:
-                    msg = msg / s
-                if cfg.damping > 0:
-                    prev = old_messages[slot] if serial else messages[slot]
-                    msg = (1 - cfg.damping) * msg + cfg.damping * prev
-                    msg = msg / msg.sum()
-                np.maximum(msg, _MSG_FLOOR, out=msg)
-                new_messages[slot] = msg
-                if serial:
-                    # keep the log cache Gauss–Seidel-fresh
-                    log_messages[slot] = np.log(new_messages[slot])
-
-            def commit_rows(slots_arr: np.ndarray, res: np.ndarray) -> None:
-                # Vectorized commit for a block of sync-schedule slots.
-                # Every step is elementwise or a row-wise reduction, and
-                # numpy's axis-1 sum/max over a C-contiguous block uses the
-                # same pairwise kernel as the per-row reduction, so this is
-                # bit-identical to running `commit` on each row.
-                sums = res.sum(axis=1)
-                bad = sums <= 0
-                if bad.any():
-                    res[bad] = 1.0 / K
-                    sums[bad] = 1.0
-                res /= sums[:, None]
-                if cfg.damping > 0:
-                    res *= 1 - cfg.damping
-                    res += cfg.damping * messages[slots_arr]
-                    res /= res.sum(axis=1)[:, None]
-                np.maximum(res, _MSG_FLOOR, out=res)
-                new_messages[slots_arr] = res
-
-            if serial or cfg.max_product:
-                for ui in range(n_u):
-                    if not out_slots[ui]:
-                        continue
-                    total = log_phi[ui].copy()
-                    for s in in_slots[ui]:
-                        total += log_messages[s]
-                    for slot, e, _dst in out_slots[ui]:
-                        # Exclude the recipient's own message (slot^1 is
-                        # the reverse direction, which feeds INTO ui).
-                        back = slot ^ 1
-                        h = total - log_messages[back]
-                        h -= h.max()
-                        hvec = np.exp(h)
-                        # slot parity picks the operator orientation: even
-                        # slots are i→j (fwd), odd are j→i (bwd).
-                        op = ops[e][slot & 1]
-                        if cfg.max_product:
-                            msg = _max_product_matvec(op, hvec)
-                        else:
-                            msg = op.dot(hvec)
-                        commit(slot, msg)
-            else:
-                # Synchronous sum-product, fully vectorized.  Per-node
-                # message-product accumulation runs through np.add.at,
-                # whose unbuffered in-index-order adds replay the exact
-                # fadd sequence of the per-node loop (in_slots[ui] is in
-                # increasing slot order by construction, matching the
-                # slot-major iteration of the fancy index).
-                totals = log_phi.copy()
-                np.add.at(totals, dst_of, log_messages)
-                np.subtract(totals[src_of], log_messages[swap_of], out=H)
-                H -= H.max(axis=1, keepdims=True)
-                np.exp(H, out=H)
-                for op, slots in sparse_groups:
-                    res = np.ascontiguousarray(op.dot(H[slots].T).T)
-                    commit_rows(slots, res)
-                if len(unbatched_slots):
-                    res = np.empty((len(unbatched_slots), K))
-                    for k, slot in enumerate(unbatched_slots):
-                        res[k] = ops[slot >> 1][slot & 1].dot(H[slot])
-                    commit_rows(unbatched_slots, res)
-
-            max_delta = float(np.abs(new_messages - old_messages).max())
-            repaired = False
-            if cfg.health_checks and not np.isfinite(max_delta):
-                # A NaN/Inf somewhere in the round's messages (corrupted
-                # potentials / degenerate inputs): repair the offending
-                # rows to uniform so BP can keep going.  The trigger is a
-                # single float check, so healthy rounds pay nothing.
-                from repro.core.health import repair_nonfinite_messages
-
-                health["message_repairs"] += repair_nonfinite_messages(new_messages)
-                repaired = True
-                with np.errstate(invalid="ignore"):
-                    deltas = np.abs(new_messages - old_messages)
-                max_delta = float(np.nanmax(np.where(np.isfinite(deltas), deltas, 1.0)))
-            health["residuals"].append(max_delta)
-            messages = new_messages
-            if not serial or repaired:
-                log_messages = np.log(messages)
-            if cfg.record_trace:
-                trace.append(beliefs_now())
-            if tracer.enabled:
-                new_beliefs = beliefs_now()
-                changed = int(
-                    np.count_nonzero(
-                        np.abs(new_beliefs - prev_beliefs).max(axis=1) > cfg.tol
-                    )
-                )
-                prev_beliefs = new_beliefs
-                msgs_cum += round_msgs
-                tracer.iteration(
-                    residual=max_delta,
-                    beliefs_changed=changed,
-                    messages=round_msgs,
-                    messages_cum=msgs_cum,
-                    bytes_cum=msgs_cum * K * 8,
-                )
-            if max_delta < cfg.tol:
-                converged = True
-                break
-
-        return beliefs_now(), n_iter, converged, trace, health
-
-    # ------------------------------------------------------------------ #
     @staticmethod
     def _run_bp_baseline(
         log_phi: np.ndarray,
@@ -952,131 +849,64 @@ class GridBPLocalizer(Localizer):
         cfg: GridBPConfig,
         tracer: NullTracer = NULL_TRACER,
     ) -> tuple[np.ndarray, int, bool, list[np.ndarray], dict]:
-        """Reference implementation of :meth:`_run_bp`.
+        """Reference implementation of :meth:`_run_bp` — delegates to
+        :func:`repro.kernels.reference.run_bp_baseline`."""
+        from repro.kernels.reference import run_bp_baseline
 
-        Kept for A/B benchmarking (``GridBPConfig(optimized=False)``) and
-        the bit-identity regression tests; recomputes message logs per
-        slot and sends every message through its own mat-vec.
-        """
-        n_u, K = log_phi.shape
-        # Directed message storage: for each undirected edge e=(i,j), slot
-        # 2e is i->j and 2e+1 is j->i.
-        n_dir = 2 * len(edges)
-        messages = np.full((n_dir, K), 1.0 / K)
-        in_slots: list[list[int]] = [[] for _ in range(n_u)]  # messages INTO node
-        out_slots: list[list[tuple[int, int, int]]] = [
-            [] for _ in range(n_u)
-        ]  # (slot, edge_index, recipient)
-        for e, (i, j) in enumerate(edges):
-            in_slots[j].append(2 * e)
-            in_slots[i].append(2 * e + 1)
-            out_slots[i].append((2 * e, e, j))
-            out_slots[j].append((2 * e + 1, e, i))
+        return run_bp_baseline(log_phi, edges, ops, grid, cfg, tracer)
 
-        def node_log_in(ui: int) -> np.ndarray:
-            acc = log_phi[ui].copy()
-            for s in in_slots[ui]:
-                acc += np.log(messages[s])
-            return acc
 
-        def beliefs_from(msgs: np.ndarray) -> np.ndarray:
-            out = np.empty((n_u, K))
-            for ui in range(n_u):
-                acc = log_phi[ui].copy()
-                for s in in_slots[ui]:
-                    acc += np.log(msgs[s])
-                acc -= acc.max()
-                b = np.exp(acc)
-                out[ui] = b / b.sum()
-            return out
+# ---------------------------------------------------------------------- #
+def localize_batch(
+    pairs: list[tuple[GridBPLocalizer, MeasurementSet]],
+) -> list[LocalizationResult]:
+    """Localize many (solver, measurements) pairs, batching compatible ones.
 
-        converged = False
-        n_iter = 0
-        trace: list[np.ndarray] = []
-        health = {"residuals": [], "message_repairs": 0}
-        if cfg.record_trace:
-            # Iteration 0: unary-only beliefs (prior + anchor evidence,
-            # before any cooperation) — the natural convergence baseline.
-            trace.append(beliefs_from(messages))
-        if not edges:
-            return beliefs_from(messages), 0, True, trace, health
+    The pairs are prepared individually (node potentials, edge operators —
+    each under its own solver's tracer), partitioned with
+    :func:`repro.kernels.group_compatible` (same grid shape/extent, same
+    ``K``, equal config — different networks/priors/seeds batch together;
+    mixed shapes split into separate groups, never silently co-batched),
+    and each group runs through the config's kernel backend in one
+    ``run_batch`` call — for the ``batched`` backend, one stacked tensor
+    pass per BP round for the whole group.
 
-        prev_beliefs = beliefs_from(messages) if tracer.enabled else None
-        round_msgs = 2 * len(edges)
-        msgs_cum = 0
-        serial = cfg.schedule == "serial"
-        for n_iter in range(1, cfg.max_iterations + 1):
-            # "sync" computes the whole round from the previous round's
-            # messages; "serial" commits each node's messages immediately
-            # so later nodes in the sweep see them.
-            new_messages = messages if serial else np.empty_like(messages)
-            old_messages = messages.copy() if serial else messages
-            for ui in range(n_u):
-                if not out_slots[ui]:
-                    continue
-                # In serial mode `messages` aliases `new_messages`, so this
-                # reads the freshest values (Gauss–Seidel); in sync mode it
-                # reads the previous round.
-                total = node_log_in(ui)
-                for slot, e, _dst in out_slots[ui]:
-                    # Exclude the recipient's own message (slot^1 is the
-                    # reverse direction, which feeds INTO ui).
-                    back = slot ^ 1
-                    h = total - np.log(messages[back])
-                    h -= h.max()
-                    hvec = np.exp(h)
-                    # slot parity picks the operator orientation: even
-                    # slots are i→j (fwd), odd are j→i (bwd).
-                    op = ops[e][slot & 1]
-                    if cfg.max_product:
-                        msg = _max_product_matvec(op, hvec)
-                    else:
-                        msg = op.dot(hvec)
-                    s = msg.sum()
-                    if s <= 0:
-                        msg = np.full(K, 1.0 / K)
-                    else:
-                        msg = msg / s
-                    if cfg.damping > 0:
-                        prev = old_messages[slot] if serial else messages[slot]
-                        msg = (1 - cfg.damping) * msg + cfg.damping * prev
-                        msg = msg / msg.sum()
-                    np.maximum(msg, _MSG_FLOOR, out=msg)
-                    new_messages[slot] = msg
-            max_delta = float(np.abs(new_messages - old_messages).max())
-            if cfg.health_checks and not np.isfinite(max_delta):
-                # A NaN/Inf somewhere in the round's messages (corrupted
-                # potentials / degenerate inputs): repair the offending
-                # rows to uniform so BP can keep going.  The trigger is a
-                # single float check, so healthy rounds pay nothing.
-                from repro.core.health import repair_nonfinite_messages
-
-                health["message_repairs"] += repair_nonfinite_messages(new_messages)
-                with np.errstate(invalid="ignore"):
-                    deltas = np.abs(new_messages - old_messages)
-                max_delta = float(np.nanmax(np.where(np.isfinite(deltas), deltas, 1.0)))
-            health["residuals"].append(max_delta)
-            messages = new_messages
-            if cfg.record_trace:
-                trace.append(beliefs_from(messages))
-            if tracer.enabled:
-                new_beliefs = beliefs_from(messages)
-                changed = int(
-                    np.count_nonzero(
-                        np.abs(new_beliefs - prev_beliefs).max(axis=1) > cfg.tol
-                    )
-                )
-                prev_beliefs = new_beliefs
-                msgs_cum += round_msgs
-                tracer.iteration(
-                    residual=max_delta,
-                    beliefs_changed=changed,
-                    messages=round_msgs,
-                    messages_cum=msgs_cum,
-                    bytes_cum=msgs_cum * K * 8,
-                )
-            if max_delta < cfg.tol:
-                converged = True
-                break
-
-        return beliefs_from(messages), n_iter, converged, trace, health
+    Results come back in input order and are bit-identical to calling
+    ``localize`` pair by pair (gated by ``tests/test_kernels.py`` and the
+    ``repro.audit`` ``batched-batch-vs-sequential`` DiffCase).  Damped
+    health restarts, estimation, and communication accounting still happen
+    per trial.  Telemetry: each solver's tracer records its own
+    preparation and estimate phases; for groups larger than one the BP
+    loop itself is a shared pass, so per-trial ``bp`` timers are not
+    emitted — the tracer gets ``batch_size`` / ``batch_groups``
+    annotations instead.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return []
+    preps = [loc._prepare(ms, loc.tracer) for loc, ms in pairs]
+    groups = group_compatible([p.problem for p in preps])
+    results: list[LocalizationResult | None] = [None] * len(pairs)
+    for _key, idxs in groups:
+        problems = [preps[i].problem for i in idxs]
+        backend = get_backend(problems[0].cfg.backend)
+        if len(idxs) == 1:
+            i = idxs[0]
+            tr = pairs[i][0].tracer
+            with tr.timer("bp"):
+                outcomes = [backend.run(problems[0], tr)]
+        else:
+            outcomes = backend.run_batch(problems)
+        for i, outcome in zip(idxs, outcomes):
+            loc = pairs[i][0]
+            tr = loc.tracer
+            outcome, restarted = loc._maybe_restart(preps[i], outcome, backend, tr)
+            if tr.enabled:
+                tr.annotate("backend", backend.name)
+                tr.annotate("batch_size", len(idxs))
+                tr.annotate("batch_groups", len(groups))
+            result = loc._finish(preps[i], outcome, restarted, tr)
+            if tr.enabled:
+                result.telemetry = tr.snapshot()
+            results[i] = result
+    return results

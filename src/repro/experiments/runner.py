@@ -58,14 +58,20 @@ def standard_methods(
     max_iterations: int = 15,
     nbp_particles: int = 150,
     include: Sequence[str] | None = None,
+    backend: str = "reference",
 ) -> dict[str, MethodFactory]:
     """The default method lineup used by the benchmarks.
 
     ``bn-pk`` is the paper's method (grid Bayesian network *with* the
     pre-knowledge prior); ``bn`` is the identical inference without it —
     the ablation that isolates the contribution of pre-knowledge.
+    *backend* selects the grid-BP kernel backend
+    (:mod:`repro.kernels`); all backends are bit-identical, so it is a
+    performance knob, not a method variant.
     """
-    grid_cfg = GridBPConfig(grid_size=grid_size, max_iterations=max_iterations)
+    grid_cfg = GridBPConfig(
+        grid_size=grid_size, max_iterations=max_iterations, backend=backend
+    )
     nbp_cfg = NBPConfig(n_particles=nbp_particles, n_iterations=5)
     all_methods: dict[str, MethodFactory] = {
         "bn-pk": lambda prior: GridBPLocalizer(prior=prior, config=grid_cfg),
@@ -166,6 +172,104 @@ def _run_one_trial(
     return out
 
 
+def _run_trial_block(
+    config: ScenarioConfig,
+    methods: Mapping[str, MethodFactory],
+    trial_seeds,
+    tracer: NullTracer = NULL_TRACER,
+) -> list[dict[str, tuple[ErrorSummary, int, float]]]:
+    """Evaluate every method on a block of scenario draws, batching the
+    grid-BP methods across the block.
+
+    Seed discipline is exactly :func:`_run_one_trial`'s (one ``spawn(2)``
+    per trial), so results are bit-identical to running the trials one by
+    one — the batch only changes the execution strategy: compatible
+    grid-BP trials run as stacked kernel passes via
+    :func:`repro.core.bnloc.localize_batch`; other methods (and any trial
+    a batch cannot serve) run per-trial.  Per-trial ``runtimes`` of a
+    batched method are the block wall-clock divided evenly across its
+    trials (total time stays meaningful, per-trial spread does not
+    survive batching).
+    """
+    from repro.core.bnloc import localize_batch
+
+    scenarios = []
+    for ts in trial_seeds:
+        s_build, s_run = ts.spawn(2)
+        with tracer.timer("build_scenario"):
+            network, measurements, prior = build_scenario(config, s_build)
+        scenarios.append((network, measurements, prior, s_run))
+    out: list[dict[str, tuple[ErrorSummary, int, float]]] = [
+        {} for _ in scenarios
+    ]
+    for name, factory in methods.items():
+        locs = [factory(prior) for (_n, _m, prior, _s) in scenarios]
+        results = None
+        elapsed = 0.0
+        if len(locs) > 1 and all(isinstance(l, GridBPLocalizer) for l in locs):
+            t0 = time.perf_counter()
+            try:
+                with tracer.timer(name):
+                    results = localize_batch(
+                        [
+                            (loc, ms)
+                            for loc, (_n, ms, _p, _s) in zip(locs, scenarios)
+                        ]
+                    )
+            except ValueError:
+                # Method inapplicable to (at least) one trial's observation
+                # type: drop to the per-trial path below, which records the
+                # NaN summary for exactly the failing trials.
+                results = None
+            else:
+                elapsed = (time.perf_counter() - t0) / len(locs)
+        if results is not None:
+            for k, (result, (network, _m, _p, _s)) in enumerate(
+                zip(results, scenarios)
+            ):
+                unknown = ~network.anchor_mask
+                errors = result.errors(network.positions)
+                if tracer.enabled:
+                    tracer.count(f"trials[{name}]")
+                    tracer.count(f"messages[{name}]", result.messages_sent)
+                out[k][name] = (
+                    summarize_errors(errors, network.radio_range, unknown),
+                    result.messages_sent,
+                    elapsed,
+                )
+            continue
+        for k, (network, measurements, prior, s_run) in enumerate(scenarios):
+            unknown = ~network.anchor_mask
+            t0 = time.perf_counter()
+            try:
+                with tracer.timer(name):
+                    result = locs[k].localize(
+                        measurements, np.random.default_rng(s_run)
+                    )
+            except ValueError:
+                out[k][name] = (
+                    summarize_errors(
+                        np.full(network.n_nodes, np.nan),
+                        network.radio_range,
+                        unknown,
+                    ),
+                    0,
+                    0.0,
+                )
+                continue
+            trial_elapsed = time.perf_counter() - t0
+            errors = result.errors(network.positions)
+            if tracer.enabled:
+                tracer.count(f"trials[{name}]")
+                tracer.count(f"messages[{name}]", result.messages_sent)
+            out[k][name] = (
+                summarize_errors(errors, network.radio_range, unknown),
+                result.messages_sent,
+                trial_elapsed,
+            )
+    return out
+
+
 def _collect(
     per_trial: list[dict[str, tuple[ErrorSummary, int, float]]],
     names,
@@ -228,12 +332,21 @@ def evaluate_methods(
     tracer: NullTracer | None = None,
     checkpoint=None,
     checkpoint_meta: dict | None = None,
+    batch_trials: int | None = None,
 ) -> dict[str, MethodResult]:
     """Run every method on *n_trials* independent scenario draws.
 
     An attached :class:`~repro.obs.Tracer` times the whole evaluation
     (``"evaluate"``) with per-method child timers, and counts trials and
     messages per method.
+
+    ``batch_trials=<block size>`` runs trials in blocks, stacking the
+    grid-BP methods across each block (:func:`_run_trial_block`) — same
+    per-trial seed streams, bit-identical summaries and message counts,
+    per-trial ``runtimes`` amortized over the block.  Combine with
+    ``backend="batched"`` in :func:`standard_methods` for the stacked
+    kernel; checkpoint ledgers record per trial either way, so batched
+    and unbatched runs resume each other bit-identically.
 
     With ``checkpoint=<ledger path>`` (or a :class:`~repro.ckpt.Checkpoint`
     / :class:`~repro.ckpt.CheckpointScope`), each finished trial is durably
@@ -246,6 +359,8 @@ def evaluate_methods(
     """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
+    if batch_trials is not None and batch_trials < 1:
+        raise ValueError(f"batch_trials must be >= 1, got {batch_trials}")
     tracer = tracer if tracer is not None else NULL_TRACER
     names = list(methods)
     ck = None
@@ -260,14 +375,29 @@ def evaluate_methods(
     trap = trap_signals() if ck is not None else contextlib.nullcontext()
     try:
         with tracer.timer("evaluate"), trap:
-            per_trial = []
-            for i, trial_seed in enumerate(spawn_seeds(seed, n_trials)):
-                trial = _replay_trial(ck, i, names)
-                if trial is None:
-                    trial = _run_one_trial(config, methods, trial_seed, tracer)
+            seeds_list = list(spawn_seeds(seed, n_trials))
+            per_trial: list = [None] * n_trials
+            pending: list[int] = []
+            for i in range(n_trials):
+                per_trial[i] = _replay_trial(ck, i, names)
+                if per_trial[i] is None:
+                    pending.append(i)
+            if batch_trials is None or batch_trials == 1:
+                for i in pending:
+                    trial = _run_one_trial(config, methods, seeds_list[i], tracer)
                     if ck is not None:
                         ck.record(f"trial:{i}", {"result": encode_value(trial)})
-                per_trial.append(trial)
+                    per_trial[i] = trial
+            else:
+                for b0 in range(0, len(pending), batch_trials):
+                    block = pending[b0 : b0 + batch_trials]
+                    trials = _run_trial_block(
+                        config, methods, [seeds_list[i] for i in block], tracer
+                    )
+                    for i, trial in zip(block, trials):
+                        if ck is not None:
+                            ck.record(f"trial:{i}", {"result": encode_value(trial)})
+                        per_trial[i] = trial
     finally:
         if ck is not None:
             ck.emit_counters(tracer)
@@ -292,6 +422,7 @@ def evaluate_methods_parallel(
     grid_size: int = 20,
     max_iterations: int = 15,
     nbp_particles: int = 150,
+    backend: str = "reference",
     tracer: NullTracer | None = None,
     checkpoint=None,
     checkpoint_meta: dict | None = None,
@@ -326,6 +457,7 @@ def evaluate_methods_parallel(
         "grid_size": grid_size,
         "max_iterations": max_iterations,
         "nbp_particles": nbp_particles,
+        "backend": backend,
     }
     names = list(method_names)
     standard_methods(include=names, **std_kwargs)  # validate early
@@ -464,11 +596,14 @@ def run_sweep(
     seed: RNGLike = 0,
     checkpoint=None,
     checkpoint_meta: dict | None = None,
+    batch_trials: int | None = None,
 ) -> SweepResult:
     """Sweep one :class:`ScenarioConfig` field across *values*.
 
     Each parameter point gets an independent spawned seed block, so the
-    curve is stable under adding/removing points.
+    curve is stable under adding/removing points.  *batch_trials* is
+    forwarded to :func:`evaluate_methods` (trial batching within each
+    parameter point; bit-identical, checkpoint-compatible).
 
     With ``checkpoint=<ledger path>``, the sweep owns one write-ahead
     ledger and hands every parameter point a key-scoped view
@@ -502,6 +637,7 @@ def run_sweep(
                         n_trials,
                         block,
                         checkpoint=None if ck is None else ck.scoped(f"pt{j}"),
+                        batch_trials=batch_trials,
                     )
                 )
     finally:

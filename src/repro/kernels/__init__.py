@@ -1,0 +1,25 @@
+"""Pluggable grid-BP kernel backends (reference and batched trial-axis)."""
+
+from repro.kernels.base import (
+    BPOutcome,
+    BPProblem,
+    IncompatibleBatchError,
+    KernelBackend,
+    available_backends,
+    compatibility_key,
+    get_backend,
+    group_compatible,
+    register_backend,
+)
+
+__all__ = [
+    "BPProblem",
+    "BPOutcome",
+    "KernelBackend",
+    "IncompatibleBatchError",
+    "compatibility_key",
+    "group_compatible",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]

@@ -1,0 +1,207 @@
+"""Pluggable grid-BP kernel backends.
+
+A *kernel backend* owns the inner message-passing loop of
+:class:`~repro.core.bnloc.GridBPLocalizer`: it receives a fully prepared
+:class:`BPProblem` (log node potentials, edge list, oriented operator
+pairs, grid, config) and returns a :class:`BPOutcome` (beliefs, iteration
+count, convergence flag, optional trace, health record).  Everything
+*around* the loop — potentials, estimates, communication accounting,
+health restarts — stays in the solver, so new backends (numba, GPU, …)
+slot in without touching solver code.
+
+Two backends ship today:
+
+``reference``
+    The per-trial kernels of PR 3 (:mod:`repro.kernels.reference`):
+    ``cfg.optimized`` selects the vectorized or the straightforward
+    implementation, both bit-identical.
+``batched``
+    The trial-axis kernel (:mod:`repro.kernels.batched`): a batch of
+    same-shape problems runs each BP round as one stacked tensor pass.
+    Bit-identical to ``reference`` on every problem (the kernel
+    equivalence suite and the ``repro.audit`` bit-tier DiffCases are the
+    gate).
+
+Batch compatibility
+-------------------
+:func:`group_compatible` partitions a problem list into runnable batches:
+problems co-batch only when their grids have identical shape and extent,
+their state count ``K`` matches, and their configs are equal.  Mixed
+shapes are *split into separate groups*, never silently co-batched;
+handing an incompatible list straight to
+:meth:`KernelBackend.run_batch` raises :class:`IncompatibleBatchError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.obs import NULL_TRACER, NullTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.bnloc import GridBPConfig
+    from repro.core.grid import Grid2D
+
+__all__ = [
+    "BPProblem",
+    "BPOutcome",
+    "KernelBackend",
+    "IncompatibleBatchError",
+    "compatibility_key",
+    "group_compatible",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+class IncompatibleBatchError(ValueError):
+    """A problem batch mixes incompatible shapes/configs.
+
+    Raised by :meth:`KernelBackend.run_batch` implementations that
+    require a homogeneous batch.  Callers should partition with
+    :func:`group_compatible` first; trials that cannot be grouped fall
+    back to per-problem execution.
+    """
+
+
+@dataclass
+class BPProblem:
+    """One prepared grid-BP inference problem (inputs of the BP loop).
+
+    ``log_phi`` is ``(n_unknown, K)``; ``edges`` lists unknown-index
+    pairs; ``ops[e]`` is the oriented operator pair ``(fwd, bwd)`` of
+    edge *e* (slot ``2e`` uses ``fwd``, ``2e+1`` uses ``bwd``).
+    """
+
+    log_phi: np.ndarray
+    edges: list[tuple[int, int]]
+    ops: list[tuple]
+    grid: "Grid2D"
+    cfg: "GridBPConfig"
+
+    @property
+    def n_unknowns(self) -> int:
+        return int(self.log_phi.shape[0])
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.log_phi.shape[1])
+
+
+@dataclass
+class BPOutcome:
+    """What a kernel returns for one problem: exactly the tuple the
+    pre-backend ``_run_bp`` produced, named."""
+
+    beliefs: np.ndarray
+    n_iterations: int
+    converged: bool
+    trace: list[np.ndarray]
+    health: dict
+
+
+def compatibility_key(problem: BPProblem) -> tuple:
+    """Hashable batch-compatibility key of a problem.
+
+    Problems sharing a key may run as one stacked batch: same grid shape
+    and extent (hence same ``K`` and identical cell geometry) and equal
+    config (schedule, damping, tolerances, …).  Different seeds /
+    networks / priors are exactly what the batch axis is for.
+    """
+    g = problem.grid
+    return (
+        g.nx,
+        g.ny,
+        float(g.width),
+        float(g.height),
+        problem.n_cells,
+        dataclasses.astuple(problem.cfg),
+    )
+
+
+def group_compatible(
+    problems: Sequence[BPProblem],
+) -> list[tuple[tuple, list[int]]]:
+    """Partition *problems* into compatible batches.
+
+    Returns ``(key, indices)`` groups in first-seen order; indices are
+    positions into the input sequence, in input order.  Incompatible
+    problems land in separate groups — grouping never silently co-batches
+    mixed shapes.
+    """
+    groups: dict[tuple, list[int]] = {}
+    order: list[tuple] = []
+    for i, p in enumerate(problems):
+        key = compatibility_key(p)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(i)
+    return [(key, groups[key]) for key in order]
+
+
+class KernelBackend:
+    """Interface every grid-BP kernel backend implements.
+
+    ``run`` solves one problem; ``run_batch`` solves a *compatible* batch
+    (see :func:`group_compatible`) and returns outcomes in input order.
+    The default ``run_batch`` is a per-problem loop, so a backend only
+    has to override it when it can do better.
+    """
+
+    name: str = "abstract"
+
+    def run(self, problem: BPProblem, tracer: NullTracer = NULL_TRACER) -> BPOutcome:
+        raise NotImplementedError
+
+    def run_batch(
+        self, problems: Sequence[BPProblem], tracer: NullTracer = NULL_TRACER
+    ) -> list[BPOutcome]:
+        return [self.run(p, tracer) for p in problems]
+
+
+_REGISTRY: dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Register a backend instance under ``backend.name``."""
+    if not backend.name or backend.name == "abstract":
+        raise ValueError("backend must define a concrete name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def _ensure_builtin_backends() -> None:
+    # Imported lazily so repro.kernels.base stays import-cycle free and
+    # scipy is only pulled in when a kernel actually runs.
+    if "reference" not in _REGISTRY:
+        from repro.kernels.reference import ReferenceBackend
+
+        register_backend(ReferenceBackend())
+    if "batched" not in _REGISTRY:
+        from repro.kernels.batched import BatchedBackend
+
+        register_backend(BatchedBackend())
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look up a backend by name (``"reference"`` / ``"batched"`` / any
+    registered extension)."""
+    _ensure_builtin_backends()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    _ensure_builtin_backends()
+    return sorted(_REGISTRY)

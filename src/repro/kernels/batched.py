@@ -1,0 +1,534 @@
+"""Batched trial-axis grid-BP kernel.
+
+A batch of *compatible* problems (same grid shape/extent, same ``K``,
+equal config — different networks, priors, seeds) runs every synchronous
+sum-product round as **one stacked tensor pass**: the trials' directed
+message slots are concatenated into one ``(ΣT n_dir, K)`` block (a
+block-diagonal union of independent graphs), so each round costs one set
+of numpy kernel invocations for the whole batch instead of one per
+trial.  All trials share whatever warm
+:class:`~repro.core.potentials.PotentialCacheRegistry` kernels the
+caller prepared — identical CSR objects across trials land in one
+cross-trial mat-mat group.
+
+Execution layout (the ≥10× lever over the cold per-trial kernel):
+
+* the stacked slots are stored **operator-grouped** — every slot sharing
+  one CSR kernel occupies a contiguous row block — so each round's
+  mat-mat consumes and produces contiguous slabs with no per-round
+  gather/scatter around the sparse products;
+* all round state (message/log-message double buffers, the per-group
+  transposed multivector and product slabs, the degree-pass staging
+  rows) is **preallocated once per active-set rebuild** and reused every
+  round: the hot loop performs no large allocations, so neither the
+  allocator nor first-touch page faults appear in steady state;
+* each group's whole pipeline — gather ``h``, max-shift, ``exp``,
+  sparse product, normalize/damp/floor, residual, ``log`` — runs while
+  the group's ~1 MB slab is cache-resident, instead of making full-array
+  passes over the 10s-of-MB stacked block per step;
+* the sparse product calls scipy's own ``csr_matvecs`` kernel directly
+  on the preallocated slabs (zero-filled output, C-contiguous
+  multivector) — the exact computation ``op.dot`` performs after its
+  internal copies, minus the copies.
+
+Bit-identity with the reference kernel (regression-gated by
+``tests/test_kernels.py`` and the ``repro.audit`` bit-tier DiffCases)
+rests on these facts:
+
+* independent graphs never interact: stacking is block-diagonal, and
+  every elementwise / row-wise step of a round touches each trial's rows
+  exactly as the per-trial kernel would;
+* per-node message-product accumulation replays the exact fadd sequence
+  of ``np.add.at`` — the degree-pass formulation adds each destination's
+  incoming messages in ascending (original) slot order, one rank per
+  pass, and rows within a pass are unique (distinct accumulators commute
+  trivially);
+* scipy's CSR mat-mat accumulates each column in the same index order as
+  its mat-vec kernel, so cross-trial groups (including slots that are
+  singletons within their own trial) are bit-identical to per-slot
+  products; dense operators stay on per-slot gemv because BLAS gemm and
+  gemv are *not* bit-identical;
+* row-wise reductions and elementwise ufuncs are computed per
+  C-contiguous row block, so splitting the stacked block into operator
+  groups (or permuting rows) changes nothing — each row's pairwise
+  sum/max and each element's exp/log see identical inputs in identical
+  order;
+* ``max`` reductions are order-independent (NaN included — ``np.maximum``
+  propagates NaN), so a trial's residual computed as a segment reduction
+  over the permuted stacked block equals the per-trial global max.
+
+Fallback semantics: the ``serial`` (Gauss–Seidel) schedule and
+max-product messaging are inherently per-trial sequential, so
+:class:`BatchedBackend` runs those problems through the reference kernel
+one at a time — same results, no stacking win.  Per-trial convergence is
+preserved by masking: a trial that converges (or hits
+``max_iterations``) freezes — its slots drop out of the active set and
+its messages never change again, exactly as if its own loop had ended.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.kernels.base import (
+    BPOutcome,
+    BPProblem,
+    IncompatibleBatchError,
+    KernelBackend,
+    compatibility_key,
+)
+from repro.kernels.reference import _MSG_FLOOR, run_bp
+from repro.obs import NULL_TRACER, NullTracer
+
+__all__ = ["BatchedBackend"]
+
+
+def _degree_passes(
+    dst: np.ndarray, orig_slots: np.ndarray, pos: np.ndarray
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Decompose a scatter-add into rank-ordered gather-add passes.
+
+    Pass *d* holds, for every destination with at least ``d+1`` incoming
+    slots, its ``d``-th lowest **original** slot (``orig_slots`` carries
+    the pre-permutation slot ids; ``pos`` the rows where those slots
+    live now).  Executing the passes in order adds each destination's
+    messages in ascending original-slot order — the exact fadd sequence
+    of ``np.add.at(totals, dst, msgs)`` on the unpermuted block — while
+    each individual pass is a plain vectorized gather-add (destination
+    rows unique per pass).
+    """
+    if not len(orig_slots):
+        return []
+    order = np.lexsort((orig_slots, dst))
+    sdst = dst[order]
+    new_run = np.empty(len(sdst), dtype=bool)
+    new_run[0] = True
+    np.not_equal(sdst[1:], sdst[:-1], out=new_run[1:])
+    run_id = np.cumsum(new_run) - 1
+    run_starts = np.flatnonzero(new_run)
+    ranks = np.arange(len(sdst)) - run_starts[run_id]
+    passes = []
+    for d in range(int(ranks.max()) + 1):
+        sel = order[ranks == d]
+        passes.append((dst[sel], pos[sel]))
+    return passes
+
+
+class BatchedBackend(KernelBackend):
+    """Stacked trial-axis execution of compatible problem batches."""
+
+    name = "batched"
+
+    def run(self, problem: BPProblem, tracer: NullTracer = NULL_TRACER) -> BPOutcome:
+        return self.run_batch([problem], tracer)[0]
+
+    def run_batch(
+        self, problems: Sequence[BPProblem], tracer: NullTracer = NULL_TRACER
+    ) -> list[BPOutcome]:
+        problems = list(problems)
+        if not problems:
+            return []
+        keys = {compatibility_key(p) for p in problems}
+        if len(keys) > 1:
+            raise IncompatibleBatchError(
+                f"cannot co-batch {len(problems)} problems spanning "
+                f"{len(keys)} incompatible (grid, K, config) shapes; "
+                "partition with repro.kernels.group_compatible first"
+            )
+        cfg = problems[0].cfg
+        if cfg.schedule == "serial" or cfg.max_product:
+            # Gauss–Seidel sweeps and max-product messaging are per-trial
+            # sequential by nature: documented fallback to the reference
+            # kernel, one problem at a time (bit-identical, unstacked).
+            return [
+                BPOutcome(*run_bp(p.log_phi, p.edges, p.ops, p.grid, p.cfg, tracer))
+                for p in problems
+            ]
+        return _run_batch_sync(problems, cfg, tracer)
+
+
+def _csr_matvecs_kernel():
+    """scipy's raw CSR multivector product, or ``None`` if unavailable.
+
+    ``op.dot(X)`` on a ``(K, m)`` multivector is exactly ``Y = zeros;
+    csr_matvecs(..., X.ravel(), Y.ravel())`` plus scipy's internal
+    copies; calling the kernel on preallocated slabs skips the copies
+    without touching a single float of the computation.
+    """
+    try:
+        from scipy.sparse import _sparsetools
+
+        return _sparsetools.csr_matvecs
+    except Exception:  # pragma: no cover - scipy internals moved
+        return None
+
+
+def _run_batch_sync(
+    problems: list[BPProblem], cfg, tracer: NullTracer
+) -> list[BPOutcome]:
+    from scipy import sparse as _sparse
+
+    csr_matvecs = _csr_matvecs_kernel()
+
+    T = len(problems)
+    K = problems[0].n_cells
+    n_us = [p.n_unknowns for p in problems]
+    n_dirs = [2 * len(p.edges) for p in problems]
+    node_off = np.concatenate(([0], np.cumsum(n_us))).astype(np.intp)
+    slot_off = np.concatenate(([0], np.cumsum(n_dirs))).astype(np.intp)
+    n_nodes = int(node_off[-1])
+    n_dir = int(slot_off[-1])
+
+    log_phi_all = (
+        np.concatenate([p.log_phi for p in problems], axis=0)
+        if n_nodes
+        else np.empty((0, K))
+    )
+
+    # Global directed-slot endpoint maps (node indices offset per trial;
+    # per-trial slot counts are even, so the global slot blocks start at
+    # even offsets and ``slot ^ 1`` still addresses the reverse slot).
+    src_of = np.empty(n_dir, dtype=np.intp)
+    dst_of = np.empty(n_dir, dtype=np.intp)
+    slot_trial = np.empty(n_dir, dtype=np.intp)
+    for t, p in enumerate(problems):
+        base, noff = int(slot_off[t]), int(node_off[t])
+        slot_trial[base : int(slot_off[t + 1])] = t
+        for e, (i, j) in enumerate(p.edges):
+            src_of[base + 2 * e] = noff + i
+            dst_of[base + 2 * e] = noff + j
+            src_of[base + 2 * e + 1] = noff + j
+            dst_of[base + 2 * e + 1] = noff + i
+    swap_of = np.arange(n_dir, dtype=np.intp) ^ 1
+
+    # Cross-trial sparse mat-mat groups keyed by operator identity: the
+    # shared potential cache hands identical CSR objects to every trial
+    # with the same quantized distance, so groups span the whole batch.
+    # Slots that are singletons within their own trial still join a
+    # cross-trial group — CSR mat-mat columns are bit-identical to the
+    # per-slot mat-vec.  Dense operators stay per-slot (gemv ≠ gemm).
+    by_op: dict[int, list[int]] = {}
+    op_by_id: dict[int, object] = {}
+    dense_slots: list[tuple[object, int]] = []
+    for t, p in enumerate(problems):
+        base = int(slot_off[t])
+        for e in range(len(p.edges)):
+            for parity in (0, 1):
+                op = p.ops[e][parity]
+                slot = base + 2 * e + parity
+                if _sparse.issparse(op):
+                    by_op.setdefault(id(op), []).append(slot)
+                    op_by_id[id(op)] = op
+                else:
+                    dense_slots.append((op, slot))
+    sparse_groups = [
+        (op_by_id[key], np.asarray(slots, dtype=np.intp))
+        for key, slots in by_op.items()
+    ]
+
+    # Global-order state: the source of truth between rebuilds and for
+    # the (tracing-only) whole-batch belief snapshots.  During rounds
+    # the active slots live in the operator-grouped buffers below.
+    messages = np.full((n_dir, K), 1.0 / K)
+    log_messages = np.log(messages)
+
+    n_iter = [0] * T
+    converged = [nd == 0 for nd in n_dirs]  # edge-less trials are done
+    healths = [{"residuals": [], "message_repairs": 0} for _ in range(T)]
+    traces: list[list[np.ndarray]] = [[] for _ in range(T)]
+    active = np.array([nd > 0 for nd in n_dirs], dtype=bool)
+
+    def stacked_beliefs() -> np.ndarray:
+        # Per node: log_phi + incoming log-messages (ascending slot
+        # order via np.add.at), row-wise max-shift / exp / normalize —
+        # each row identical to the per-trial beliefs_now().
+        totals_b = log_phi_all.copy()
+        if n_dir:
+            np.add.at(totals_b, dst_of, log_messages)
+        if not n_nodes:
+            return totals_b
+        totals_b -= totals_b.max(axis=1, keepdims=True)
+        np.exp(totals_b, out=totals_b)
+        totals_b /= totals_b.sum(axis=1, keepdims=True)
+        return totals_b
+
+    def trial_beliefs(B: np.ndarray, t: int) -> np.ndarray:
+        return B[int(node_off[t]) : int(node_off[t + 1])].copy()
+
+    if cfg.record_trace:
+        B0 = stacked_beliefs()
+        for t in range(T):
+            traces[t].append(trial_beliefs(B0, t))
+
+    emit_iterations = tracer.enabled and T == 1
+    prev_beliefs = stacked_beliefs() if emit_iterations else None
+    msgs_cum = 0
+    trace_rounds = cfg.record_trace or emit_iterations
+
+    # ---------------------------------------------------------------- #
+    # Active-set execution plan, rebuilt whenever a trial freezes.  The
+    # active slots are permuted into operator-grouped order; every round
+    # buffer is preallocated here and reused for the rebuild's lifetime.
+    act_trials: list[int] = []
+    act_slots = src_act = swap_pos = None
+    passes: list = []
+    group_plan: list = []  # (op, a, b, Hx, Y): contiguous sparse slabs
+    dense_plan: list = []  # (op, row): per-slot dense products
+    by_trial_order = by_trial_starts = None
+    Mcur = Mold = Lcur = Lold = None
+    Hbuf = Sbuf = rowmax_buf = None
+    totals = np.empty_like(log_phi_all)
+
+    def rebuild() -> None:
+        nonlocal act_trials, act_slots, src_act, swap_pos, passes
+        nonlocal group_plan, dense_plan, by_trial_order, by_trial_starts
+        nonlocal Mcur, Mold, Lcur, Lold, Hbuf, Sbuf, rowmax_buf
+        act_trials = [t for t in range(T) if active[t]]
+        group_plan = []
+        dense_plan = []
+        if not act_trials:
+            act_slots = np.empty(0, dtype=np.intp)
+            return
+        act_mask = active[slot_trial]
+        ordered: list[np.ndarray] = []
+        bounds: list[tuple[object, int, int]] = []
+        cursor = 0
+        for op, slots in sparse_groups:
+            sel = slots[act_mask[slots]]
+            if len(sel):
+                ordered.append(sel)
+                bounds.append((op, cursor, cursor + len(sel)))
+                cursor += len(sel)
+        dense_lo = cursor
+        dense_ops: list[object] = []
+        for op, s in dense_slots:
+            if act_mask[s]:
+                ordered.append(np.asarray([s], dtype=np.intp))
+                dense_ops.append(op)
+                cursor += 1
+        act_slots = (
+            np.concatenate(ordered) if ordered else np.empty(0, dtype=np.intp)
+        )
+        n_act = len(act_slots)
+        pos_of = np.full(n_dir, -1, dtype=np.intp)
+        pos_of[act_slots] = np.arange(n_act, dtype=np.intp)
+        src_act = src_of[act_slots]
+        # A slot's reverse lives in the same trial, so it is active
+        # exactly when the slot is — the position map never misses.
+        swap_pos = pos_of[swap_of[act_slots]]
+        # Within a pass every destination appears once, so the adds
+        # commute across rows — reordering entries by source position
+        # turns the big Lcur gather into a near-sequential read (the
+        # scatter back into the much smaller `totals` stays cheap).
+        passes = []
+        for rows, pos in _degree_passes(
+            dst_of[act_slots], act_slots, np.arange(n_act, dtype=np.intp)
+        ):
+            order = np.argsort(pos, kind="stable")
+            rows, pos = rows[order], pos[order]
+            passes.append(
+                (rows, pos, np.empty((len(rows), K)), np.empty((len(rows), K)))
+            )
+        max_m = 1
+        for op, a, b in bounds:
+            m = b - a
+            max_m = max(max_m, m)
+            # Symmetric ranging kernels reuse one operator for both
+            # directions of an edge, so a group usually holds whole
+            # (fwd, bwd) slot pairs in adjacent positions.  When the
+            # group's reverse map is exactly that local pair swap, the
+            # round can read reverse messages through a strided view of
+            # the group's own Lcur block instead of a gathered copy.
+            pair_local = False
+            if m % 2 == 0:
+                expect = np.arange(a, b, dtype=np.intp)
+                expect = expect.reshape(-1, 2)[:, ::-1].ravel()
+                pair_local = bool(np.array_equal(swap_pos[a:b], expect))
+            group_plan.append(
+                (op, a, b, np.empty((K, m)), np.zeros((K, m)), pair_local)
+            )
+        dense_plan = [(op, dense_lo + k) for k, op in enumerate(dense_ops)]
+        # Per-trial residual segments: active rows sorted by trial (a
+        # static permutation per rebuild) so a single max.reduceat
+        # yields every trial's residual, in act_trials order.
+        trial_idx = np.searchsorted(np.asarray(act_trials), slot_trial[act_slots])
+        by_trial_order = np.argsort(trial_idx, kind="stable")
+        sorted_tidx = trial_idx[by_trial_order]
+        starts_mask = np.empty(n_act, dtype=bool)
+        starts_mask[0] = True
+        np.not_equal(sorted_tidx[1:], sorted_tidx[:-1], out=starts_mask[1:])
+        by_trial_starts = np.flatnonzero(starts_mask)
+        # Double-buffered message state in grouped order, seeded from
+        # the global arrays; plus reusable per-round scratch slabs.
+        Mcur = messages[act_slots]
+        Lcur = log_messages[act_slots]
+        Mold = np.empty_like(Mcur)
+        Lold = np.empty_like(Lcur)
+        Hbuf = np.empty((max_m, K))
+        Sbuf = np.empty((max_m, K))
+        rowmax_buf = np.empty(n_act)
+
+    def sync_global() -> None:
+        messages[act_slots] = Mcur
+        log_messages[act_slots] = Lcur
+
+    rebuild()
+
+    while act_trials:
+        # One stacked synchronous round over every active trial.  New
+        # messages are written into the "old" buffers, then the pairs
+        # swap — the previous round's state stays intact for damping,
+        # residuals, and the NaN-repair path.
+        Mnew, Lnew = Mold, Lold
+        np.copyto(totals, log_phi_all)
+        for rows, pos, Tb, Pb in passes:
+            np.take(Lcur, pos, axis=0, out=Pb)
+            np.take(totals, rows, axis=0, out=Tb)
+            Tb += Pb
+            totals[rows] = Tb
+
+        for op, a, b, Hx, Y, pair_local in group_plan:
+            m = b - a
+            Hg = Hbuf[:m]
+            Sg = Sbuf[:m]
+            np.take(totals, src_act[a:b], axis=0, out=Hg)
+            if pair_local:
+                # Reverse messages are this block's rows pair-swapped:
+                # subtract through the strided view, no gather.
+                sw = Lcur[a:b].reshape(-1, 2, K)[:, ::-1, :]
+                Hg3 = Hg.reshape(-1, 2, K)
+                np.subtract(Hg3, sw, out=Hg3)
+            else:
+                np.take(Lcur, swap_pos[a:b], axis=0, out=Sg)
+                np.subtract(Hg, Sg, out=Hg)
+            Hg -= Hg.max(axis=1, keepdims=True)
+            np.exp(Hg, out=Hg)
+            res = Mnew[a:b]
+            if csr_matvecs is not None:
+                Hx[...] = Hg.T
+                Y.fill(0.0)
+                csr_matvecs(
+                    K, K, m, op.indptr, op.indices, op.data,
+                    Hx.ravel(), Y.ravel(),
+                )
+                res[...] = Y.T
+            else:  # pragma: no cover - exercised only on exotic scipys
+                res[...] = op.dot(Hg.T).T
+            # commit_rows, reference-exact, while the slab is cache-hot.
+            prev = Mcur[a:b]
+            sums = res.sum(axis=1)
+            bad = sums <= 0
+            if bad.any():
+                res[bad] = 1.0 / K
+                sums[bad] = 1.0
+            res /= sums[:, None]
+            if cfg.damping > 0:
+                res *= 1 - cfg.damping
+                res += cfg.damping * prev
+                res /= res.sum(axis=1)[:, None]
+            np.maximum(res, _MSG_FLOOR, out=res)
+            np.subtract(res, prev, out=Sg)
+            np.abs(Sg, out=Sg)
+            rowmax_buf[a:b] = Sg.max(axis=1)
+            np.log(res, out=Lnew[a:b])
+
+        for op, r in dense_plan:
+            h = totals[src_act[r]] - Lcur[swap_pos[r]]
+            h -= h.max()
+            hvec = np.exp(h)
+            res1 = op.dot(hvec)[None, :]
+            prev1 = Mcur[r : r + 1]
+            sums = res1.sum(axis=1)
+            bad = sums <= 0
+            if bad.any():
+                res1[bad] = 1.0 / K
+                sums[bad] = 1.0
+            res1 /= sums[:, None]
+            if cfg.damping > 0:
+                res1 *= 1 - cfg.damping
+                res1 += cfg.damping * prev1
+                res1 /= res1.sum(axis=1)[:, None]
+            np.maximum(res1, _MSG_FLOOR, out=res1)
+            Mnew[r] = res1[0]
+            rowmax_buf[r] = float(np.abs(res1 - prev1).max())
+            Lnew[r] = np.log(res1[0])
+
+        Mcur, Mold = Mnew, Mcur
+        Lcur, Lold = Lnew, Lcur
+
+        # Per-trial residuals: segment max over each trial's rows
+        # (order-independent, NaN-propagating — equals the per-trial
+        # global max).
+        deltas = np.maximum.reduceat(rowmax_buf[by_trial_order], by_trial_starts)
+
+        froze = False
+        for ti, t in enumerate(act_trials):
+            md = float(deltas[ti])
+            if cfg.health_checks and not np.isfinite(md):
+                # Same repair as the per-trial kernel, restricted to
+                # this trial's rows (Mold still holds the pre-round
+                # messages for the residual recompute).
+                from repro.core.health import repair_nonfinite_messages
+
+                seg_end = (
+                    by_trial_starts[ti + 1]
+                    if ti + 1 < len(by_trial_starts)
+                    else len(by_trial_order)
+                )
+                rows = by_trial_order[by_trial_starts[ti] : seg_end]
+                block = Mcur[rows]
+                healths[t]["message_repairs"] += repair_nonfinite_messages(block)
+                Mcur[rows] = block
+                Lcur[rows] = np.log(block)
+                with np.errstate(invalid="ignore"):
+                    dd = np.abs(block - Mold[rows])
+                md = float(np.nanmax(np.where(np.isfinite(dd), dd, 1.0)))
+            healths[t]["residuals"].append(md)
+            n_iter[t] += 1
+            if md < cfg.tol:
+                converged[t] = True
+                active[t] = False
+                froze = True
+            elif n_iter[t] >= cfg.max_iterations:
+                active[t] = False
+                froze = True
+
+        if trace_rounds or froze:
+            sync_global()
+        if cfg.record_trace:
+            B = stacked_beliefs()
+            for t in act_trials:
+                traces[t].append(trial_beliefs(B, t))
+        if emit_iterations:
+            new_beliefs = stacked_beliefs()
+            changed = int(
+                np.count_nonzero(
+                    np.abs(new_beliefs - prev_beliefs).max(axis=1) > cfg.tol
+                )
+            )
+            prev_beliefs = new_beliefs
+            round_msgs = n_dirs[0]
+            msgs_cum += round_msgs
+            tracer.iteration(
+                residual=healths[0]["residuals"][-1],
+                beliefs_changed=changed,
+                messages=round_msgs,
+                messages_cum=msgs_cum,
+                bytes_cum=msgs_cum * K * 8,
+            )
+        if froze:
+            rebuild()
+
+    B = stacked_beliefs()
+    return [
+        BPOutcome(
+            beliefs=trial_beliefs(B, t),
+            n_iterations=n_iter[t],
+            converged=bool(converged[t]),
+            trace=traces[t],
+            health=healths[t],
+        )
+        for t in range(T)
+    ]

@@ -98,6 +98,58 @@ class TrialExecutionError(RuntimeError):
         )
 
 
+def _batch_fn(fn: Callable, batch_size: int | None):
+    """Resolve the batched-execution protocol for *fn*.
+
+    Returns ``fn.run_batch`` when batching was requested and *fn* supports
+    it, else ``None``.  The contract: ``fn.run_batch(seeds)`` must return
+    one result per seed, in order, equal to ``[fn(s) for s in seeds]`` —
+    batching is an execution strategy, never a semantic change (grid-BP
+    solvers satisfy this via :func:`repro.core.bnloc.localize_batch`,
+    which stacks compatible trials and falls back per-trial otherwise).
+    """
+    if batch_size is None:
+        return None
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if batch_size == 1:
+        return None
+    run_batch = getattr(fn, "run_batch", None)
+    if run_batch is None:
+        raise ValueError(
+            f"batch_size={batch_size} requires fn to provide a "
+            "run_batch(seeds) method returning one result per seed; "
+            f"{fn!r} has none (omit batch_size to run per-trial)"
+        )
+    return run_batch
+
+
+def _run_batch_block(args):
+    """Module-level (picklable) block runner for batched ``run_trials``.
+
+    Runs one block through ``fn.run_batch``; if the batch call fails, each
+    trial reruns individually so the error is attributed to the exact
+    (trial, seed) that caused it.
+    """
+    fn, start, seeds_block = args
+    try:
+        out = list(fn.run_batch(seeds_block))
+        if len(out) != len(seeds_block):
+            raise RuntimeError(
+                f"run_batch returned {len(out)} results for "
+                f"{len(seeds_block)} seeds"
+            )
+        return out
+    except Exception:
+        out = []
+        for k, s in enumerate(seeds_block):
+            try:
+                out.append(fn(s))
+            except Exception as exc:
+                raise TrialExecutionError(start + k, s, exc) from exc
+        return out
+
+
 def _require_picklable(fn: Callable) -> None:
     """Fail fast, and clearly, before a pool ever sees an unpicklable fn.
 
@@ -122,6 +174,7 @@ def run_trials(
     n_workers: int = 1,
     chunksize: int | None = None,
     tracer: NullTracer | None = None,
+    batch_size: int | None = None,
 ) -> list[T]:
     """Run ``fn(child_seed)`` for *n_trials* independent seeds.
 
@@ -146,6 +199,15 @@ def run_trials(
         ``"run_trials"`` and counts trials.  Workers do not share it —
         aggregate worker-side traces with
         :func:`repro.obs.merge_traces` instead.
+    batch_size:
+        Run trials in blocks of up to this many consecutive seeds through
+        ``fn.run_batch(seeds)`` (required to exist, to return one result
+        per seed in order, and to equal ``[fn(s) for s in seeds]`` — the
+        batched kernel backends satisfy this bit-exactly).  Per-trial
+        child seeds are unchanged, so results are identical to the
+        unbatched run.  If a batch call raises, its trials rerun
+        individually so the failure is attributed to the exact trial.
+        With ``n_workers > 1`` each pool task is one block.
 
     Returns
     -------
@@ -158,27 +220,49 @@ def run_trials(
         raise ValueError("n_workers must be >= 1")
     if chunksize is not None and chunksize < 1:
         raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    run_batch = _batch_fn(fn, batch_size)
     tracer = tracer if tracer is not None else NULL_TRACER
     seeds = child_seed_ints(seed, n_trials)
     if n_trials == 0:
         return []
+    blocks = None
+    if run_batch is not None:
+        blocks = [
+            (fn, start, seeds[start : start + batch_size])
+            for start in range(0, n_trials, batch_size)
+        ]
     cache_before = shared_registry().stats() if tracer.enabled else None
     with tracer.timer("run_trials"):
         if n_workers == 1:
-            out = []
-            for i, s in enumerate(seeds):
-                try:
-                    out.append(fn(s))
-                except Exception as exc:
-                    raise TrialExecutionError(i, s, exc) from exc
+            if blocks is not None:
+                out = []
+                for blk in blocks:
+                    out.extend(_run_batch_block(blk))
+            else:
+                out = []
+                for i, s in enumerate(seeds):
+                    try:
+                        out.append(fn(s))
+                    except Exception as exc:
+                        raise TrialExecutionError(i, s, exc) from exc
         else:
             _require_picklable(fn)
-            if chunksize is None:
-                chunksize = max(1, (n_trials + 4 * n_workers - 1) // (4 * n_workers))
             ctx = mp.get_context("spawn")
             pool = ctx.Pool(processes=n_workers)
             try:
-                out = pool_map_interruptible(pool, fn, seeds, chunksize=chunksize)
+                if blocks is not None:
+                    nested = pool_map_interruptible(
+                        pool, _run_batch_block, blocks, chunksize=chunksize or 1
+                    )
+                    out = [r for blk in nested for r in blk]
+                else:
+                    if chunksize is None:
+                        chunksize = max(
+                            1, (n_trials + 4 * n_workers - 1) // (4 * n_workers)
+                        )
+                    out = pool_map_interruptible(
+                        pool, fn, seeds, chunksize=chunksize
+                    )
                 pool.close()
                 pool.join()
             except BaseException:
@@ -191,6 +275,8 @@ def run_trials(
     if tracer.enabled:
         tracer.count("trials", n_trials)
         tracer.annotate("n_workers", n_workers)
+        if run_batch is not None:
+            tracer.annotate("batch_size", batch_size)
         _record_cache_stats(tracer, cache_before)
     return out
 
@@ -344,6 +430,7 @@ def run_trials_resilient(
     timeout: float | None = None,
     tracer: NullTracer | None = None,
     checkpoint=None,
+    batch_size: int | None = None,
 ) -> TrialBatchResult:
     """Fault-tolerant variant of :func:`run_trials`.
 
@@ -366,6 +453,16 @@ def run_trials_resilient(
     A failure-free batch returns exactly the results ``run_trials`` would
     have produced: attempt-0 seeds are identical, and retry seeds are
     fresh spawned streams that cannot collide with them.
+
+    *batch_size* enables the ``fn.run_batch`` block protocol of
+    :func:`run_trials` on the in-process path: pending (trial, attempt)
+    entries run in waves of up to *batch_size*, and a retried trial
+    re-enters its wave with **its retry seed**, never the wave's original
+    seed vector — so retry streams stay exactly those of the unbatched
+    resilient run.  A failing wave falls back to per-trial execution for
+    precise failure attribution.  On the process-isolated path
+    (``n_workers > 1`` or a *timeout*) batching is ignored: each attempt
+    already owns a process, which is the isolation the caller asked for.
 
     Checkpointing
     -------------
@@ -420,6 +517,8 @@ def run_trials_resilient(
     use_processes = n_workers > 1 or timeout is not None
     if use_processes:
         _require_picklable(fn)
+        batch_size = None  # process-per-attempt isolation supersedes batching
+    run_batch = _batch_fn(fn, batch_size)
 
     done: dict[int, object] = {}
     record = None
@@ -441,6 +540,11 @@ def run_trials_resilient(
             if use_processes:
                 batch = _run_resilient_processes(
                     fn, seeds, n_workers, backoff_base, backoff_factor, timeout,
+                    done=done, record=record,
+                )
+            elif run_batch is not None:
+                batch = _run_resilient_serial_batched(
+                    fn, seeds, batch_size, backoff_base, backoff_factor,
                     done=done, record=record,
                 )
             else:
@@ -502,6 +606,86 @@ def _run_resilient_serial(
             failures.append(
                 TrialFailure(i, list(attempt_seeds), last[0], last[1], last[2])
             )
+    return TrialBatchResult(results=results, failures=failures, retries=retries)
+
+
+def _run_resilient_serial_batched(
+    fn,
+    seeds: list[list[int]],
+    batch_size: int,
+    backoff_base: float,
+    backoff_factor: float,
+    done: dict | None = None,
+    record=None,
+) -> TrialBatchResult:
+    """In-process batched execution with retry waves.
+
+    Pending ``(trial, attempt)`` entries run in waves of up to
+    *batch_size* through ``fn.run_batch``.  Each entry contributes **its
+    own attempt seed** — a trial retrying after a failure re-enters a
+    later wave on its retry seed next to other trials' attempt-0 seeds,
+    so every trial consumes exactly the seed stream the unbatched
+    resilient path would have given it.  A wave whose batch call fails
+    falls back to per-trial execution, which both attributes the error to
+    the precise trial and (fn being deterministic) reproduces the results
+    the batch would have returned for the healthy trials.
+    """
+    n = len(seeds)
+    results: list = [None] * n
+    failed: set[int] = set()
+    errors: dict[int, tuple[str, str, str]] = {}
+    retries = 0
+    done = done or {}
+    for i, r in done.items():
+        results[i] = r
+
+    pending: deque[tuple[int, int]] = deque(
+        (i, 0) for i in range(n) if i not in done
+    )
+    while pending:
+        wave = [pending.popleft() for _ in range(min(batch_size, len(pending)))]
+        wave_seeds = [seeds[i][att] for i, att in wave]
+        delay = 0.0
+        for i, att in wave:
+            if att > 0:
+                retries += 1
+                delay = max(delay, _backoff(backoff_base, backoff_factor, att - 1))
+        if delay > 0:
+            time.sleep(delay)
+        block = None
+        try:
+            out = list(fn.run_batch(wave_seeds))
+            if len(out) == len(wave_seeds):
+                block = out
+        except Exception:
+            block = None
+        if block is not None:
+            for (i, _att), s, r in zip(wave, wave_seeds, block):
+                results[i] = r
+                errors.pop(i, None)
+                # Outside the try above: a ledger failure (or the
+                # CheckpointAbort test hook) must abort the batch, not
+                # masquerade as a trial error.
+                if record is not None:
+                    record(i, s, r)
+            continue
+        for (i, att), s in zip(wave, wave_seeds):
+            try:
+                r = fn(s)
+            except Exception as exc:
+                errors[i] = (type(exc).__name__, str(exc), traceback.format_exc())
+                if att + 1 < len(seeds[i]):
+                    pending.append((i, att + 1))
+                else:
+                    failed.add(i)
+                continue
+            results[i] = r
+            errors.pop(i, None)
+            if record is not None:
+                record(i, s, r)
+    failures = [
+        TrialFailure(i, list(seeds[i]), *errors[i]) for i in sorted(failed)
+    ]
     return TrialBatchResult(results=results, failures=failures, retries=retries)
 
 
@@ -638,19 +822,32 @@ class TrialExecutor:
         results = ex.map(trial_fn, n_trials=100, seed=0)
     """
 
-    def __init__(self, n_workers: int = 1, chunksize: int | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int = 1,
+        chunksize: int | None = None,
+        batch_size: int | None = None,
+    ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.n_workers = int(n_workers)
         self.chunksize = chunksize
+        self.batch_size = batch_size
 
     def map(
         self, fn: Callable[[int], T], n_trials: int, seed: RNGLike = None
     ) -> list[T]:
         return run_trials(
-            fn, n_trials, seed, n_workers=self.n_workers, chunksize=self.chunksize
+            fn,
+            n_trials,
+            seed,
+            n_workers=self.n_workers,
+            chunksize=self.chunksize,
+            batch_size=self.batch_size,
         )
 
     def map_resilient(
@@ -669,6 +866,7 @@ class TrialExecutor:
             n_workers=self.n_workers,
             max_retries=max_retries,
             timeout=timeout,
+            batch_size=self.batch_size,
         )
 
     def map_over(

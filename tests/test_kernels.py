@@ -1,0 +1,294 @@
+"""Kernel-backend equivalence suite — the gate for ``repro.kernels``.
+
+The batched trial-axis backend exists only as a faster execution strategy
+for the reference grid-BP kernel: every test here asserts **bit identity**
+(``np.array_equal`` on beliefs/estimates, ``==`` on the integer ledger),
+never closeness.  The suite covers:
+
+* randomized property sweeps (hypothesis) over batch width T, network
+  size N, grid cells K, and both schedules;
+* degenerate shapes — T=1, a single unknown, all-anchors networks, and
+  disconnected unknowns whose inbox is empty every round;
+* the compatibility partition: mixed grid shapes/configs must split into
+  separate groups (and ``BatchedBackend.run_batch`` must *refuse* a mixed
+  batch), never silently co-batch.
+
+The fast lane (module marker ``kernel``) runs in the default suite; the
+randomized sweeps are additionally marked ``slow`` — select them with
+``-m "kernel and slow"``.
+"""
+
+import dataclasses as dc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GridBPConfig, GridBPLocalizer
+from repro.core.bnloc import localize_batch
+from repro.core.potentials import shared_registry
+from repro.kernels import (
+    IncompatibleBatchError,
+    compatibility_key,
+    get_backend,
+    group_compatible,
+)
+from repro.measurement import GaussianRanging, observe
+from repro.network import NetworkConfig, UnitDiskRadio, generate_network
+from repro.obs import NULL_TRACER, Tracer
+
+pytestmark = pytest.mark.kernel
+
+BASE_CFG = GridBPConfig(grid_size=8, max_iterations=5, tol=1e-9)
+
+
+def _measurements(seed, n=14, anchor_ratio=0.25, radio=0.42, connected=True):
+    net = generate_network(
+        NetworkConfig(
+            n_nodes=n,
+            anchor_ratio=anchor_ratio,
+            radio=UnitDiskRadio(radio),
+            require_connected=connected,
+        ),
+        rng=seed,
+    )
+    return observe(net, GaussianRanging(0.03), rng=seed + 1)
+
+
+def _problem(ms, cfg):
+    """Prepared BPProblem for *ms* (the backend-layer input)."""
+    return GridBPLocalizer(config=cfg)._prepare(ms, NULL_TRACER).problem
+
+
+def _run_pair(ms_list, cfg):
+    """(batched localize_batch results, sequential reference results)."""
+    bat_cfg = dc.replace(cfg, backend="batched")
+    batched = localize_batch(
+        [(GridBPLocalizer(config=bat_cfg), ms) for ms in ms_list]
+    )
+    sequential = [
+        GridBPLocalizer(config=cfg).localize(ms) for ms in ms_list
+    ]
+    return batched, sequential
+
+
+def _assert_bit_equal(a, b):
+    assert np.array_equal(a.localized_mask, b.localized_mask)
+    m = a.localized_mask
+    assert np.array_equal(a.estimates[m], b.estimates[m])
+    assert a.n_iterations == b.n_iterations
+    assert a.converged == b.converged
+    assert a.messages_sent == b.messages_sent
+    assert a.bytes_sent == b.bytes_sent
+    ba, bb = a.extras["beliefs"], b.extras["beliefs"]
+    assert sorted(ba) == sorted(bb)
+    for u in ba:
+        assert np.array_equal(ba[u], bb[u])
+
+
+class TestDegenerateShapes:
+    def test_single_trial_batch_equals_reference(self):
+        ms = _measurements(21)
+        batched, sequential = _run_pair([ms], BASE_CFG)
+        _assert_bit_equal(batched[0], sequential[0])
+
+    def test_single_unknown_node(self):
+        # n=5 at anchor_ratio 0.8 leaves exactly one unknown: no
+        # unknown-unknown edges, the kernel must converge in round zero.
+        ms = _measurements(5, n=5, anchor_ratio=0.8, radio=0.9)
+        assert len(ms.unknown_ids) == 1
+        batched, sequential = _run_pair([ms, ms], BASE_CFG)
+        for b, s in zip(batched, sequential):
+            _assert_bit_equal(b, s)
+            assert b.converged and b.n_iterations == 0
+
+    def test_all_anchor_network(self):
+        net = generate_network(
+            NetworkConfig(
+                n_nodes=6,
+                anchor_ratio=0.5,
+                radio=UnitDiskRadio(0.9),
+                require_connected=True,
+            ),
+            rng=9,
+        )
+        net.anchor_mask[:] = True  # every node self-localizes
+        ms = observe(net, GaussianRanging(0.03), rng=10)
+        assert len(ms.unknown_ids) == 0
+        batched, sequential = _run_pair([ms], BASE_CFG)
+        _assert_bit_equal(batched[0], sequential[0])
+
+    def test_empty_inbox_disconnected_unknowns(self):
+        # A sparse disconnected network: some unknowns receive no messages
+        # at all (no anchors, no unknown neighbors in range).
+        ms = _measurements(33, n=12, radio=0.18, connected=False)
+        batched, sequential = _run_pair([ms, ms, ms], BASE_CFG)
+        for b, s in zip(batched, sequential):
+            _assert_bit_equal(b, s)
+
+    def test_mixed_convergence_freezing(self):
+        # Different networks converge after different round counts; a
+        # frozen trial must stop consuming iterations (and messages) while
+        # the rest of the stack keeps running.
+        ms_list = [_measurements(s) for s in (40, 42, 44, 46)]
+        cfg = dc.replace(BASE_CFG, max_iterations=15, tol=1e-3)
+        batched, sequential = _run_pair(ms_list, cfg)
+        for b, s in zip(batched, sequential):
+            _assert_bit_equal(b, s)
+        assert len({r.n_iterations for r in batched}) > 1, (
+            "scenario choice no longer exercises mixed per-trial "
+            "convergence — pick seeds whose round counts differ"
+        )
+
+
+class TestSchedulesAndTelemetry:
+    @pytest.mark.parametrize("schedule", ["sync", "serial"])
+    def test_both_schedules_bit_identical(self, schedule):
+        cfg = dc.replace(BASE_CFG, schedule=schedule)
+        ms_list = [_measurements(s) for s in (50, 51, 52)]
+        batched, sequential = _run_pair(ms_list, cfg)
+        for b, s in zip(batched, sequential):
+            _assert_bit_equal(b, s)
+
+    def test_traced_single_trial_telemetry_matches_reference(self):
+        # T=1 through the batched backend still emits the per-iteration
+        # trace; everything except the backend name must match reference.
+        ms = _measurements(27)
+
+        def run(backend):
+            loc = GridBPLocalizer(
+                config=dc.replace(BASE_CFG, backend=backend), tracer=Tracer()
+            )
+            return loc.localize(ms).telemetry
+
+        ref, bat = run("reference"), run("batched")
+        assert bat["meta"]["backend"] == "batched"
+        assert ref["meta"]["backend"] == "reference"
+        strip = lambda t: {
+            k: (
+                {mk: mv for mk, mv in v.items() if mk != "backend"}
+                if k == "meta"
+                else v
+            )
+            for k, v in t.items()
+            if k != "timers"
+        }
+        assert strip(ref) == strip(bat)
+
+    def test_batch_annotations_present(self):
+        ms_list = [_measurements(s) for s in (60, 61)]
+        cfg = dc.replace(BASE_CFG, backend="batched")
+        locs = [GridBPLocalizer(config=cfg, tracer=Tracer()) for _ in ms_list]
+        results = localize_batch(list(zip(locs, ms_list)))
+        for r in results:
+            assert r.telemetry["meta"]["backend"] == "batched"
+            assert r.telemetry["meta"]["batch_size"] == 2
+            assert r.telemetry["meta"]["batch_groups"] == 1
+
+
+class TestCompatibilityPartition:
+    def test_mixed_grid_shapes_split(self):
+        ms = _measurements(70)
+        p8 = _problem(ms, BASE_CFG)
+        p10 = _problem(ms, dc.replace(BASE_CFG, grid_size=10))
+        groups = group_compatible([p8, p10, p8, p10, p8])
+        assert [idxs for _k, idxs in groups] == [[0, 2, 4], [1, 3]]
+        assert compatibility_key(p8) != compatibility_key(p10)
+
+    def test_mixed_config_splits(self):
+        ms = _measurements(70)
+        a = _problem(ms, BASE_CFG)
+        b = _problem(ms, dc.replace(BASE_CFG, damping=0.25))
+        groups = group_compatible([a, b])
+        assert [idxs for _k, idxs in groups] == [[0], [1]]
+
+    def test_run_batch_refuses_mixed_batch(self):
+        ms = _measurements(70)
+        p8 = _problem(ms, dc.replace(BASE_CFG, backend="batched"))
+        p10 = _problem(
+            ms, dc.replace(BASE_CFG, grid_size=10, backend="batched")
+        )
+        with pytest.raises(IncompatibleBatchError, match="group_compatible"):
+            get_backend("batched").run_batch([p8, p10])
+
+    def test_localize_batch_partitions_mixed_configs(self):
+        # The public API must split incompatible trials into separate
+        # groups and still return bit-exact, input-ordered results.
+        ms_list = [_measurements(s) for s in (80, 81, 82, 83)]
+        cfgs = [
+            dc.replace(BASE_CFG, backend="batched"),
+            dc.replace(BASE_CFG, grid_size=10, backend="batched"),
+            dc.replace(BASE_CFG, backend="batched"),
+            dc.replace(BASE_CFG, grid_size=10, backend="batched"),
+        ]
+        pairs = [
+            (GridBPLocalizer(config=c), ms) for c, ms in zip(cfgs, ms_list)
+        ]
+        batched = localize_batch(pairs)
+        for (loc, ms), b in zip(pairs, batched):
+            ref = GridBPLocalizer(
+                config=dc.replace(loc.config, backend="reference")
+            ).localize(ms)
+            _assert_bit_equal(b, ref)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="reference"):
+            GridBPConfig(backend="no-such-backend")
+        with pytest.raises(ValueError, match="available"):
+            get_backend("no-such-backend")
+
+
+@pytest.mark.slow
+class TestRandomizedEquivalence:
+    """Hypothesis sweeps over (T, N, K, schedule, seeds).
+
+    Scenario builds dominate the runtime, so examples are capped; the
+    draw space still covers batch widths 1–4, grids 6²–12² and both
+    schedules.  Any counterexample is a real kernel divergence — there is
+    no tolerance to hide behind.
+    """
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_trials=st.integers(min_value=1, max_value=4),
+        n_nodes=st.integers(min_value=6, max_value=18),
+        grid_size=st.integers(min_value=6, max_value=12),
+        schedule=st.sampled_from(["sync", "serial"]),
+    )
+    def test_batched_matches_sequential(
+        self, seed, n_trials, n_nodes, grid_size, schedule
+    ):
+        cfg = dc.replace(BASE_CFG, grid_size=grid_size, schedule=schedule)
+        ms_list = [
+            _measurements(seed * 7 + 2 * t, n=n_nodes, connected=False)
+            for t in range(n_trials)
+        ]
+        shared_registry().clear()
+        batched, sequential = _run_pair(ms_list, cfg)
+        for b, s in zip(batched, sequential):
+            _assert_bit_equal(b, s)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        grid_sizes=st.lists(
+            st.sampled_from([6, 8, 10]), min_size=1, max_size=6
+        )
+    )
+    def test_grouping_is_a_partition(self, grid_sizes):
+        ms = _measurements(70)
+        problems = [
+            _problem(ms, dc.replace(BASE_CFG, grid_size=g))
+            for g in grid_sizes
+        ]
+        groups = group_compatible(problems)
+        flat = [i for _k, idxs in groups for i in idxs]
+        assert sorted(flat) == list(range(len(problems)))  # exhaustive
+        for key, idxs in groups:
+            assert all(
+                compatibility_key(problems[i]) == key for i in idxs
+            )  # homogeneous
+        # distinct groups have distinct keys — nothing co-batched
+        keys = [key for key, _idxs in groups]
+        assert len(set(keys)) == len(keys)

@@ -157,6 +157,41 @@ class TestCacheRegistry:
             reg.ranging_cache(grid, GaussianRanging(sigma), None, 0.0)
         assert reg.stats()["ranging_entries"] == 2
 
+    def test_lru_eviction_order(self):
+        # Touching an entry must refresh its recency: after A, B, touch-A,
+        # C on a 2-entry registry, B (the stalest) is the one evicted.
+        reg = PotentialCacheRegistry(max_entries=2)
+        from repro.core.grid import Grid2D
+
+        grid = Grid2D(6, 6, 1.0, 1.0)
+        a = reg.ranging_cache(grid, GaussianRanging(0.01), None, 0.0)
+        reg.ranging_cache(grid, GaussianRanging(0.02), None, 0.0)  # B
+        assert reg.ranging_cache(grid, GaussianRanging(0.01), None, 0.0) is a
+        reg.ranging_cache(grid, GaussianRanging(0.03), None, 0.0)  # C evicts B
+        assert reg.ranging_cache(grid, GaussianRanging(0.01), None, 0.0) is a
+        hits = reg.hits
+        reg.ranging_cache(grid, GaussianRanging(0.02), None, 0.0)  # B rebuilt
+        assert reg.hits == hits  # the re-request was a miss: B was evicted
+        assert reg.stats()["ranging_entries"] == 2
+
+    def test_byte_accounting_tracks_residency(self):
+        reg = PotentialCacheRegistry(max_entries=2)
+        from repro.core.grid import Grid2D
+
+        grid = Grid2D(6, 6, 1.0, 1.0)
+        assert reg.nbytes == 0
+        a = reg.ranging_cache(grid, GaussianRanging(0.01), None, 0.0)
+        pairwise = grid.pairwise_center_distances()
+        assert reg.nbytes == a.nbytes + pairwise.nbytes
+        b = reg.ranging_cache(grid, GaussianRanging(0.02), None, 0.0)
+        two = reg.nbytes
+        assert two == a.nbytes + b.nbytes + pairwise.nbytes
+        c = reg.ranging_cache(grid, GaussianRanging(0.03), None, 0.0)  # evicts a
+        assert reg.nbytes == b.nbytes + c.nbytes + pairwise.nbytes
+        assert reg.stats()["bytes"] == reg.nbytes
+        reg.clear()
+        assert reg.nbytes == 0 and reg.stats()["bytes"] == 0
+
     def test_unfingerprintable_model_gets_private_cache(self):
         class ArrayStateRanging(GaussianRanging):
             def __init__(self, sigma):
@@ -219,6 +254,72 @@ class TestCacheAcrossTrials:
         serial = run_trials(_registry_trial, 2, seed=97, n_workers=1)
         pooled = run_trials(_registry_trial, 2, seed=97, n_workers=2)
         assert serial == pooled
+
+
+class TestFingerprintsUnderBatchedAccess:
+    """Fingerprint semantics when one warm registry serves a whole batch.
+
+    A batched ``localize_batch`` group hits the shared registry once per
+    trial during preparation: equal-state models must *collide* onto one
+    entry (that is the point of the fingerprint), and unfingerprintable
+    models must each get a private cache — in both cases bit-identical to
+    the cache-less sequential run.
+    """
+
+    def _ms_list(self, ranging_factory, n_trials=3):
+        out = []
+        for k in range(n_trials):
+            net = generate_network(
+                NetworkConfig(
+                    n_nodes=16,
+                    anchor_ratio=0.25,
+                    radio=UnitDiskRadio(0.45),
+                    require_connected=True,
+                ),
+                rng=300 + k,
+            )
+            out.append(observe(net, ranging_factory(), rng=400 + k))
+        return out
+
+    def _run(self, ms_list, **cfg_overrides):
+        from repro.core.bnloc import localize_batch
+
+        cfg = dc.replace(
+            BASE_CFG, max_iterations=5, backend="batched", **cfg_overrides
+        )
+        locs = [GridBPLocalizer(config=cfg) for _ in ms_list]
+        return localize_batch(list(zip(locs, ms_list)))
+
+    def test_equal_state_models_collide_onto_one_entry(self):
+        # Distinct GaussianRanging instances with equal state fingerprint
+        # identically: trial 1 builds the entry, trials 2..T reuse it.
+        ms_list = self._ms_list(lambda: GaussianRanging(0.05))
+        shared_registry().clear()
+        batched = self._run(ms_list)
+        stats = shared_registry().stats()
+        assert stats["ranging_entries"] == 1
+        assert stats["hits"] == len(ms_list) - 1
+        private = self._run(ms_list, shared_cache=False)
+        for a, b in zip(batched, private):
+            assert np.array_equal(a.estimates, b.estimates)
+            assert _beliefs_equal(a, b)
+
+    def test_unfingerprintable_models_stay_private_in_batch(self):
+        class ArrayStateRanging(GaussianRanging):
+            def __init__(self, sigma=0.05):
+                super().__init__(sigma)
+                self.table = np.arange(4)  # non-scalar state
+
+        ms_list = self._ms_list(ArrayStateRanging)
+        shared_registry().clear()
+        batched = self._run(ms_list)
+        stats = shared_registry().stats()
+        assert stats["ranging_entries"] == 0  # nothing registered...
+        assert stats["misses"] == len(ms_list)  # ...every trial missed
+        private = self._run(ms_list, shared_cache=False)
+        for a, b in zip(batched, private):
+            assert np.array_equal(a.estimates, b.estimates)
+            assert _beliefs_equal(a, b)
 
 
 @pytest.mark.perf

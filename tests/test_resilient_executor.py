@@ -211,6 +211,137 @@ class TestResilientProcesses:
         assert batch.results == run_trials(_ok, 4, seed=5)
 
 
+class _BatchedFn:
+    """Block-protocol wrapper: ``run_batch(seeds) == [fn(s) for s in seeds]``.
+
+    Records every batch seed vector it was handed, so tests can assert
+    which attempt seeds actually entered each wave.
+    """
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.batch_calls: list[list[int]] = []
+
+    def __call__(self, seed: int) -> int:
+        return self.fn(seed)
+
+    def run_batch(self, seeds):
+        self.batch_calls.append(list(seeds))
+        return [self.fn(s) for s in seeds]
+
+
+class TestBatchedRunTrials:
+    def test_batched_matches_unbatched(self):
+        for batch_size in (2, 3, 7, 50):
+            fn = _BatchedFn(_ok)
+            got = run_trials(fn, 7, seed=5, batch_size=batch_size)
+            assert got == run_trials(_ok, 7, seed=5)
+        assert [len(b) for b in fn.batch_calls] == [7]  # one 50-wide block
+
+    def test_batch_size_one_runs_per_trial(self):
+        fn = _BatchedFn(_ok)
+        assert run_trials(fn, 4, seed=5, batch_size=1) == run_trials(
+            _ok, 4, seed=5
+        )
+        assert fn.batch_calls == []  # protocol bypassed entirely
+
+    def test_failing_batch_attributes_exact_trial(self):
+        idx = _first_even_index(3, 8)
+        seeds = child_seed_ints(3, 8)
+        with pytest.raises(TrialExecutionError) as exc_info:
+            run_trials(_BatchedFn(_raise_even), 8, seed=3, batch_size=4)
+        assert exc_info.value.trial_index == idx
+        assert exc_info.value.trial_seed == seeds[idx]
+
+    def test_fn_without_run_batch_rejected(self):
+        with pytest.raises(ValueError, match="run_batch"):
+            run_trials(_ok, 4, seed=5, batch_size=2)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            run_trials(_BatchedFn(_ok), 4, seed=5, batch_size=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            TrialExecutor(batch_size=0)
+
+    @pytest.mark.slow
+    def test_pooled_batched_matches_serial(self):
+        got = run_trials(
+            _module_batched_ok, 6, seed=11, n_workers=2, batch_size=2
+        )
+        assert got == run_trials(_ok, 6, seed=11)
+
+
+def _module_ok_batch(seeds):
+    return [_ok(s) for s in seeds]
+
+
+class _ModuleBatched:
+    """Picklable batched fn for pool tests (module-level, no closures)."""
+
+    def __call__(self, seed):
+        return _ok(seed)
+
+    def run_batch(self, seeds):
+        return _module_ok_batch(seeds)
+
+
+_module_batched_ok = _ModuleBatched()
+
+
+class TestBatchedResilient:
+    def test_failure_free_batched_matches_unbatched(self):
+        fn = _BatchedFn(_ok)
+        batch = run_trials_resilient(fn, 7, seed=5, batch_size=3)
+        assert batch.ok
+        assert batch.results == run_trials(_ok, 7, seed=5)
+        assert [len(b) for b in fn.batch_calls] == [3, 3, 1]
+
+    def test_batched_failures_match_unbatched(self):
+        kw = dict(seed=3, max_retries=2, backoff_base=0.0)
+        plain = run_trials_resilient(_raise_even, 8, **kw)
+        batched = run_trials_resilient(
+            _BatchedFn(_raise_even), 8, batch_size=3, **kw
+        )
+        assert batched.results == plain.results
+        assert batched.retries == plain.retries
+        assert [f.trial_index for f in batched.failures] == [
+            f.trial_index for f in plain.failures
+        ]
+        for fb, fp in zip(batched.failures, plain.failures):
+            assert fb.attempt_seeds == fp.attempt_seeds
+
+    def test_retried_trial_reenters_batch_with_retry_seed(self):
+        # Regression: the first cut re-enqueued failed trials with the
+        # wave's original seed vector, so retries re-ran the seed that had
+        # just failed.  A retry must contribute its *retry* seed (attempt
+        # column 1, 2, ...) to the wave it joins.
+        table = _attempt_seed_table(3, 8, max_retries=2)
+        fn = _BatchedFn(_raise_even)
+        run_trials_resilient(
+            fn, 8, seed=3, batch_size=3, max_retries=2, backoff_base=0.0
+        )
+        seen = [s for wave in fn.batch_calls for s in wave]
+        retried = [i for i in range(8) if table[i][0] % 2 == 0]
+        assert retried, "seed 3 must produce failing attempt-0 trials"
+        for i in retried:
+            assert table[i][1] in seen, (
+                f"trial {i}: retry seed never entered a later wave"
+            )
+            assert seen.count(table[i][0]) == 1, (
+                f"trial {i}: failed attempt-0 seed was re-batched"
+            )
+
+    @pytest.mark.slow
+    def test_processes_bypass_batching(self):
+        # Process-per-attempt isolation supersedes batching: the pool path
+        # must accept batch_size and ignore it (no run_batch required).
+        batch = run_trials_resilient(
+            _ok, 4, seed=5, n_workers=2, batch_size=3
+        )
+        assert batch.ok
+        assert batch.results == run_trials(_ok, 4, seed=5)
+
+
 class TestTracerIntegration:
     def test_batch_counters(self):
         from repro.obs import Tracer
