@@ -285,21 +285,53 @@ def trap_signals(extra=(signal.SIGTERM,)):
     """Convert polite kill signals into ``KeyboardInterrupt`` so
     ``finally`` blocks run: the ledger closes flushed and worker pools
     are terminated/joined instead of orphaned.  Restores the previous
-    handlers on exit; a no-op outside the main thread (where handlers
-    cannot be installed)."""
+    handlers on **every** exit path — normal completion, exceptions
+    raised mid-scope, even a trapped signal arriving during the restore
+    itself — so a long-lived server embedding checkpointed runs cannot
+    leak the trap handler past the scope.  Scopes nest (the inner scope
+    restores the outer scope's handler).  A no-op outside the main
+    thread, where Python forbids installing handlers.
+
+    Restore details that matter for embedding:
+
+    * the previous handler is captured with :func:`signal.getsignal`
+      *before* installing the trap — ``signal.signal``'s return value is
+      ``None`` for handlers not installed from Python, and passing that
+      ``None`` back to ``signal.signal`` raises, which used to abort the
+      restore loop and leak every remaining handler;
+    * each restore is individually guarded, so one failing (or a trapped
+      signal firing mid-restore) still restores the rest, and the first
+      such exception is re-raised once restoration finished.
+    """
     installed = []
+
     def _raise(signum, frame):
         raise KeyboardInterrupt(f"terminated by signal {signum}")
+
     try:
         for sig in extra:
             try:
-                installed.append((sig, signal.signal(sig, _raise)))
+                prev = signal.getsignal(sig)
+                signal.signal(sig, _raise)
             except ValueError:
-                pass  # not the main thread
+                continue  # not the main thread
+            installed.append((sig, prev))
         yield
     finally:
-        for sig, prev in installed:
-            signal.signal(sig, prev)
+        pending: BaseException | None = None
+        for sig, prev in reversed(installed):
+            if prev is None:
+                # Installed by non-Python code — unrecoverable from here;
+                # fall back to the default disposition rather than
+                # leaving our raising trap behind.
+                prev = signal.SIG_DFL
+            try:
+                signal.signal(sig, prev)
+            except BaseException as exc:  # noqa: BLE001 - keep restoring
+                if pending is None:
+                    pending = exc
+        if pending is not None:
+            raise pending
 
 
 # --------------------------------------------------------------------- #

@@ -283,6 +283,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_resume.set_defaults(func=cmd_resume)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the localization service (JSON lines over TCP)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8790, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="warm worker processes (0 = solve in-process)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission bound; requests beyond it are shed",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=8, help="micro-batch size cap"
+    )
+    p_serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=10.0,
+        help="how long to hold a partial batch for co-batchable arrivals",
+    )
+    p_serve.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="default per-request latency budget (BP stops cooperatively "
+        "between rounds when it expires; partial answers come back "
+        "flagged degraded)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
     p_demo = sub.add_parser("demo", help="small quick demonstration run")
     p_demo.set_defaults(func=cmd_demo)
     return parser
@@ -566,6 +605,45 @@ def cmd_resume(args: argparse.Namespace) -> int:
             )
     except Exception as exc:
         _reraise_unless_checkpoint_error(exc)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import LocalizationServer, LocalizationService, ServeConfig
+
+    config = ServeConfig(
+        n_workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1e3,
+        default_deadline_s=args.deadline_s,
+    )
+
+    async def _serve() -> None:
+        server = LocalizationServer(
+            LocalizationService(config), host=args.host, port=args.port
+        )
+        host, port = await server.start()
+        workers = "in-process" if args.workers == 0 else f"{args.workers} workers"
+        print(f"localization service on {host}:{port} ({workers})")
+        print(
+            'protocol: one JSON object per line, e.g. '
+            '{"op": "health"} or {"op": "localize", "scenario": '
+            '{"n_nodes": 25}, "seed": 1}'
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
     return 0
 
 

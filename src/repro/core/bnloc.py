@@ -417,6 +417,11 @@ class GridBPLocalizer(Localizer):
         cfg = self.config
         if not (cfg.health_checks and prep.problem.edges):
             return outcome, False
+        if outcome.health.get("deadline_stop"):
+            # The kernel was stopped by an expired deadline scope — there
+            # is no time budget left for a restart; the caller flags the
+            # (internally consistent) partial answer as degraded instead.
+            return outcome, False
         from repro.core.health import healthy_belief_rows, residuals_diverging
 
         health = outcome.health
@@ -539,6 +544,8 @@ class GridBPLocalizer(Localizer):
                 tracer.count("fallback_nodes", n_fallback)
             if restarted:
                 tracer.annotate("damped_restart", True)
+            if health.get("deadline_stop"):
+                tracer.count("deadline_stops")
         result = LocalizationResult(
             estimates=estimates,
             localized_mask=mask,
@@ -553,6 +560,11 @@ class GridBPLocalizer(Localizer):
                 "beliefs": {int(u): beliefs[ui] for ui, u in enumerate(unknowns)},
                 "covariances": covariances,
                 "grid": grid,
+                **(
+                    {"deadline_stop": True}
+                    if health.get("deadline_stop")
+                    else {}
+                ),
             },
         )
         self._maybe_audit(result, ms, prep.problem.ops, tracer)

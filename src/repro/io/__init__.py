@@ -4,6 +4,8 @@ from repro.io.serialize import (
     atomic_write_text,
     network_to_dict,
     network_from_dict,
+    measurements_to_dict,
+    measurements_from_dict,
     save_network_json,
     load_network_json,
     save_network_npz,
@@ -18,6 +20,8 @@ __all__ = [
     "atomic_write_text",
     "network_to_dict",
     "network_from_dict",
+    "measurements_to_dict",
+    "measurements_from_dict",
     "save_network_json",
     "load_network_json",
     "save_network_npz",

@@ -25,6 +25,8 @@ __all__ = [
     "atomic_write_text",
     "network_to_dict",
     "network_from_dict",
+    "measurements_to_dict",
+    "measurements_from_dict",
     "save_network_json",
     "load_network_json",
     "save_network_npz",
@@ -134,6 +136,135 @@ def load_network_npz(path: str | Path) -> WSNetwork:
             height=float(height),
             radio_range=float(radio_range),
         )
+
+
+def _ranging_to_dict(ranging) -> dict:
+    """Wire form of the simple ranging models.
+
+    Only the parameter-closed models a remote client can faithfully
+    reconstruct are supported: constant-σ Gaussian, proportional
+    Gaussian, and connectivity-only.  Composite or calibration-dependent
+    models (NLOS mixtures, RSSI path-loss, TOA) raise — requests using
+    them must go through in-process submission, where the model object
+    itself travels.
+    """
+    from repro.measurement.ranging import (
+        ConnectivityOnly,
+        GaussianRanging,
+        ProportionalGaussianRanging,
+    )
+
+    if isinstance(ranging, GaussianRanging):
+        return {"type": "gaussian", "sigma": float(ranging.sigma)}
+    if isinstance(ranging, ProportionalGaussianRanging):
+        return {
+            "type": "proportional",
+            "ratio": float(ranging.ratio),
+            "floor": float(ranging.floor),
+        }
+    if isinstance(ranging, ConnectivityOnly):
+        return {"type": "none"}
+    raise ValueError(
+        f"ranging model {type(ranging).__name__} has no wire form; "
+        "supported: gaussian, proportional, none (submit in-process for "
+        "other models)"
+    )
+
+
+def _ranging_from_dict(data: dict):
+    from repro.measurement.ranging import (
+        ConnectivityOnly,
+        GaussianRanging,
+        ProportionalGaussianRanging,
+    )
+
+    kind = data.get("type")
+    if kind == "gaussian":
+        return GaussianRanging(float(data["sigma"]))
+    if kind == "proportional":
+        return ProportionalGaussianRanging(
+            float(data["ratio"]), floor=float(data.get("floor", 1e-4))
+        )
+    if kind == "none":
+        return ConnectivityOnly()
+    raise ValueError(f"unknown ranging wire type {kind!r}")
+
+
+def measurements_to_dict(ms) -> dict:
+    """JSON-safe wire form of a :class:`~repro.measurement.MeasurementSet`.
+
+    The observable slice only — anchors, links, observed distances, the
+    (simple) ranging model, and the field constants.  Distances are
+    shipped as a link-indexed list (NaN off-link entries are implicit), so
+    the payload grows with edges, not ``n²``.  Bearing measurements have
+    no wire form yet and raise.
+    """
+    if ms.observed_bearings is not None:
+        raise ValueError("bearing measurements have no wire form yet")
+    edges = ms.edges().tolist()
+    distances = None
+    if ms.has_ranging:
+        distances = [float(ms.observed_distances[i, j]) for i, j in edges]
+    anchors = [int(a) for a in ms.anchor_ids]
+    return {
+        "n_nodes": int(ms.n_nodes),
+        "anchors": anchors,
+        "anchor_positions": ms.anchor_positions_full[anchors].tolist(),
+        "edges": edges,
+        "distances": distances,
+        "ranging": _ranging_to_dict(ms.ranging),
+        "radio_range": float(ms.radio_range),
+        "width": float(ms.width),
+        "height": float(ms.height),
+    }
+
+
+def measurements_from_dict(data: dict):
+    """Inverse of :func:`measurements_to_dict`."""
+    from repro.measurement.measurements import MeasurementSet
+
+    try:
+        n = int(data["n_nodes"])
+        anchors = list(data["anchors"])
+        anchor_positions = np.asarray(data["anchor_positions"], dtype=np.float64)
+        edges = np.asarray(data["edges"], dtype=int)
+    except KeyError as exc:
+        raise ValueError(f"measurements dict missing key {exc}") from exc
+    if len(anchors) != len(anchor_positions):
+        raise ValueError("anchors and anchor_positions length mismatch")
+    anchor_mask = np.zeros(n, dtype=bool)
+    full = np.full((n, 2), np.nan)
+    for a, pos in zip(anchors, anchor_positions):
+        a = int(a)
+        if not (0 <= a < n):
+            raise ValueError(f"anchor id {a} out of range")
+        anchor_mask[a] = True
+        full[a] = pos
+    adjacency = np.zeros((n, n), dtype=bool)
+    observed = np.full((n, n), np.nan)
+    if len(edges):
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError("edges must have shape (m, 2)")
+        if edges.min() < 0 or edges.max() >= n:
+            raise ValueError("edge endpoint out of range")
+        adjacency[edges[:, 0], edges[:, 1]] = True
+        adjacency[edges[:, 1], edges[:, 0]] = True
+    distances = data.get("distances")
+    if distances is not None:
+        if len(distances) != len(edges):
+            raise ValueError("distances must align with edges")
+        for (i, j), d in zip(edges, distances):
+            observed[i, j] = observed[j, i] = float(d)
+    return MeasurementSet(
+        anchor_mask=anchor_mask,
+        anchor_positions_full=full,
+        adjacency=adjacency,
+        observed_distances=observed,
+        ranging=_ranging_from_dict(data["ranging"]),
+        radio_range=float(data["radio_range"]),
+        width=float(data.get("width", 1.0)),
+        height=float(data.get("height", 1.0)),
+    )
 
 
 def result_to_dict(result: LocalizationResult) -> dict:

@@ -7,9 +7,16 @@ from repro.kernels.base import (
     KernelBackend,
     available_backends,
     compatibility_key,
+    config_key,
     get_backend,
     group_compatible,
     register_backend,
+)
+from repro.kernels.cancel import (
+    Deadline,
+    active_deadline,
+    deadline_scope,
+    deadline_stop,
 )
 
 __all__ = [
@@ -18,8 +25,13 @@ __all__ = [
     "KernelBackend",
     "IncompatibleBatchError",
     "compatibility_key",
+    "config_key",
     "group_compatible",
     "register_backend",
     "get_backend",
     "available_backends",
+    "Deadline",
+    "deadline_scope",
+    "active_deadline",
+    "deadline_stop",
 ]

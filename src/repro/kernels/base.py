@@ -52,6 +52,7 @@ __all__ = [
     "KernelBackend",
     "IncompatibleBatchError",
     "compatibility_key",
+    "config_key",
     "group_compatible",
     "register_backend",
     "get_backend",
@@ -105,6 +106,25 @@ class BPOutcome:
     health: dict
 
 
+def config_key(grid: "Grid2D", cfg: "GridBPConfig", n_cells: int | None = None) -> tuple:
+    """Batch-compatibility key from ``(grid, cfg)`` alone.
+
+    This is :func:`compatibility_key` without a prepared problem in hand —
+    the serving layer uses it to group *requests* into micro-batches
+    before any node potentials exist, with the guarantee that requests
+    sharing this key prepare into problems sharing
+    :func:`compatibility_key` (the tuples are constructed identically).
+    """
+    return (
+        grid.nx,
+        grid.ny,
+        float(grid.width),
+        float(grid.height),
+        int(grid.n_cells if n_cells is None else n_cells),
+        dataclasses.astuple(cfg),
+    )
+
+
 def compatibility_key(problem: BPProblem) -> tuple:
     """Hashable batch-compatibility key of a problem.
 
@@ -113,15 +133,7 @@ def compatibility_key(problem: BPProblem) -> tuple:
     config (schedule, damping, tolerances, …).  Different seeds /
     networks / priors are exactly what the batch axis is for.
     """
-    g = problem.grid
-    return (
-        g.nx,
-        g.ny,
-        float(g.width),
-        float(g.height),
-        problem.n_cells,
-        dataclasses.astuple(problem.cfg),
-    )
+    return config_key(problem.grid, problem.cfg, problem.n_cells)
 
 
 def group_compatible(

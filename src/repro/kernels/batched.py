@@ -79,6 +79,7 @@ from repro.kernels.base import (
     KernelBackend,
     compatibility_key,
 )
+from repro.kernels.cancel import deadline_stop
 from repro.kernels.reference import _MSG_FLOOR, run_bp
 from repro.obs import NULL_TRACER, NullTracer
 
@@ -376,7 +377,20 @@ def _run_batch_sync(
 
     rebuild()
 
+    _deadline_probe: dict = {}
     while act_trials:
+        # Cooperative cancellation: all trials in a batch share rounds,
+        # so an expired ambient deadline stops every still-active trial
+        # between rounds (each gets at least one round; the check is a
+        # thread-local read, free when no deadline scope is active).
+        if min(n_iter[t] for t in act_trials) >= 1 and deadline_stop(
+            _deadline_probe
+        ):
+            sync_global()  # commit the completed rounds' messages
+            for t in act_trials:
+                healths[t]["deadline_stop"] = True
+                active[t] = False
+            break
         # One stacked synchronous round over every active trial.  New
         # messages are written into the "old" buffers, then the pairs
         # swap — the previous round's state stays intact for damping,

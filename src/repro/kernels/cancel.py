@@ -1,0 +1,111 @@
+"""Cooperative deadline cancellation for kernel round loops.
+
+A serving runtime cannot afford a BP solve that ignores its caller's
+latency budget: a request with 50 ms left must not sit inside a 15-round
+message-passing loop for 300 ms.  The mechanism here is *cooperative*
+cancellation — the kernel checks an ambient deadline **between** BP
+rounds and, when it has expired, stops early and returns the beliefs it
+has, flagged so callers can mark the answer degraded.  Nothing is ever
+interrupted mid-round, so partial results are always internally
+consistent (a full synchronous round either committed or didn't).
+
+Usage::
+
+    with deadline_scope(seconds=0.050):
+        outcome = backend.run(problem)          # stops between rounds
+    if outcome.health.get("deadline_stop"):
+        ...                                     # partial, flag degraded
+
+Design rules
+------------
+* **Zero-cost when inactive.**  With no scope installed the per-round
+  check is one thread-local attribute read and a ``None`` test — no
+  clock call, no float math — so batch entry points (and the golden-trace
+  bit-identity suite) are untouched.
+* **Thread-local.**  Each worker thread/process owns its scope; a server
+  thread setting a deadline cannot truncate an unrelated solve running
+  elsewhere in the process.
+* **At least one round always completes.**  Kernels check only after a
+  round has run, so even an already-expired deadline yields a usable
+  one-round posterior rather than raw unary beliefs.  Callers that
+  cannot afford even one round should not dispatch the solve at all
+  (the serving layer's fallback-estimate path).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["Deadline", "deadline_scope", "active_deadline", "deadline_stop"]
+
+
+class Deadline:
+    """An absolute wall-clock budget on a monotonic clock.
+
+    ``clock`` is injectable for deterministic tests (takes no arguments,
+    returns seconds).
+    """
+
+    __slots__ = ("at", "_clock")
+
+    def __init__(self, seconds: float, clock=time.monotonic) -> None:
+        if seconds < 0:
+            raise ValueError("deadline seconds must be non-negative")
+        self._clock = clock
+        self.at = clock() + seconds
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.at - self._clock()
+
+    def expired(self) -> bool:
+        return self._clock() >= self.at
+
+
+_SCOPE = threading.local()
+
+
+def active_deadline() -> Deadline | None:
+    """The innermost deadline installed in this thread, or ``None``."""
+    return getattr(_SCOPE, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(seconds: float | None = None, deadline: Deadline | None = None):
+    """Install a :class:`Deadline` for the dynamic extent of the block.
+
+    Pass either a relative budget in *seconds* or a prebuilt *deadline*.
+    ``seconds=None`` (and no deadline) is a no-op scope, so call sites can
+    thread an optional budget without branching.  Scopes nest: the inner
+    scope shadows the outer one and the outer is restored on exit —
+    including on exceptions raised mid-scope.
+    """
+    if deadline is None and seconds is not None:
+        deadline = Deadline(seconds)
+    if deadline is None:
+        yield None
+        return
+    prev = getattr(_SCOPE, "deadline", None)
+    _SCOPE.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _SCOPE.deadline = prev
+
+
+def deadline_stop(health: dict) -> bool:
+    """Between-round check kernels call at the top of each BP round.
+
+    Returns ``True`` — and records ``health["deadline_stop"] = True`` —
+    when an installed deadline has expired; the kernel then breaks out of
+    its round loop and returns the beliefs computed so far
+    (``converged=False``).  With no scope installed this is a single
+    attribute read, so fault-free batch runs stay bit-identical.
+    """
+    d = getattr(_SCOPE, "deadline", None)
+    if d is None or not d.expired():
+        return False
+    health["deadline_stop"] = True
+    return True

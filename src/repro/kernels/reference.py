@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.kernels.base import BPOutcome, BPProblem, KernelBackend
+from repro.kernels.cancel import deadline_stop
 from repro.obs import NULL_TRACER, NullTracer
 
 __all__ = [
@@ -165,6 +166,12 @@ def run_bp(
     msgs_cum = 0
     H = np.empty((n_dir, K)) if not serial else None
     for n_iter in range(1, cfg.max_iterations + 1):
+        # Cooperative cancellation: an expired ambient deadline stops the
+        # loop between rounds (at least one round always runs); the
+        # check is a thread-local read, free when no scope is active.
+        if n_iter > 1 and deadline_stop(health):
+            n_iter -= 1
+            break
         # "sync" computes the whole round from the previous round's
         # messages; "serial" commits each node's messages immediately
         # so later nodes in the sweep see them.
@@ -354,6 +361,10 @@ def run_bp_baseline(
     msgs_cum = 0
     serial = cfg.schedule == "serial"
     for n_iter in range(1, cfg.max_iterations + 1):
+        # Cooperative cancellation between rounds, as in run_bp.
+        if n_iter > 1 and deadline_stop(health):
+            n_iter -= 1
+            break
         # "sync" computes the whole round from the previous round's
         # messages; "serial" commits each node's messages immediately
         # so later nodes in the sweep see them.

@@ -427,6 +427,7 @@ def run_trials_resilient(
     max_retries: int = 2,
     backoff_base: float = 0.05,
     backoff_factor: float = 2.0,
+    backoff_jitter: float = 0.1,
     timeout: float | None = None,
     tracer: NullTracer | None = None,
     checkpoint=None,
@@ -439,6 +440,15 @@ def run_trials_resilient(
     independent child seed with exponential backoff, and if it still
     fails the batch completes anyway, returning the successes plus a
     structured failure report (:class:`TrialBatchResult`).
+
+    Backoff delays carry seeded, deterministic jitter (*backoff_jitter*
+    sets the fractional spread; 0 disables): each retry's delay is
+    stretched by a factor in ``[1, 1 + backoff_jitter)`` derived from that
+    retry's child seed, so trials that failed together — a correlated
+    stall on a shared worker pool — do not retry in a synchronized wave,
+    yet identical runs sleep identically.  The jitter stream is
+    namespaced away from the trial seed streams, so attempt seeds are
+    exactly those of a jitter-free run.
 
     Execution model
     ---------------
@@ -495,6 +505,8 @@ def run_trials_resilient(
         raise ValueError("backoff_base must be non-negative")
     if backoff_factor < 1.0:
         raise ValueError("backoff_factor must be >= 1")
+    if backoff_jitter < 0:
+        raise ValueError("backoff_jitter must be non-negative")
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be positive (or None)")
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -540,17 +552,17 @@ def run_trials_resilient(
             if use_processes:
                 batch = _run_resilient_processes(
                     fn, seeds, n_workers, backoff_base, backoff_factor, timeout,
-                    done=done, record=record,
+                    jitter=backoff_jitter, done=done, record=record,
                 )
             elif run_batch is not None:
                 batch = _run_resilient_serial_batched(
                     fn, seeds, batch_size, backoff_base, backoff_factor,
-                    done=done, record=record,
+                    jitter=backoff_jitter, done=done, record=record,
                 )
             else:
                 batch = _run_resilient_serial(
                     fn, seeds, backoff_base, backoff_factor,
-                    done=done, record=record,
+                    jitter=backoff_jitter, done=done, record=record,
                 )
     finally:
         if ck is not None:
@@ -566,8 +578,37 @@ def run_trials_resilient(
     return batch
 
 
-def _backoff(base: float, factor: float, attempt: int) -> float:
-    return base * factor**attempt if base > 0 else 0.0
+#: namespace of the backoff-jitter stream — keeps it disjoint from every
+#: trial/retry seed stream no matter what master seed the caller picked
+_BACKOFF_JITTER_KEY = 0xB0FF_1E77
+
+
+def _backoff(
+    base: float,
+    factor: float,
+    attempt: int,
+    jitter: float = 0.0,
+    token: int | None = None,
+) -> float:
+    """Exponential backoff with seeded, deterministic jitter.
+
+    The jitter multiplier lies in ``[1, 1 + jitter)`` and is a pure
+    function of *token* — callers pass the retry attempt's child seed, so
+    the wave of trials retrying after a correlated failure (a shared pool
+    stall, a node flap) fans out over distinct delays instead of
+    stampeding back in lockstep, while the exact same run replays the
+    exact same sleeps.  The trial seed streams themselves are untouched:
+    the jitter draw comes from a fresh :class:`~numpy.random.SeedSequence`
+    namespaced under :data:`_BACKOFF_JITTER_KEY`, never from the streams
+    that produce attempt seeds.
+    """
+    delay = base * factor**attempt if base > 0 else 0.0
+    if delay > 0.0 and jitter > 0.0 and token is not None:
+        word = np.random.SeedSequence(
+            [_BACKOFF_JITTER_KEY, int(token)]
+        ).generate_state(1, dtype=np.uint64)[0]
+        delay *= 1.0 + jitter * (float(word) / 2.0**64)
+    return delay
 
 
 def _run_resilient_serial(
@@ -575,6 +616,7 @@ def _run_resilient_serial(
     seeds: list[list[int]],
     backoff_base: float,
     backoff_factor: float,
+    jitter: float = 0.0,
     done: dict | None = None,
     record=None,
 ) -> TrialBatchResult:
@@ -590,7 +632,9 @@ def _run_resilient_serial(
         for attempt, s in enumerate(attempt_seeds):
             if attempt > 0:
                 retries += 1
-                time.sleep(_backoff(backoff_base, backoff_factor, attempt - 1))
+                time.sleep(
+                    _backoff(backoff_base, backoff_factor, attempt - 1, jitter, s)
+                )
             try:
                 results[i] = fn(s)
                 last = None
@@ -615,6 +659,7 @@ def _run_resilient_serial_batched(
     batch_size: int,
     backoff_base: float,
     backoff_factor: float,
+    jitter: float = 0.0,
     done: dict | None = None,
     record=None,
 ) -> TrialBatchResult:
@@ -649,7 +694,12 @@ def _run_resilient_serial_batched(
         for i, att in wave:
             if att > 0:
                 retries += 1
-                delay = max(delay, _backoff(backoff_base, backoff_factor, att - 1))
+                delay = max(
+                    delay,
+                    _backoff(
+                        backoff_base, backoff_factor, att - 1, jitter, seeds[i][att]
+                    ),
+                )
         if delay > 0:
             time.sleep(delay)
         block = None
@@ -696,6 +746,7 @@ def _run_resilient_processes(
     backoff_base: float,
     backoff_factor: float,
     timeout: float | None,
+    jitter: float = 0.0,
     done: dict | None = None,
     record=None,
 ) -> TrialBatchResult:
@@ -761,7 +812,13 @@ def _run_resilient_processes(
                     trial_index=i,
                     attempt=item.attempt + 1,
                     ready_at=time.monotonic()
-                    + _backoff(backoff_base, backoff_factor, item.attempt),
+                    + _backoff(
+                        backoff_base,
+                        backoff_factor,
+                        item.attempt,
+                        jitter,
+                        seeds[i][item.attempt + 1],
+                    ),
                 )
             )
         else:

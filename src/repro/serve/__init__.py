@@ -1,0 +1,35 @@
+"""Localization-as-a-service: fault-tolerant async serving runtime.
+
+Micro-batches concurrent localization requests onto the batched kernel
+backend through a pool of warm worker processes, inside a robustness
+envelope: per-request deadlines with cooperative BP cancellation,
+bounded admission with load shedding, per-shape circuit breakers, worker
+health probes with crash replacement, and graceful degradation — every
+admitted request gets an answer, possibly a flagged fallback, never
+silence.
+"""
+
+from repro.serve.breaker import BreakerRegistry, CircuitBreaker
+from repro.serve.loadgen import LoadReport, LoadSpec, run_load
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.server import LocalizationServer, ServeClient
+from repro.serve.service import LocalizationService, ServeConfig
+from repro.serve.types import LocalizeRequest, LocalizeResponse
+from repro.serve.workers import WorkerPool, execute_batch
+
+__all__ = [
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "LoadReport",
+    "LoadSpec",
+    "LocalizationServer",
+    "LocalizationService",
+    "LocalizeRequest",
+    "LocalizeResponse",
+    "ServeClient",
+    "ServeConfig",
+    "ServiceMetrics",
+    "WorkerPool",
+    "execute_batch",
+    "run_load",
+]

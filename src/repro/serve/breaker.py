@@ -1,0 +1,110 @@
+"""Per-compatibility-key circuit breakers.
+
+When a batch shape keeps failing (e.g. a grid size that exhausts worker
+memory, or a config that reliably crashes a kernel), retrying every new
+arrival of that shape burns worker time that healthy shapes need.  The
+breaker trips after ``threshold`` consecutive failures of a key and
+short-circuits further requests of that shape to the degraded path until
+a cooldown passes; then a single probe batch (half-open) decides whether
+to close it again.
+
+Clocks are injectable so tests drive state transitions without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["CircuitBreaker", "BreakerRegistry"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Three-state breaker guarding one batch shape."""
+
+    threshold: int = 3
+    cooldown_s: float = 5.0
+    clock: object = time.monotonic
+    state: str = field(default=CLOSED, init=False)
+    failures: int = field(default=0, init=False)
+    opened_at: float = field(default=0.0, init=False)
+    trips: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+    def allow(self) -> bool:
+        """May a batch of this shape execute right now?
+
+        An open breaker lets exactly one probe through once the cooldown
+        has elapsed (transitioning to half-open); its outcome decides the
+        next state.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self.opened_at >= self.cooldown_s:
+                self.state = HALF_OPEN
+                return True
+            return False
+        # half-open: a probe is already in flight; hold the rest back
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            if self.state != OPEN:
+                self.trips += 1
+            self.state = OPEN
+            self.opened_at = self.clock()
+
+
+class BreakerRegistry:
+    """Lazy map of batch key → :class:`CircuitBreaker`."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self._breakers: dict = {}
+
+    def get(self, key) -> CircuitBreaker:
+        br = self._breakers.get(key)
+        if br is None:
+            br = self._breakers[key] = CircuitBreaker(
+                threshold=self.threshold,
+                cooldown_s=self.cooldown_s,
+                clock=self.clock,
+            )
+        return br
+
+    @property
+    def total_trips(self) -> int:
+        return sum(br.trips for br in self._breakers.values())
+
+    def snapshot(self) -> dict:
+        """JSON-safe view for the metrics endpoint."""
+        return {
+            "breakers": len(self._breakers),
+            "open": sum(
+                1 for br in self._breakers.values() if br.state != CLOSED
+            ),
+            "trips": self.total_trips,
+        }

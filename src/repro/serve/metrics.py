@@ -1,0 +1,91 @@
+"""Request-level service metrics.
+
+Built on the :class:`repro.obs.Tracer` counter/gauge machinery the solver
+already exports, plus a bounded latency reservoir for percentile
+estimates (p50/p99 over the most recent ``window`` completed requests —
+a sliding window, not all-time, so the numbers track current load).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from repro.obs import Tracer
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Thread-safe metrics sink shared by the event loop and executors."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self.tracer = Tracer()
+        self.tracer.annotate("component", "serve")
+        self._lock = threading.Lock()
+        self._latencies: deque = deque(maxlen=window)
+        self._queue_waits: deque = deque(maxlen=window)
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.tracer.count(name, n)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        with self._lock:
+            self.tracer.gauge_max(name, value)
+
+    def observe_request(self, total_s: float, queue_s: float) -> None:
+        with self._lock:
+            self._latencies.append(total_s)
+            self._queue_waits.append(queue_s)
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self.tracer.count("batches")
+            self.tracer.count("batched_requests", size)
+            self.tracer.gauge_max("max_batch_size", size)
+
+    @staticmethod
+    def _pct(values, q: float) -> float | None:
+        if not values:
+            return None
+        return float(np.percentile(np.asarray(values), q))
+
+    def snapshot(self, queue_depth: int = 0, workers: dict | None = None) -> dict:
+        """JSON-safe state for the ``metrics`` endpoint and BENCH files."""
+        with self._lock:
+            counters = dict(self.tracer.counters)
+            gauges = dict(self.tracer.gauges)
+            lat = list(self._latencies)
+            waits = list(self._queue_waits)
+        batches = counters.get("batches", 0)
+        batched = counters.get("batched_requests", 0)
+        out = {
+            "counters": counters,
+            "queue_depth": queue_depth,
+            "latency_ms": {
+                "n": len(lat),
+                "p50": self._pct(lat, 50),
+                "p99": self._pct(lat, 99),
+                "mean": float(np.mean(lat)) if lat else None,
+            },
+            "queue_wait_ms": {
+                "p50": self._pct(waits, 50),
+                "p99": self._pct(waits, 99),
+            },
+            "batch": {
+                "count": batches,
+                "mean_occupancy": (batched / batches) if batches else None,
+                "max_size": gauges.get("max_batch_size"),
+            },
+        }
+        for block in ("latency_ms", "queue_wait_ms"):
+            out[block] = {
+                k: (round(v * 1e3, 3) if isinstance(v, float) else v)
+                for k, v in out[block].items()
+            }
+        if workers is not None:
+            out["workers"] = workers
+        return out

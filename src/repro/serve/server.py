@@ -1,0 +1,277 @@
+"""JSON-lines-over-TCP front end for :class:`LocalizationService`.
+
+Pure stdlib (``asyncio.start_server``) — one JSON object per line in
+each direction.  Ops::
+
+    {"op": "localize", "id": "...", "measurements": {...} | "scenario":
+     {...}, "seed": 0, "config": {...}, "deadline_s": 0.5}
+    {"op": "health"} | {"op": "ready"} | {"op": "metrics"}
+
+Lines on one connection are handled *concurrently* (one task per line)
+and responses carry the request's ``id``, so a client may pipeline many
+requests over a single connection; :class:`ServeClient` does exactly
+that, matching responses back to callers by id.
+
+A malformed line gets an ``{"status": "error"}`` reply rather than a
+dropped connection — a confused client must not take down its own
+in-flight requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+
+from repro.core.bnloc import GridBPConfig
+from repro.serve.service import LocalizationService, ServeConfig
+from repro.serve.types import LocalizeRequest, LocalizeResponse
+
+__all__ = ["LocalizationServer", "ServeClient"]
+
+#: generous per-line cap — a 500-node measurement payload is ~100 KB
+_STREAM_LIMIT = 16 * 1024 * 1024
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(GridBPConfig)}
+
+
+def _config_from_wire(data: dict | None) -> GridBPConfig:
+    if not data:
+        return GridBPConfig()
+    unknown = set(data) - _CONFIG_FIELDS
+    if unknown:
+        raise ValueError(f"unknown config fields {sorted(unknown)}")
+    return GridBPConfig(**data)
+
+
+def _scenario_from_wire(data: dict):
+    from repro.experiments.config import ScenarioConfig
+
+    fields = {f.name for f in dataclasses.fields(ScenarioConfig)}
+    unknown = set(data) - fields
+    if unknown:
+        raise ValueError(f"unknown scenario fields {sorted(unknown)}")
+    if "pk_offset" in data:
+        data = {**data, "pk_offset": tuple(data["pk_offset"])}
+    return ScenarioConfig(**data)
+
+
+def request_from_wire(data: dict) -> LocalizeRequest:
+    """Decode one ``localize`` wire object into a request."""
+    from repro.io import measurements_from_dict
+
+    kwargs: dict = {
+        "request_id": str(data.get("id", "")),
+        "config": _config_from_wire(data.get("config")),
+    }
+    if data.get("deadline_s") is not None:
+        kwargs["deadline_s"] = float(data["deadline_s"])
+    if "measurements" in data:
+        kwargs["measurements"] = measurements_from_dict(data["measurements"])
+    elif "scenario" in data:
+        kwargs["scenario"] = _scenario_from_wire(data["scenario"])
+        kwargs["seed"] = int(data.get("seed", 0))
+    else:
+        raise ValueError("localize op needs measurements or scenario")
+    return LocalizeRequest(**kwargs)
+
+
+class LocalizationServer:
+    """Serve a :class:`LocalizationService` on a TCP port."""
+
+    def __init__(
+        self,
+        service: LocalizationService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service if service is not None else LocalizationService()
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=_STREAM_LIMIT,
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        lock = asyncio.Lock()  # serialize writes from concurrent line tasks
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, lock, {
+                        "status": "error", "error": "line too long"})
+                    break
+                if not line:
+                    break
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes, writer, lock) -> None:
+        rid = None
+        try:
+            data = json.loads(line)
+            rid = data.get("id")
+            op = data.get("op", "localize")
+            if op == "localize":
+                request = request_from_wire(data)
+                response = await self.service.localize(request)
+                out = response.to_dict()
+            elif op == "health":
+                out = {"op": "health", **self.service.health()}
+            elif op == "ready":
+                out = {"op": "ready", "ready": self.service.ready()}
+            elif op == "metrics":
+                out = {"op": "metrics", **self.service.metrics_snapshot()}
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except Exception as exc:
+            out = LocalizeResponse(
+                request_id=str(rid or ""),
+                status="error",
+                reason="bad-request",
+                error=f"{type(exc).__name__}: {exc}",
+            ).to_dict()
+        if rid is not None:
+            out.setdefault("id", rid)
+        await self._send(writer, lock, out)
+
+    @staticmethod
+    async def _send(writer, lock, obj: dict) -> None:
+        payload = (json.dumps(obj) + "\n").encode()
+        async with lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; its requests already resolved
+
+
+class ServeClient:
+    """Pipelining JSON-lines client for :class:`LocalizationServer`.
+
+    One TCP connection, many concurrent ``localize`` calls — responses
+    are matched back to callers by the ``id`` field.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+        self._pending: dict[str, asyncio.Future] = {}
+        self._read_task: asyncio.Task | None = None
+        self._counter = 0
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=_STREAM_LIMIT
+        )
+        self._read_task = asyncio.create_task(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except asyncio.CancelledError:
+                pass
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(ConnectionError("client closed"))
+        self._pending.clear()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                data = json.loads(line)
+                fut = self._pending.pop(str(data.get("id", "")), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(data)
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+        finally:
+            for fut in self._pending.values():
+                if not fut.done():
+                    fut.set_exception(ConnectionError("connection lost"))
+            self._pending.clear()
+
+    async def _call(self, obj: dict) -> dict:
+        self._counter += 1
+        rid = obj.setdefault("id", f"c{self._counter}")
+        rid = str(rid)
+        obj["id"] = rid
+        if rid in self._pending:
+            raise ValueError(f"duplicate in-flight request id {rid!r}")
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        payload = (json.dumps(obj) + "\n").encode()
+        async with self._write_lock:
+            self._writer.write(payload)
+            await self._writer.drain()
+        return await fut
+
+    async def localize(self, **wire) -> dict:
+        """``localize`` with raw wire fields (measurements/scenario/...)."""
+        return await self._call({"op": "localize", **wire})
+
+    async def health(self) -> dict:
+        return await self._call({"op": "health"})
+
+    async def ready(self) -> bool:
+        return bool((await self._call({"op": "ready"}))["ready"])
+
+    async def metrics(self) -> dict:
+        return await self._call({"op": "metrics"})

@@ -345,6 +345,60 @@ class TestTrapSignals:
                 pytest.fail("signal was not delivered")
         assert signal.getsignal(signal.SIGTERM) is before  # restored
 
+    def test_restores_on_normal_exit(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with trap_signals():
+            assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_restores_on_exception_mid_scope(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(RuntimeError, match="boom"):
+            with trap_signals():
+                raise RuntimeError("boom")
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_nested_scopes_restore_outer_handler(self):
+        # Regression: the restore loop once passed ``signal.signal``'s
+        # return value straight back, which leaked handlers whenever it
+        # was None (non-Python handler) — and nesting amplified the leak.
+        before = signal.getsignal(signal.SIGTERM)
+        with trap_signals():
+            outer = signal.getsignal(signal.SIGTERM)
+            with trap_signals():
+                inner = signal.getsignal(signal.SIGTERM)
+                assert inner is not before
+            # inner scope restores the *outer* scope's trap
+            assert signal.getsignal(signal.SIGTERM) is outer
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_restores_multiple_signals_after_partial_use(self):
+        sigs = (signal.SIGTERM, signal.SIGUSR1)
+        before = {s: signal.getsignal(s) for s in sigs}
+        with pytest.raises(KeyboardInterrupt):
+            with trap_signals(extra=sigs):
+                os.kill(os.getpid(), signal.SIGUSR1)
+                time.sleep(5)
+                pytest.fail("signal was not delivered")
+        for s in sigs:
+            assert signal.getsignal(s) is before[s]
+
+    def test_none_previous_handler_falls_back_to_default(self, monkeypatch):
+        # Simulate a handler installed by non-Python code: getsignal
+        # returns None.  Restoration must not raise and must leave the
+        # default disposition, not the raising trap.
+        real_getsignal = signal.getsignal
+        monkeypatch.setattr(
+            signal,
+            "getsignal",
+            lambda s: None if s == signal.SIGUSR1 else real_getsignal(s),
+        )
+        with trap_signals(extra=(signal.SIGUSR1,)):
+            pass
+        monkeypatch.undo()
+        assert signal.getsignal(signal.SIGUSR1) == signal.SIG_DFL
+        signal.signal(signal.SIGUSR1, signal.SIG_DFL)
+
 
 # ---------------------------------------------------------------------- #
 # resume bit-identity: run_trials_resilient
