@@ -16,7 +16,7 @@ this comparison honest:
 import numpy as np
 from conftest import report
 
-from repro.core import GridBPConfig, GridBPLocalizer
+from repro.core import GridBPConfig, GridBPLocalizer, MCMCConfig, MCMCLocalizer
 from repro.experiments import ScenarioConfig, build_scenario
 from repro.metrics import cooperative_crlb
 from repro.utils.rng import spawn_seeds
@@ -33,6 +33,16 @@ BP_CFG = GridBPConfig(
     use_hop_bounds=False,
     use_connectivity_in_ranging=False,
 )
+# The continuous sampler's lane, information-matched the same way.  Unlike
+# the grid its error carries no quantization floor, so it can sit closer
+# to the bound at low noise.
+MCMC_CFG = MCMCConfig(
+    n_samples=200,
+    burn_in=120,
+    step_scale=0.25,
+    use_negative_evidence=False,
+    use_connectivity_in_ranging=False,
+)
 N_TRIALS = 4
 
 
@@ -40,7 +50,7 @@ def run_experiment():
     rows = []
     for nr in NOISE:
         cfg = BASE.replace(noise_ratio=nr)
-        bound_c, bound_b, err_bn, err_pk = [], [], [], []
+        bound_c, bound_b, err_bn, err_pk, err_mc = [], [], [], [], []
         for seed in spawn_seeds(110, N_TRIALS):
             net, ms, prior = build_scenario(cfg, seed)
             unknown = ~net.anchor_mask
@@ -53,6 +63,10 @@ def run_experiment():
                 res = GridBPLocalizer(prior=p, config=BP_CFG).localize(ms)
                 err = res.errors(net.positions)[unknown]
                 err_list.append(np.nanmedian(err))
+            res = MCMCLocalizer(prior=prior, config=MCMC_CFG).localize(
+                ms, np.random.default_rng(seed)
+            )
+            err_mc.append(np.nanmedian(res.errors(net.positions)[unknown]))
         rows.append(
             [
                 nr,
@@ -60,6 +74,7 @@ def run_experiment():
                 float(np.mean(err_bn)),
                 float(np.mean(bound_b)),
                 float(np.mean(err_pk)),
+                float(np.mean(err_mc)),
             ]
         )
     return rows
@@ -70,17 +85,26 @@ def test_e11_crlb(benchmark):
     report(
         "e11_crlb",
         format_table(
-            ["sigma/r", "CRLB med", "bn med err", "CRLB+prior med", "bn-pk med err"],
+            [
+                "sigma/r",
+                "CRLB med",
+                "bn med err",
+                "CRLB+prior med",
+                "bn-pk med err",
+                "mcmc-pk med err",
+            ],
             rows,
             title="E11: information-matched estimator error vs Cramér–Rao "
             f"bounds, median-aggregated ({N_TRIALS} trials)",
             precision=4,
         ),
     )
-    for nr, crlb, bn, bcrlb, pk in rows:
+    for nr, crlb, bn, bcrlb, pk, mc in rows:
         # estimators respect their information bounds (0.9 = trial noise slack)
         assert bn > 0.9 * crlb, (nr, bn, crlb)
         assert pk > 0.9 * bcrlb, (nr, pk, bcrlb)
+        assert mc > 0.9 * bcrlb, (nr, mc, bcrlb)
+    for nr, crlb, bn, bcrlb, pk, mc in rows:
         # the prior-augmented bound is tighter than the classical one
         assert bcrlb <= crlb + 1e-9
     # both bound and estimator grow with noise (shape tracking)

@@ -327,6 +327,17 @@ def _run_nbp(ctx: ScenarioContext) -> LocalizationResult:
     ).localize(ctx.measurements, np.random.default_rng(ctx.spec.seed))
 
 
+def _run_mcmc(ctx: ScenarioContext) -> LocalizationResult:
+    from repro.core.mcmc import MCMCConfig, MCMCLocalizer
+
+    return MCMCLocalizer(
+        prior=ctx.prior,
+        config=MCMCConfig(
+            n_chains=2, n_samples=100, burn_in=60, step_scale=0.25
+        ),
+    ).localize(ctx.measurements, np.random.default_rng(ctx.spec.seed))
+
+
 def _executor_trial(spec: ScenarioSpec, seed: int, backend: str = "reference") -> list:
     """Module-level (picklable) trial for the worker-count bit case."""
     ctx = ScenarioContext(spec)
@@ -529,6 +540,14 @@ def default_cases() -> list[DiffCase]:
             run_alt=_run_nbp,
             tol=0.75,
             applies=ranged,
+        ),
+        DiffCase(
+            "mcmc-vs-grid",
+            "statistical",
+            run_ref=_run_grid,
+            run_alt=_run_mcmc,
+            tol=0.75,
+            applies=fault_free,
         ),
         DiffCase(
             "faulted-distributed-invariants",

@@ -25,6 +25,7 @@ import numpy as np
 from repro.bayesnet.discrete_bn import BayesianNetwork
 from repro.bayesnet.factor import DiscreteFactor
 from repro.utils.rng import RNGLike, as_generator
+from repro.utils.stablemath import softmax_from_log
 
 __all__ = ["likelihood_weighting", "gibbs_sampling"]
 
@@ -142,14 +143,13 @@ def gibbs_sampling(
                         ),
                     )
                     logp[s] += np.log(ccpd.table[idx])
-        m = logp.max()
-        if not np.isfinite(m):
+        try:
+            p = softmax_from_log(logp)
+        except ValueError:
             raise ValueError(
                 f"Gibbs conditional for {v!r} has zero mass everywhere "
                 "(deterministic CPDs break ergodicity)"
-            )
-        p = np.exp(logp - m)
-        p /= p.sum()
+            ) from None
         return int(gen.choice(card, p=p))
 
     card = bn.cardinality(query)

@@ -207,7 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_args(p_trace)
     p_trace.add_argument(
         "--method",
-        choices=["grid-bp", "nbp"],
+        choices=["grid-bp", "nbp", "mcmc"],
         default="grid-bp",
         help="traced solver (the scenario's pre-knowledge prior is used)",
     )
@@ -439,6 +439,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 config=GridBPConfig(
                     grid_size=args.grid_size, max_iterations=args.iterations
                 ),
+                tracer=tracer,
+            )
+        elif args.method == "mcmc":
+            from repro.core import MCMCConfig, MCMCLocalizer
+
+            loc = MCMCLocalizer(
+                prior=prior,
+                config=MCMCConfig(step_scale=0.25),
                 tracer=tracer,
             )
         else:

@@ -5,6 +5,9 @@ localization with pre-knowledge.
   grid, loopy sum-product inference (the paper's method).
 * :class:`~repro.core.nbp.NBPLocalizer` — nonparametric (particle) BP
   counterpart.
+* :class:`~repro.core.mcmc.MCMCLocalizer` — continuous-posterior MCMC
+  sampler (multiple-try Metropolis within Gibbs), quantization-free
+  uncertainty.
 * :class:`~repro.core.pipeline.CooperativeLocalizer` — high-level facade.
 * :class:`~repro.core.grid.Grid2D` and :mod:`repro.core.potentials` — the
   discretization and likelihood-table machinery.
@@ -17,6 +20,7 @@ from repro.core.grid import Grid2D
 from repro.core.result import LocalizationResult, Localizer
 from repro.core.bnloc import GridBPLocalizer, GridBPConfig
 from repro.core.nbp import NBPLocalizer, NBPConfig
+from repro.core.mcmc import MCMCLocalizer, MCMCConfig
 from repro.core.pipeline import CooperativeLocalizer
 from repro.core.multires import MultiResolutionLocalizer
 from repro.core.refine import refine_estimates
@@ -37,6 +41,8 @@ __all__ = [
     "GridBPConfig",
     "NBPLocalizer",
     "NBPConfig",
+    "MCMCLocalizer",
+    "MCMCConfig",
     "CooperativeLocalizer",
     "MultiResolutionLocalizer",
     "refine_estimates",

@@ -59,25 +59,37 @@ def standard_methods(
     nbp_particles: int = 150,
     include: Sequence[str] | None = None,
     backend: str = "reference",
+    mcmc_samples: int = 150,
 ) -> dict[str, MethodFactory]:
     """The default method lineup used by the benchmarks.
 
     ``bn-pk`` is the paper's method (grid Bayesian network *with* the
     pre-knowledge prior); ``bn`` is the identical inference without it —
     the ablation that isolates the contribution of pre-knowledge.
+    ``mcmc-pk``/``mcmc`` are the continuous-posterior sampler
+    (:class:`~repro.core.mcmc.MCMCLocalizer`) with and without the prior.
     *backend* selects the grid-BP kernel backend
     (:mod:`repro.kernels`); all backends are bit-identical, so it is a
     performance knob, not a method variant.
     """
+    from repro.core.mcmc import MCMCConfig, MCMCLocalizer
+
     grid_cfg = GridBPConfig(
         grid_size=grid_size, max_iterations=max_iterations, backend=backend
     )
     nbp_cfg = NBPConfig(n_particles=nbp_particles, n_iterations=5)
+    mcmc_cfg = MCMCConfig(
+        n_samples=mcmc_samples,
+        burn_in=max(mcmc_samples // 2, 10),
+        step_scale=0.25,
+    )
     all_methods: dict[str, MethodFactory] = {
         "bn-pk": lambda prior: GridBPLocalizer(prior=prior, config=grid_cfg),
         "bn": lambda prior: GridBPLocalizer(prior=None, config=grid_cfg),
         "nbp-pk": lambda prior: NBPLocalizer(prior=prior, config=nbp_cfg),
         "nbp": lambda prior: NBPLocalizer(prior=None, config=nbp_cfg),
+        "mcmc-pk": lambda prior: MCMCLocalizer(prior=prior, config=mcmc_cfg),
+        "mcmc": lambda prior: MCMCLocalizer(prior=None, config=mcmc_cfg),
         "centroid": lambda prior: CentroidLocalizer(),
         "w-centroid": lambda prior: WeightedCentroidLocalizer(),
         "dv-hop": lambda prior: DVHopLocalizer(),
@@ -423,6 +435,7 @@ def evaluate_methods_parallel(
     max_iterations: int = 15,
     nbp_particles: int = 150,
     backend: str = "reference",
+    mcmc_samples: int = 150,
     tracer: NullTracer | None = None,
     checkpoint=None,
     checkpoint_meta: dict | None = None,
@@ -458,6 +471,7 @@ def evaluate_methods_parallel(
         "max_iterations": max_iterations,
         "nbp_particles": nbp_particles,
         "backend": backend,
+        "mcmc_samples": mcmc_samples,
     }
     names = list(method_names)
     standard_methods(include=names, **std_kwargs)  # validate early

@@ -116,17 +116,42 @@ class RobustRanging(RangingModel):
         return self.base.observe(true_distances, rng)
 
     def _log_emg(self, err: np.ndarray, sigma: np.ndarray) -> np.ndarray:
-        """Log density of ``N(0, σ²) + Exp(μ)`` at *err* (the EMG)."""
-        from scipy.stats import norm
+        """Log density of ``N(0, σ²) + Exp(μ)`` at *err* (the EMG).
+
+        The textbook form ``-log μ + σ²/(2μ²) - err/μ + log Φ(err/σ - σ/μ)``
+        overflows for σ ≫ μ: the ``σ²/(2μ²)`` term exceeds the float range
+        long before the density itself does, and the finite pieces cancel
+        catastrophically.  Rewritten via ``Φ(z) = erfcx(-z/√2)·e^{-z²/2}/2``:
+
+            ``log f = -log μ - err²/(2σ²) - log 2 + log erfcx((σ/μ - err/σ)/√2)``
+
+        where every term is bounded by the density's own scale.  ``erfcx``
+        itself overflows only for arguments below ≈ −26 (the deep right
+        tail, where Φ ≈ 1); there the textbook form is safe *if* the
+        quadratic term is evaluated as the product ``(σ/μ)·(σ/(2μ) - err/σ)``
+        instead of a difference of two huge values.
+        """
+        from scipy.special import erfcx, log_ndtr
 
         mu = self.bias_mean
         sigma = np.maximum(sigma, 1e-9)
-        return (
-            -np.log(mu)
-            + (sigma**2) / (2 * mu**2)
-            - err / mu
-            + norm.logcdf(err / sigma - sigma / mu)
-        )
+        err = np.asarray(err, dtype=np.float64)
+        ratio = sigma / mu
+        scaled = err / sigma
+        arg = (ratio - scaled) / np.sqrt(2.0)
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            primary = (
+                -np.log(mu)
+                - scaled**2 / 2.0
+                - np.log(2.0)
+                + np.log(erfcx(arg))
+            )
+            tail = (
+                -np.log(mu)
+                + ratio * (ratio / 2.0 - scaled)
+                + log_ndtr(scaled - ratio)
+            )
+        return np.where(arg > -25.0, primary, tail)
 
     def log_likelihood(
         self, observed: np.ndarray, candidate_distances: np.ndarray
@@ -136,11 +161,13 @@ class RobustRanging(RangingModel):
         ll_los = self.base.log_likelihood(obs, cand)
         sigma = self.base.sigma_at(cand)
         ll_nlos = self._log_emg(obs - cand, sigma)
-        # log-sum of the two mixture terms
+        # log-sum of the two mixture terms; np.logaddexp (unlike the
+        # max-shift idiom) returns -inf, not NaN, when both components
+        # underflow — candidates that far out are legitimately impossible
+        # and a sampler's acceptance ratio must see them as such.
         a = np.log1p(-self.nlos_fraction) + ll_los
         b = np.log(self.nlos_fraction) + ll_nlos
-        hi = np.maximum(a, b)
-        return hi + np.log(np.exp(a - hi) + np.exp(b - hi))
+        return np.logaddexp(a, b)
 
     def sigma_at(self, distances: np.ndarray) -> np.ndarray:
         base = self.base.sigma_at(distances)

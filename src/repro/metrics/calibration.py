@@ -11,6 +11,14 @@ uncertainty predicts the actual error:
 * :func:`coverage_at_sigma` — fraction of nodes whose true position falls
   within k predicted standard deviations (compare to the Rayleigh
   quantiles: ~39 % at 1σ, ~86 % at 2σ for a 2-D Gaussian).
+
+Two posterior sources are understood: grid beliefs
+(``extras["grid"]``/``extras["beliefs"]``), whose spread folds in the
+grid-quantization variance floor ``(w² + h²)/12``, and continuous sample
+covariances (``extras["covariances"]``, from :class:`~repro.core.mcmc.
+MCMCLocalizer`), which carry **no** quantization floor — the sampler's
+uncertainty is resolution-free, so its predicted RMS can honestly drop
+below a grid cell.
 """
 
 from __future__ import annotations
@@ -25,21 +33,34 @@ __all__ = ["predicted_rms", "calibration_ratio", "coverage_at_sigma"]
 def _belief_spreads(result: LocalizationResult) -> dict[int, float]:
     grid = result.extras.get("grid")
     beliefs = result.extras.get("beliefs")
-    if grid is None or beliefs is None:
-        raise ValueError(
-            "result lacks belief extras; run a grid-BP localizer"
-        )
-    # The grid cannot represent sub-cell uncertainty: a belief fully
-    # concentrated in one cell still leaves a uniform-in-cell residual,
-    # whose variance is (w² + h²)/12.  Folding it in keeps the prediction
-    # meaningful at the quantization floor.
-    quant_var = (grid.cell_width**2 + grid.cell_height**2) / 12.0
-    return {
-        int(u): float(
-            np.sqrt(max(np.trace(grid.covariance(b)), 0.0) + quant_var)
-        )
-        for u, b in beliefs.items()
-    }
+    if grid is not None and beliefs is not None:
+        # The grid cannot represent sub-cell uncertainty: a belief fully
+        # concentrated in one cell still leaves a uniform-in-cell residual,
+        # whose variance is (w² + h²)/12.  Folding it in keeps the
+        # prediction meaningful at the quantization floor.
+        quant_var = (grid.cell_width**2 + grid.cell_height**2) / 12.0
+        return {
+            int(u): float(
+                np.sqrt(max(np.trace(grid.covariance(b)), 0.0) + quant_var)
+            )
+            for u, b in beliefs.items()
+        }
+    covariances = result.extras.get("covariances")
+    if covariances is not None:
+        # Continuous-posterior solvers (MCMC) report per-node sample
+        # covariances directly.  No quantization floor applies: the
+        # samples live in continuous space, so the covariance already
+        # captures arbitrarily small spreads.
+        covariances = np.asarray(covariances, dtype=np.float64)
+        return {
+            int(u): float(np.sqrt(max(np.trace(covariances[u]), 0.0)))
+            for u in range(len(covariances))
+            if np.isfinite(covariances[u]).all()
+        }
+    raise ValueError(
+        "result lacks belief extras (grid beliefs or sample covariances); "
+        "run a grid-BP or MCMC localizer"
+    )
 
 
 def predicted_rms(result: LocalizationResult) -> np.ndarray:

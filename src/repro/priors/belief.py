@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Mapping
 import numpy as np
 
 from repro.priors.base import PositionPrior
+from repro.utils.stablemath import safe_log
 
 if TYPE_CHECKING:
     from repro.core.grid import Grid2D
@@ -88,7 +89,7 @@ class GridBeliefPrior(PositionPrior):
         if w is None:
             return np.zeros(len(pts))
         cells = self.grid.cell_of(pts)
-        return np.log(np.maximum(w[cells], 1e-300))
+        return safe_log(w[cells])
 
     def grid_weights(self, node: int, grid: "Grid2D") -> np.ndarray:
         w = self.weights.get(int(node))

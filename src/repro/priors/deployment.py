@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.network.deployment import DeploymentModel
 from repro.priors.base import PositionPrior
+from repro.utils.stablemath import logsumexp
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -95,8 +96,7 @@ class MixturePrior(PositionPrior):
             + (pts[:, None, 1] - self.centers[None, :, 1]) ** 2
         )
         z = np.log(self.weights)[None, :] - d2 / (2 * self.sigma**2)
-        m = z.max(axis=1, keepdims=True)
-        return m[:, 0] + np.log(np.exp(z - m).sum(axis=1))
+        return logsumexp(z, axis=1)
 
 
 class DeploymentPrior(PositionPrior):

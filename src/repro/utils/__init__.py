@@ -21,8 +21,12 @@ from repro.utils.validation import (
     check_in_range,
 )
 from repro.utils.tables import format_table, format_series
+from repro.utils.stablemath import logsumexp, softmax_from_log, safe_log
 
 __all__ = [
+    "logsumexp",
+    "softmax_from_log",
+    "safe_log",
     "as_generator",
     "spawn_generators",
     "spawn_seeds",

@@ -1,0 +1,80 @@
+"""Numerically stable log-domain primitives.
+
+Every solver that mixes likelihoods works in log space and eventually has
+to exponentiate: log-sum-exp for mixture densities, softmax for discrete
+resampling, a floor before ``log`` of belief weights.  Hand-rolling these
+per call site invites the classic tail bugs — ``max() = -inf`` turning a
+legitimate zero-mass result into NaN, or an unfloored ``log(0)`` — and a
+continuous sampler (``repro.core.mcmc``) evaluates exactly those tails on
+every Metropolis proposal.  This module is the single shared
+implementation; the edge cases are pinned by ``tests/test_stablemath.py``
+so they cannot regress one call site at a time.
+
+The op order inside :func:`logsumexp` / :func:`softmax_from_log` is kept
+identical to the hand-rolled code it replaced (max-shift, exp, sum) so
+routing existing solvers through it is bit-identical for finite inputs —
+only the previously-NaN all-``-inf`` corner changes, to the correct
+``-inf`` / zero-mass error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["logsumexp", "softmax_from_log", "safe_log"]
+
+#: smallest positive normal-ish floor used across the grid solvers before
+#: taking logs of belief weights; exp(log(LOG_FLOOR)) round-trips exactly.
+LOG_FLOOR = 1e-300
+
+
+def logsumexp(a: np.ndarray, axis: int | None = None) -> np.ndarray:
+    """``log(sum(exp(a)))`` along *axis*, safe in both tails.
+
+    Unlike the naive ``m + log(sum(exp(a - m)))`` with ``m = a.max()``,
+    an all-``-inf`` slice (zero total mass) returns ``-inf`` instead of
+    NaN: the max-shift is skipped when the max is not finite.  ``+inf``
+    entries propagate to ``+inf`` as expected.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    m = np.max(a, axis=axis, keepdims=True) if a.ndim else np.max(a)
+    shift = np.where(np.isfinite(m), m, 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = shift + np.log(np.exp(a - shift).sum(axis=axis, keepdims=True))
+    # +inf max: exp(inf - inf) = NaN above; the true sum is +inf.
+    out = np.where(m == np.inf, np.inf, out)
+    if axis is not None:
+        out = np.squeeze(out, axis=axis)
+    elif out.ndim:
+        out = out.reshape(())
+    return out if out.ndim else float(out)
+
+
+def softmax_from_log(logp: np.ndarray) -> np.ndarray:
+    """Normalized probabilities from unnormalized log-weights.
+
+    Max-shift then exponentiate — the same op order every discrete
+    resampler previously hand-rolled, so existing call sites stay
+    bit-identical.  Zero total mass (all ``-inf``) raises ``ValueError``
+    rather than dividing 0/0 into NaNs.
+    """
+    a = np.asarray(logp, dtype=np.float64)
+    if a.ndim != 1:
+        raise ValueError("softmax_from_log expects a 1-D array")
+    if np.isnan(a).any():
+        raise ValueError("log-weights contain NaN")
+    m = a.max() if len(a) else -np.inf
+    if not np.isfinite(m):
+        raise ValueError("log-weights have zero total mass (all -inf)")
+    p = np.exp(a - m)
+    p /= p.sum()
+    return p
+
+
+def safe_log(w: np.ndarray, floor: float = LOG_FLOOR) -> np.ndarray:
+    """``log(max(w, floor))`` — the grid solvers' standard guarded log.
+
+    The floor keeps zero-probability cells representable (log ≈ −690.8)
+    so downstream max-shifts stay finite; it is *not* a smoothing prior.
+    """
+    return np.log(np.maximum(w, floor))

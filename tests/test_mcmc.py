@@ -1,0 +1,312 @@
+"""Tests for the sampling-based continuous-posterior localizer (repro.core.mcmc).
+
+Fast lane: short chains (not converged — that is fine, the assertions are
+structural: reproducibility, geometry, diagnostics plumbing, calibration
+without a quantization floor, fallback behaviour).  The converged long-chain
+test runs behind ``-m "mcmc and slow"``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MCMCConfig, MCMCLocalizer
+from repro.core.mcmc import effective_sample_size, split_rhat
+from repro.experiments import ScenarioConfig, build_scenario
+from repro.metrics import calibration_ratio, coverage_at_sigma, predicted_rms
+from repro.obs import Tracer
+from repro.priors.base import PositionPrior
+
+pytestmark = pytest.mark.mcmc
+
+FAST = MCMCConfig(n_chains=2, n_samples=40, burn_in=30, step_scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    cfg = ScenarioConfig(
+        n_nodes=30, anchor_ratio=0.2, radio_range=0.3, pk_error=0.08
+    )
+    return build_scenario(cfg, seed=5)
+
+
+@pytest.fixture(scope="module")
+def result(scenario):
+    net, ms, prior = scenario
+    loc = MCMCLocalizer(prior=prior, config=FAST)
+    return loc.localize(ms, np.random.default_rng(11))
+
+
+class TestReproducibility:
+    def test_same_seed_bit_identical(self, scenario):
+        net, ms, prior = scenario
+        loc = MCMCLocalizer(prior=prior, config=FAST)
+        a = loc.localize(ms, np.random.default_rng(3))
+        b = loc.localize(ms, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+        np.testing.assert_array_equal(
+            a.extras["covariances"], b.extras["covariances"]
+        )
+        assert a.extras["diagnostics"] == b.extras["diagnostics"]
+
+    def test_different_seed_diverges(self, scenario):
+        net, ms, prior = scenario
+        loc = MCMCLocalizer(prior=prior, config=FAST)
+        a = loc.localize(ms, np.random.default_rng(3))
+        b = loc.localize(ms, np.random.default_rng(4))
+        assert not np.array_equal(
+            a.estimates[~net.anchor_mask], b.estimates[~net.anchor_mask]
+        )
+
+
+class TestResultGeometry:
+    def test_all_nodes_localized_in_field(self, scenario, result):
+        net, ms, _ = scenario
+        assert result.localized_mask.all()
+        assert np.isfinite(result.estimates).all()
+        assert (result.estimates[:, 0] >= 0).all()
+        assert (result.estimates[:, 0] <= ms.width).all()
+        assert (result.estimates[:, 1] >= 0).all()
+        assert (result.estimates[:, 1] <= ms.height).all()
+
+    def test_anchors_pinned_exactly(self, scenario, result):
+        net, ms, _ = scenario
+        np.testing.assert_array_equal(
+            result.estimates[net.anchor_mask],
+            ms.anchor_positions_full[net.anchor_mask],
+        )
+
+    def test_better_than_prior_alone(self, scenario, result):
+        # even short chains must beat just reading off the noisy
+        # pre-knowledge (pk_error = 0.08)
+        net, _, _ = scenario
+        err = result.errors(net.positions)[~net.anchor_mask]
+        assert np.nanmean(err) < 0.08
+
+
+class TestUncertaintyExtras:
+    def test_covariance_shapes_and_masks(self, scenario, result):
+        net, _, _ = scenario
+        cov = result.extras["covariances"]
+        assert cov.shape == (net.n_nodes, 2, 2)
+        assert np.isnan(cov[net.anchor_mask]).all()
+        unknown_cov = cov[~net.anchor_mask & ~result.fallback_mask]
+        assert np.isfinite(unknown_cov).all()
+        # symmetric, non-negative marginal variances
+        np.testing.assert_allclose(
+            unknown_cov[:, 0, 1], unknown_cov[:, 1, 0]
+        )
+        assert (unknown_cov[:, 0, 0] >= 0).all()
+        assert (unknown_cov[:, 1, 1] >= 0).all()
+
+    def test_diagnostics_keys(self, result):
+        d = result.extras["diagnostics"]
+        assert set(d) == {
+            "acceptance_rate",
+            "max_split_rhat",
+            "min_ess",
+            "n_chains",
+            "kept_per_chain",
+        }
+        assert 0.0 < d["acceptance_rate"] <= 1.0
+        assert d["n_chains"] == 2 and d["kept_per_chain"] == 40
+        assert d["min_ess"] > 0
+
+    def test_keep_samples_tensor(self, scenario):
+        net, ms, prior = scenario
+        cfg = MCMCConfig(
+            n_chains=2, n_samples=10, burn_in=5, thin=2,
+            step_scale=0.25, keep_samples=True,
+        )
+        res = MCMCLocalizer(prior=prior, config=cfg).localize(
+            ms, np.random.default_rng(0)
+        )
+        n_unknown = int((~net.anchor_mask).sum())
+        assert res.extras["samples"].shape == (2, 10, n_unknown, 2)
+
+    def test_calibration_metrics_run_without_grid(self, scenario, result):
+        # the covariance path: no grid extras, no quantization floor
+        net, _, _ = scenario
+        assert "grid" not in result.extras
+        pred = predicted_rms(result)
+        assert np.isnan(pred[net.anchor_mask]).all()
+        ok = ~net.anchor_mask & ~result.fallback_mask
+        assert np.isfinite(pred[ok]).all()
+        ratio = calibration_ratio(result, net.positions)
+        assert np.isfinite(ratio) and ratio > 0
+        cov1 = coverage_at_sigma(result, net.positions, 1.0)
+        assert 0.0 <= cov1 <= 1.0
+
+
+class TestDiagnosticsFunctions:
+    def test_split_rhat_identical_chains(self):
+        rng = np.random.default_rng(0)
+        row = rng.normal(size=200)
+        draws = np.stack([row, row])
+        assert split_rhat(draws) == pytest.approx(1.0, abs=0.05)
+
+    def test_split_rhat_separated_chains(self):
+        rng = np.random.default_rng(1)
+        draws = np.stack(
+            [rng.normal(0, 1, 200), rng.normal(50, 1, 200)]
+        )
+        assert split_rhat(draws) > 3.0
+
+    def test_split_rhat_catches_drift_within_one_chain(self):
+        # split halves expose a trend even with a single chain
+        drifting = np.linspace(0, 10, 400)[None, :]
+        assert split_rhat(drifting) > 1.5
+
+    def test_split_rhat_too_short_is_nan(self):
+        assert np.isnan(split_rhat(np.zeros((2, 3))))
+
+    def test_split_rhat_constant_chains(self):
+        # exactly-constant chains hit the W == 0 short-circuit; a constant
+        # with float-rounding jitter lands a hair under 1 via the ddof term
+        assert split_rhat(np.zeros((2, 100))) == 1.0
+        assert split_rhat(np.full((2, 100), 0.7)) == pytest.approx(1.0, abs=0.02)
+
+    def test_ess_iid_close_to_n(self):
+        rng = np.random.default_rng(2)
+        draws = rng.normal(size=(2, 500))
+        ess = effective_sample_size(draws)
+        assert 500 < ess <= 1100
+
+    def test_ess_correlated_much_smaller(self):
+        rng = np.random.default_rng(3)
+        n = 500
+        x = np.empty((1, n))
+        x[0, 0] = 0.0
+        for t in range(1, n):
+            x[0, t] = 0.98 * x[0, t - 1] + rng.normal() * 0.02
+        assert effective_sample_size(x) < 100
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_chains": 0},
+            {"n_samples": 3},
+            {"burn_in": -1},
+            {"k_try": 1},
+            {"step_scale": 0.0},
+            {"thin": 0},
+            {"prior_grid_size": 1},
+            {"rhat_tol": 1.0},
+            {"audit": "loud"},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            MCMCConfig(**kwargs)
+
+
+class TestModalities:
+    def test_range_free_connectivity_only(self):
+        cfg = ScenarioConfig(
+            n_nodes=30, anchor_ratio=0.25, radio_range=0.35,
+            ranging="none", pk_error=0.08,
+        )
+        net, ms, prior = build_scenario(cfg, seed=9)
+        res = MCMCLocalizer(prior=prior, config=FAST).localize(
+            ms, np.random.default_rng(1)
+        )
+        assert res.localized_mask.all()
+        err = res.errors(net.positions)[~net.anchor_mask]
+        assert np.nanmean(err) < 0.2
+
+    def test_no_prior_defaults_to_uniform(self, scenario):
+        net, ms, _ = scenario
+        res = MCMCLocalizer(config=FAST).localize(
+            ms, np.random.default_rng(2)
+        )
+        err = res.errors(net.positions)[~net.anchor_mask]
+        assert np.nanmean(err) < 0.5 * net.radio_range * 2
+
+
+class _OutOfFieldPrior(PositionPrior):
+    """Pathological prior: uniform density but samples outside the field,
+    so every chain initializes in the hard-support dead zone."""
+
+    def log_density(self, node, points):
+        return np.zeros(len(points))
+
+    def sample(self, node, n, grid, rng=None):
+        return np.full((int(n), 2), -5.0)
+
+
+class TestFallback:
+    def test_never_finite_nodes_fall_back(self, scenario):
+        net, ms, _ = scenario
+        # a microscopic step keeps all candidates out of the field too
+        cfg = MCMCConfig(
+            n_chains=1, n_samples=4, burn_in=2, step_scale=1e-9
+        )
+        res = MCMCLocalizer(prior=_OutOfFieldPrior(), config=cfg).localize(
+            ms, np.random.default_rng(0)
+        )
+        unknown = ~net.anchor_mask
+        assert res.fallback_mask[unknown].all()
+        assert not res.fallback_mask[net.anchor_mask].any()
+        assert np.isfinite(res.estimates).all()
+        assert np.isnan(res.extras["covariances"][unknown]).all()
+
+
+class TestTelemetry:
+    def test_tracer_counters_and_annotations(self, scenario):
+        net, ms, prior = scenario
+        tracer = Tracer()
+        MCMCLocalizer(prior=prior, config=FAST, tracer=tracer).localize(
+            ms, np.random.default_rng(0)
+        )
+        snap = tracer.snapshot()
+        assert snap["counters"]["mcmc_sweeps"] == 2 * (30 + 40)
+        assert snap["counters"]["mcmc_proposals"] > 0
+        assert snap["counters"]["mcmc_accepts"] > 0
+        assert snap["meta"]["method"] == "mcmc"
+        assert "max_split_rhat" in snap["meta"]
+        assert "acceptance_rate" in snap["meta"]
+        assert "localize" in snap["timers"]
+
+
+class TestIntegrations:
+    def test_registered_in_standard_methods(self):
+        from repro.experiments import standard_methods
+
+        methods = standard_methods(include=["mcmc", "mcmc-pk"], mcmc_samples=20)
+        assert set(methods) == {"mcmc", "mcmc-pk"}
+
+    def test_audit_case_registered_in_default_lane(self):
+        from repro.audit import default_cases
+
+        cases = {c.name: c for c in default_cases()}
+        assert "mcmc-vs-grid" in cases
+        case = cases["mcmc-vs-grid"]
+        assert case.tier == "statistical"
+        assert not case.slow
+
+    @pytest.mark.audit
+    def test_audit_case_passes_on_smoke_scenario(self):
+        from repro.audit import ScenarioContext, default_cases, make_corpus, run_case
+
+        spec = {s.scenario_id: s for s in make_corpus("smoke")}["smoke-ranging-pk"]
+        case = {c.name: c for c in default_cases()}["mcmc-vs-grid"]
+        report = run_case(case, ScenarioContext(spec))
+        assert report.passed, report.detail
+
+
+@pytest.mark.slow
+class TestConvergedLongChains:
+    def test_long_chains_converge_and_report_it(self, scenario):
+        net, ms, prior = scenario
+        cfg = MCMCConfig(
+            n_chains=3, n_samples=600, burn_in=400, thin=2, step_scale=0.2
+        )
+        res = MCMCLocalizer(prior=prior, config=cfg).localize(
+            ms, np.random.default_rng(21)
+        )
+        d = res.extras["diagnostics"]
+        assert d["max_split_rhat"] <= cfg.rhat_tol, d
+        assert res.converged
+        err = res.errors(net.positions)[~net.anchor_mask]
+        assert np.nanmean(err) < 0.12

@@ -1,0 +1,86 @@
+"""Likelihood tail contract, enforced across every RangingModel.
+
+A sampling-based localizer (repro.core.mcmc) evaluates likelihoods at
+arbitrary candidate positions — including absurd ones early in a chain —
+so every model must satisfy one contract: for finite observations and
+finite non-negative candidate distances, ``log_likelihood`` is finite or
+``-inf``, never NaN and never ``+inf``.  Grid solvers only probe in-field
+candidates and historically masked violations of this contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurement import (
+    ConnectivityOnly,
+    GaussianRanging,
+    NLOSRanging,
+    ProportionalGaussianRanging,
+    RobustRanging,
+    RSSIRanging,
+    TOARanging,
+)
+from repro.measurement.rssi import PathLossModel
+
+MODELS = {
+    "gaussian": lambda: GaussianRanging(sigma=0.05),
+    "gaussian-tiny-sigma": lambda: GaussianRanging(sigma=1e-6),
+    "proportional": lambda: ProportionalGaussianRanging(ratio=0.1),
+    "toa": lambda: TOARanging(sigma_time=0.02, mean_delay=0.05),
+    "rssi": lambda: RSSIRanging(PathLossModel(shadowing_db=4.0)),
+    "connectivity": lambda: ConnectivityOnly(),
+    "nlos": lambda: NLOSRanging(GaussianRanging(0.02), 0.3, 0.1),
+    "robust": lambda: RobustRanging(GaussianRanging(0.02), 0.3, 0.1),
+    "robust-wide": lambda: RobustRanging(
+        ProportionalGaussianRanging(0.3), 0.5, 1e-3
+    ),
+}
+
+
+def _assert_contract(ll: np.ndarray, ctx) -> None:
+    ll = np.asarray(ll)
+    assert not np.isnan(ll).any(), ctx
+    assert not (ll == np.inf).any(), ctx
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+@given(
+    obs=st.floats(min_value=0.0, max_value=1e300, allow_nan=False),
+    cand=st.floats(min_value=0.0, max_value=1e300, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_log_likelihood_finite_or_neginf(name, obs, cand):
+    model = MODELS[name]()
+    with np.errstate(all="ignore"):
+        ll = model.log_likelihood(obs, np.array([cand]))
+    _assert_contract(ll, (name, obs, cand))
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_log_likelihood_contract_on_extreme_grid(name):
+    # Deterministic complement to the hypothesis lane: a full cross of
+    # extreme magnitudes, including exact zeros and denormals.
+    model = MODELS[name]()
+    grid = np.concatenate(
+        [[0.0, 5e-324, 1e-300], np.geomspace(1e-12, 1e300, 40)]
+    )
+    with np.errstate(all="ignore"):
+        for obs in grid:
+            _assert_contract(
+                model.log_likelihood(float(obs), grid), (name, obs)
+            )
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_log_likelihood_broadcasts_vector_obs(name):
+    # The sampler evaluates stacked (observation, candidate) pairs in one
+    # call; the contract must hold element-wise under broadcasting too.
+    model = MODELS[name]()
+    obs = np.array([0.0, 0.3, 1e150])
+    cand = np.array([0.2, 0.4, 0.2])
+    with np.errstate(all="ignore"):
+        ll = model.log_likelihood(obs, cand)
+    assert ll.shape == (3,)
+    _assert_contract(ll, name)

@@ -115,6 +115,97 @@ class TestRobustRanging:
             RobustRanging(ConnectivityOnly(), 0.2, 0.1)
 
 
+class TestRobustRangingTails:
+    """Regressions for the tail bugs a continuous sampler trips over.
+
+    Before the fix, ``log_likelihood`` hand-rolled log-sum-exp (NaN when
+    both mixture components underflow to -inf) and ``_log_emg`` used the
+    ``σ²/(2μ²) + log Φ`` form (overflow / catastrophic cancellation for
+    σ ≫ μ).  Both tests fail on the pre-fix code.
+    """
+
+    BASE = GaussianRanging(0.02)
+
+    def test_extreme_candidates_give_neginf_never_nan(self):
+        robust = RobustRanging(self.BASE, nlos_fraction=0.2, bias_mean=0.1)
+        # candidates absurdly far from the observation: both the Gaussian
+        # and EMG components underflow; the old max-shift LSE returned NaN
+        cand = np.array([1e160, 1e200, 1e300])
+        ll = robust.log_likelihood(1.0, cand)
+        assert not np.isnan(ll).any()
+        assert (ll == -np.inf).all()
+        # extreme observation against ordinary candidates, both directions;
+        # the positive side rides the exponential tail so its log density is
+        # a finite (huge negative) value, not -inf — either is acceptable,
+        # NaN is not
+        for obs in (1e200, -1e200):
+            ll = robust.log_likelihood(obs, np.array([0.1, 0.5]))
+            assert not np.isnan(ll).any()
+            assert (ll <= -1e100).all()
+
+    def test_mixture_never_nan_on_wide_grid(self):
+        robust = RobustRanging(self.BASE, nlos_fraction=0.2, bias_mean=0.1)
+        obs = np.concatenate([np.geomspace(1e-6, 1e300, 60), [0.0]])
+        for o in obs:
+            ll = robust.log_likelihood(float(o), obs)
+            assert not np.isnan(ll).any()
+            assert not (ll == np.inf).any()
+
+    def test_log_emg_finite_and_bounded_on_wide_grid(self):
+        # The EMG density is a convolution of N(0, σ²) and Exp(μ), so its
+        # peak cannot exceed either component's: f ≤ min(1/μ, 1/(σ√2π)).
+        # The pre-fix form blows past the bound (or overflows outright)
+        # once σ²/(2μ²) dominates, e.g. σ = 10, μ = 1e-4.
+        for sigma in np.geomspace(1e-6, 1e6, 13):
+            model = RobustRanging(
+                GaussianRanging(float(sigma)), nlos_fraction=0.2, bias_mean=0.1
+            )
+            for mu in np.geomspace(1e-6, 1e3, 10):
+                model.bias_mean = mu
+                errs = np.concatenate(
+                    [
+                        -np.geomspace(1e-6, 1e6, 25),
+                        [0.0],
+                        np.geomspace(1e-6, 1e6, 25),
+                    ]
+                )
+                ll = model._log_emg(errs, np.full_like(errs, sigma))
+                assert not np.isnan(ll).any(), (sigma, mu)
+                bound = min(-np.log(mu), -np.log(sigma * np.sqrt(2 * np.pi)))
+                assert (ll <= bound + 1e-9).all(), (sigma, mu, ll.max(), bound)
+
+    def test_log_emg_matches_quadrature_in_stable_regime(self):
+        # Sanity-check the erfcx rewrite against brute-force numerical
+        # convolution of the Gaussian with the exponential bias.
+        sigma, mu = 0.05, 0.1
+        model = RobustRanging(GaussianRanging(sigma), 0.2, mu)
+        b = np.linspace(0, 3.0, 30001)
+        for err in (-0.1, 0.0, 0.05, 0.3, 1.0):
+            f = np.trapezoid(
+                np.exp(-((err - b) ** 2) / (2 * sigma**2))
+                / (sigma * np.sqrt(2 * np.pi))
+                * np.exp(-b / mu)
+                / mu,
+                b,
+            )
+            got = float(model._log_emg(np.array([err]), np.array([sigma]))[0])
+            assert got == pytest.approx(np.log(f), abs=1e-4)
+
+    def test_log_emg_deep_right_tail_branch(self):
+        # err ≫ σ²/μ exercises the log_ndtr fallback branch (erfcx would
+        # overflow); the density there is ≈ Exp(μ)'s own tail.
+        sigma, mu = 0.01, 0.1
+        model = RobustRanging(GaussianRanging(sigma), 0.2, mu)
+        err = np.array([50.0, 500.0])
+        ll = model._log_emg(err, np.full_like(err, sigma))
+        expected = -np.log(mu) + sigma**2 / (2 * mu**2) - err / mu
+        np.testing.assert_allclose(ll, expected, rtol=1e-12)
+        # and the branch seam is continuous
+        seam = np.linspace(0.3, 0.4, 1000)  # spans arg = -25 for these params
+        lls = model._log_emg(seam, np.full_like(seam, sigma))
+        assert np.abs(np.diff(lls)).max() < 0.1
+
+
 class TestNLOSLocalizationIntegration:
     def test_bayesian_survives_heavy_nlos(self):
         net = generate_network(

@@ -1,0 +1,132 @@
+"""Edge-case pinning for the shared log-domain helpers (repro.utils.stablemath).
+
+These helpers replaced hand-rolled log-sum-exp / softmax / log-floor code
+at several call sites (MixturePrior, GridBeliefPrior, Gibbs resampling,
+the NLOS mixture); the tests here pin the tail behaviour centrally so it
+cannot regress one site at a time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils import logsumexp, safe_log, softmax_from_log
+from repro.utils.stablemath import LOG_FLOOR
+
+
+class TestLogSumExp:
+    def test_matches_naive_on_finite(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(50,)) * 10
+        expected = np.log(np.exp(a).sum())
+        assert np.isclose(logsumexp(a), expected)
+
+    def test_bit_identical_to_handrolled_idiom(self):
+        # The exact op order the call sites previously hand-rolled; routing
+        # them through the helper must not change a single bit.
+        rng = np.random.default_rng(1)
+        z = rng.normal(size=(40, 7)) * 50 - 200
+        m = z.max(axis=1, keepdims=True)
+        handrolled = m[:, 0] + np.log(np.exp(z - m).sum(axis=1))
+        assert np.array_equal(logsumexp(z, axis=1), handrolled)
+
+    def test_all_neginf_returns_neginf_not_nan(self):
+        assert logsumexp(np.array([-np.inf, -np.inf])) == -np.inf
+
+    def test_axis_rows_with_neginf_slice(self):
+        z = np.array([[0.0, 1.0], [-np.inf, -np.inf]])
+        out = logsumexp(z, axis=1)
+        assert np.isclose(out[0], np.logaddexp(0.0, 1.0))
+        assert out[1] == -np.inf
+        assert not np.isnan(out).any()
+
+    def test_large_magnitudes_no_overflow(self):
+        a = np.array([1e308, 1e308 - 700.0])
+        out = logsumexp(a)
+        assert np.isfinite(out) and out >= 1e308
+
+    def test_deep_underflow(self):
+        a = np.array([-1e308, -1e308 + 1.0])
+        out = logsumexp(a)
+        assert np.isfinite(out)
+
+    def test_posinf_propagates(self):
+        assert logsumexp(np.array([0.0, np.inf])) == np.inf
+
+    def test_single_element(self):
+        assert logsumexp(np.array([-5.0])) == -5.0
+
+    def test_scalar_input(self):
+        assert logsumexp(3.5) == 3.5
+
+
+class TestSoftmaxFromLog:
+    def test_matches_handrolled_idiom_bitwise(self):
+        logp = np.array([-1.0, -900.0, -3.5, 0.25])
+        m = logp.max()
+        p = np.exp(logp - m)
+        p /= p.sum()
+        assert np.array_equal(softmax_from_log(logp), p)
+
+    def test_normalized(self):
+        p = softmax_from_log(np.array([-1000.0, -1001.0, -1002.0]))
+        assert np.isclose(p.sum(), 1.0)
+        assert (p >= 0).all()
+
+    def test_neginf_entries_get_zero_mass(self):
+        p = softmax_from_log(np.array([0.0, -np.inf]))
+        assert p[1] == 0.0 and np.isclose(p[0], 1.0)
+
+    def test_all_neginf_raises(self):
+        with pytest.raises(ValueError, match="zero total mass"):
+            softmax_from_log(np.array([-np.inf, -np.inf]))
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError, match="NaN"):
+            softmax_from_log(np.array([0.0, np.nan]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            softmax_from_log(np.zeros((2, 2)))
+
+
+class TestSafeLog:
+    def test_floor_applied_at_zero(self):
+        out = safe_log(np.array([0.0, 1.0]))
+        assert out[0] == np.log(LOG_FLOOR)
+        assert out[1] == 0.0
+
+    def test_matches_handrolled_idiom_bitwise(self):
+        w = np.array([0.0, 1e-320, 0.3, 2.0])
+        assert np.array_equal(safe_log(w), np.log(np.maximum(w, 1e-300)))
+
+    def test_never_neginf_or_nan(self):
+        out = safe_log(np.array([0.0, 1e-320, 1e300]))
+        assert np.isfinite(out).all()
+
+
+class TestCallSiteIntegration:
+    def test_mixture_prior_zero_mass_tail_is_neginf(self):
+        # A MixturePrior evaluated absurdly far from every center: the old
+        # hand-rolled LSE produced NaN once every component underflowed.
+        from repro.priors.deployment import MixturePrior
+
+        prior = MixturePrior(np.array([[0.5, 0.5]]), sigma=1e-3)
+        out = prior.log_density(0, np.array([[1e160, 1e160]]))
+        assert not np.isnan(out).any()
+        assert out[0] == -np.inf
+
+    def test_mixture_prior_bit_identical_to_previous_code(self):
+        from repro.priors.deployment import MixturePrior
+
+        rng = np.random.default_rng(3)
+        centers = rng.uniform(0, 1, size=(4, 2))
+        prior = MixturePrior(centers, sigma=0.1)
+        pts = rng.uniform(0, 1, size=(100, 2))
+        d2 = (
+            (pts[:, None, 0] - centers[None, :, 0]) ** 2
+            + (pts[:, None, 1] - centers[None, :, 1]) ** 2
+        )
+        z = np.log(prior.weights)[None, :] - d2 / (2 * prior.sigma**2)
+        m = z.max(axis=1, keepdims=True)
+        old = m[:, 0] + np.log(np.exp(z - m).sum(axis=1))
+        assert np.array_equal(prior.log_density(0, pts), old)
