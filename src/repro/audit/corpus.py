@@ -17,7 +17,7 @@ import dataclasses
 import json
 from dataclasses import dataclass
 
-from repro.experiments.config import ScenarioConfig
+from repro.experiments.config import ChannelConfig, ScenarioConfig
 from repro.faults import FaultPlan
 
 __all__ = [
@@ -118,6 +118,19 @@ def _smoke_corpus() -> list[ScenarioSpec]:
             base,
             seed=106,
             faults=FaultPlan(seed=7, message_drop_rate=0.3),
+        ),
+        ScenarioSpec(
+            "smoke-rssi-channel",
+            base.replace(
+                ranging="rssi",
+                radio_range=0.4,
+                channel=ChannelConfig(
+                    path_loss_exponent=3.5,
+                    assumed_exponent=3.0,
+                    shadowing_db=2.0,
+                ),
+            ),
+            seed=107,
         ),
     ]
     return specs

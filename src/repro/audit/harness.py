@@ -327,6 +327,25 @@ def _run_nbp(ctx: ScenarioContext) -> LocalizationResult:
     ).localize(ctx.measurements, np.random.default_rng(ctx.spec.seed))
 
 
+def _run_joint(ctx: ScenarioContext) -> LocalizationResult:
+    """bn-pk-joint at the harness's compact settings.
+
+    Compared statistically against the fixed-model grid run: on the
+    corpus's RSSI scenario the joint method may pick a different (better
+    calibrated) exponent, but must stay in the same accuracy band and
+    keep full coverage.
+    """
+    from repro.core.jointchannel import JointChannelConfig, JointChannelLocalizer
+
+    cfg = JointChannelConfig(
+        grid=_audit_bp_config(backend="batched"),
+        em_iterations=2,
+    )
+    return JointChannelLocalizer(prior=ctx.prior, config=cfg).localize(
+        ctx.measurements
+    )
+
+
 def _run_mcmc(ctx: ScenarioContext) -> LocalizationResult:
     from repro.core.mcmc import MCMCConfig, MCMCLocalizer
 
@@ -422,6 +441,7 @@ def default_cases() -> list[DiffCase]:
     fault_free = lambda spec: spec.faults is None
     faulted = lambda spec: spec.faults is not None
     ranged = lambda spec: spec.faults is None and spec.config.ranging != "none"
+    rssi = lambda spec: spec.faults is None and spec.config.ranging == "rssi"
     return [
         DiffCase(
             "central-vs-distributed",
@@ -548,6 +568,14 @@ def default_cases() -> list[DiffCase]:
             run_alt=_run_mcmc,
             tol=0.75,
             applies=fault_free,
+        ),
+        DiffCase(
+            "joint-vs-fixed",
+            "statistical",
+            run_ref=functools.partial(_run_grid, backend="batched"),
+            run_alt=_run_joint,
+            tol=0.35,
+            applies=rssi,
         ),
         DiffCase(
             "faulted-distributed-invariants",

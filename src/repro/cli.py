@@ -73,6 +73,28 @@ def _add_scenario_args(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--nlos-fraction", type=float, default=0.0)
     p.add_argument(
+        "--path-loss-exponent",
+        type=float,
+        default=None,
+        metavar="ETA",
+        help="true path-loss exponent of the RSSI channel (rssi ranging "
+        "only; enables the explicit channel model)",
+    )
+    p.add_argument(
+        "--assumed-exponent",
+        type=float,
+        default=None,
+        metavar="ETA0",
+        help="exponent the receiver inverts RSSI with; differing from "
+        "--path-loss-exponent models a miscalibrated deployment",
+    )
+    p.add_argument(
+        "--channel-joint",
+        action="store_true",
+        help="add the bn-pk-joint method (joint position + latent "
+        "LOS/NLOS + path-loss-exponent inference) to the lineup",
+    )
+    p.add_argument(
         "--bearing-sigma",
         type=float,
         default=0.0,
@@ -115,6 +137,23 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _channel_from_args(args: argparse.Namespace):
+    true_eta = getattr(args, "path_loss_exponent", None)
+    assumed = getattr(args, "assumed_exponent", None)
+    if true_eta is None and assumed is None:
+        return None
+    if args.ranging != "rssi":
+        raise SystemExit(
+            "error: --path-loss-exponent/--assumed-exponent need "
+            "--ranging rssi"
+        )
+    from repro.experiments.config import ChannelConfig
+
+    if true_eta is None:
+        true_eta = ChannelConfig.path_loss_exponent
+    return ChannelConfig(path_loss_exponent=true_eta, assumed_exponent=assumed)
+
+
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
     return ScenarioConfig(
         n_nodes=args.nodes,
@@ -127,11 +166,14 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         nlos_fraction=args.nlos_fraction,
         bearing_sigma=args.bearing_sigma if args.bearing_sigma > 0 else None,
         pk_error=args.pk_error if args.pk_error > 0 else None,
+        channel=_channel_from_args(args),
     )
 
 
 def _methods_from_args(args: argparse.Namespace) -> dict:
     names = [m.strip() for m in args.methods.split(",") if m.strip()]
+    if getattr(args, "channel_joint", False) and "bn-pk-joint" not in names:
+        names.append("bn-pk-joint")
     if not names:
         raise SystemExit("error: --methods must name at least one method")
     try:

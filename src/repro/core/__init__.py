@@ -21,6 +21,7 @@ from repro.core.result import LocalizationResult, Localizer
 from repro.core.bnloc import GridBPLocalizer, GridBPConfig
 from repro.core.nbp import NBPLocalizer, NBPConfig
 from repro.core.mcmc import MCMCLocalizer, MCMCConfig
+from repro.core.jointchannel import JointChannelLocalizer, JointChannelConfig
 from repro.core.pipeline import CooperativeLocalizer
 from repro.core.multires import MultiResolutionLocalizer
 from repro.core.refine import refine_estimates
@@ -43,6 +44,8 @@ __all__ = [
     "NBPConfig",
     "MCMCLocalizer",
     "MCMCConfig",
+    "JointChannelLocalizer",
+    "JointChannelConfig",
     "CooperativeLocalizer",
     "MultiResolutionLocalizer",
     "refine_estimates",

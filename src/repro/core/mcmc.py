@@ -76,6 +76,14 @@ class MCMCConfig:
         Attach the raw ``(n_chains, n_kept, n_unknowns, 2)`` draw tensor
         as ``extras["samples"]`` (off by default — it can dwarf the
         result).
+    eta_support:
+        When set, the path-loss exponent η becomes a latent variable on
+        this discrete support, resampled once per sweep by a categorical
+        Gibbs draw from the total data likelihood at the current
+        positions (requires RSSI-based ranging; the sampling counterpart
+        of :class:`~repro.core.jointchannel.JointChannelLocalizer`).
+        ``None`` (the default) keeps the ranging model fixed — existing
+        seeded chains are bit-identical.
     audit:
         Runtime invariant checking, as in the grid/NBP configs.
     """
@@ -91,6 +99,7 @@ class MCMCConfig:
     use_connectivity_in_ranging: bool = True
     rhat_tol: float = 1.3
     keep_samples: bool = False
+    eta_support: tuple[float, ...] | None = None
     audit: str | None = None
 
     def __post_init__(self) -> None:
@@ -110,6 +119,13 @@ class MCMCConfig:
             raise ValueError("prior_grid_size must be >= 2")
         if self.rhat_tol <= 1.0:
             raise ValueError("rhat_tol must exceed 1.0")
+        if self.eta_support is not None:
+            support = tuple(float(e) for e in self.eta_support)
+            if not support or any(e <= 0 for e in support):
+                raise ValueError("eta_support must be non-empty and positive")
+            if len(set(support)) != len(support):
+                raise ValueError("eta_support must not contain duplicates")
+            self.eta_support = support
         if self.audit not in (None, "off", "warn", "raise"):
             raise ValueError("audit must be one of None, 'off', 'warn', 'raise'")
 
@@ -223,11 +239,17 @@ class MCMCLocalizer(Localizer):
         }
         target = _TargetDensity(ms, prior, radio, cfg, anchors_of, silent_anchors,
                                 unknown_neighbors)
+        eta_models = eta_links = eta_samples = None
+        eta_start = 0
+        if cfg.eta_support is not None:
+            eta_models, eta_start, eta_links = self._eta_setup(ms, cfg)
 
         step = cfg.step_scale * ms.radio_range
         n_kept = cfg.n_samples
         sweeps = cfg.burn_in + cfg.n_samples * cfg.thin
         samples = np.empty((cfg.n_chains, n_kept, len(unknowns), 2))
+        if eta_models is not None:
+            eta_samples = np.empty((cfg.n_chains, n_kept))
         proposals = 0
         accepts = 0
         ever_finite = np.zeros(len(unknowns), dtype=bool)
@@ -239,6 +261,9 @@ class MCMCLocalizer(Localizer):
                 ).astype(np.float64)
                 for u in unknowns:
                     positions[u] = prior.sample(u, 1, grid, gen)[0]
+                eta_idx = eta_start
+                if eta_models is not None:
+                    target.ranging = eta_models[eta_idx]
                 kept = 0
                 for sweep in range(sweeps):
                     moved = 0.0
@@ -263,8 +288,22 @@ class MCMCLocalizer(Localizer):
                             positions[u] = y
                             accepts += 1
                             moved = max(moved, delta)
+                    if eta_models is not None:
+                        # Gibbs step for the latent exponent: categorical
+                        # draw from the total data likelihood at the
+                        # current positions (uniform prior over support).
+                        scores = self._eta_scores(eta_models, eta_links, positions)
+                        if np.isfinite(scores).any():
+                            eta_idx = int(
+                                gen.choice(
+                                    len(eta_models), p=softmax_from_log(scores)
+                                )
+                            )
+                            target.ranging = eta_models[eta_idx]
                     if sweep >= cfg.burn_in and (sweep - cfg.burn_in) % cfg.thin == 0:
                         samples[chain, kept] = positions[unknowns]
+                        if eta_samples is not None:
+                            eta_samples[chain, kept] = cfg.eta_support[eta_idx]
                         kept += 1
                     if tracer.enabled:
                         tracer.iteration(
@@ -276,8 +315,83 @@ class MCMCLocalizer(Localizer):
                 ms, cfg, prior, grid, unknowns, samples, ever_finite,
                 accepts, proposals, sweeps, tracer,
             )
+        if eta_samples is not None:
+            support = np.asarray(cfg.eta_support, dtype=np.float64)
+            freq = (eta_samples[..., None] == support).mean(axis=(0, 1))
+            result.extras.update(
+                eta_support=[float(e) for e in support],
+                eta_posterior=[float(f) for f in freq],
+                eta_map=float(support[int(np.argmax(freq))]),
+                eta_mean=float(eta_samples.mean()),
+            )
+            if tracer.enabled:
+                tracer.annotate("eta_map", result.extras["eta_map"])
         self._maybe_audit(result, ms, tracer)
         return result
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _eta_setup(ms: MeasurementSet, cfg: MCMCConfig):
+        """Hypothesis ranging models, start index, and flat link arrays.
+
+        One model per η on the support, sharing the receiver's inversion
+        exponent (see :mod:`repro.measurement.channel`); an NLOS
+        contamination/mixture wrapper on the measured model is re-applied
+        around each hypothesis so the target density keeps its semantics.
+        The chain starts at the support point nearest the receiver's own
+        exponent.
+        """
+        import dataclasses
+
+        from repro.core.jointchannel import JointChannelLocalizer
+        from repro.measurement.channel import ChannelRSSIRanging
+        from repro.measurement.nlos import NLOSRanging, RobustRanging
+
+        if not ms.has_ranging:
+            raise ValueError("eta_support needs ranged measurements")
+        path_loss, inversion = JointChannelLocalizer._channel_base(ms.ranging)
+        models = []
+        for eta in cfg.eta_support:
+            model = ChannelRSSIRanging(
+                dataclasses.replace(path_loss, path_loss_exponent=eta),
+                inversion_exponent=inversion,
+            )
+            if isinstance(ms.ranging, (NLOSRanging, RobustRanging)):
+                model = type(ms.ranging)(
+                    model, ms.ranging.nlos_fraction, ms.ranging.bias_mean
+                )
+            models.append(model)
+        start = int(
+            np.argmin(
+                np.abs(
+                    np.asarray(cfg.eta_support) - path_loss.path_loss_exponent
+                )
+            )
+        )
+        ii, jj, obs = [], [], []
+        for i, j in ms.edges():
+            i, j = int(i), int(j)
+            if ms.anchor_mask[i] and ms.anchor_mask[j]:
+                continue
+            ii.append(i)
+            jj.append(j)
+            obs.append(float(ms.observed_distances[i, j]))
+        links = (np.asarray(ii), np.asarray(jj), np.asarray(obs))
+        return models, start, links
+
+    @staticmethod
+    def _eta_scores(models: list, links: tuple, positions: np.ndarray) -> np.ndarray:
+        """Total data log-likelihood of each η hypothesis at *positions*."""
+        ii, jj, obs = links
+        d = np.linalg.norm(positions[ii] - positions[jj], axis=1)
+        scores = np.empty(len(models))
+        with np.errstate(all="ignore"):
+            for m, model in enumerate(models):
+                ll = np.nan_to_num(
+                    model.log_likelihood(obs, d), nan=-np.inf, neginf=-np.inf
+                )
+                scores[m] = float(ll.sum())
+        return scores
 
     def _finish(
         self,
@@ -387,6 +501,9 @@ class _TargetDensity:
         self.prior = prior
         self.radio = radio
         self.cfg = cfg
+        # Swappable so a latent-η Gibbs step can point the position moves
+        # at the current hypothesis model (defaults to the measured model).
+        self.ranging = ms.ranging
         self.anchors_of = anchors_of
         self.silent_anchors = silent_anchors
         self.unknown_neighbors = unknown_neighbors
@@ -423,7 +540,7 @@ class _TargetDensity:
         if len(self.apos[u]):
             d = self._dists(pts, self.apos[u])
             if ms.has_ranging:
-                lp += ms.ranging.log_likelihood(self.aobs[u], d).sum(axis=1)
+                lp += self.ranging.log_likelihood(self.aobs[u], d).sum(axis=1)
             if self.use_conn:
                 lp += safe_log(radio.p_detect(d)).sum(axis=1)
             if ms.has_bearings:
@@ -436,7 +553,7 @@ class _TargetDensity:
         if neigh:
             d = self._dists(pts, positions[neigh])
             if ms.has_ranging:
-                lp += ms.ranging.log_likelihood(
+                lp += self.ranging.log_likelihood(
                     ms.observed_distances[u, neigh], d
                 ).sum(axis=1)
             if self.use_conn:

@@ -34,6 +34,9 @@ __all__ = [
     "negative_anchor_potential",
     "pairwise_bearing_potential",
     "anchor_bearing_potential",
+    "floored_loglik",
+    "expected_anchor_loglik",
+    "expected_pairwise_loglik",
     "RangingPotentialCache",
     "PotentialCacheRegistry",
     "shared_registry",
@@ -190,6 +193,69 @@ def negative_anchor_potential(
             "range covers the entire grid"
         )
     return vals
+
+
+#: Floor for per-cell log-likelihoods inside belief expectations: the log
+#: of the smallest positive normal double.  Expectations weight cells by
+#: belief mass, and ``0 · (-inf)`` would poison the sum with NaN; flooring
+#: keeps impossible cells maximally penalized but finite.
+_EXPECTED_LL_FLOOR = -745.0
+
+
+def floored_loglik(
+    ranging: RangingModel, observed, distances: np.ndarray
+) -> np.ndarray:
+    """``log p(observed | distances)`` floored at ``_EXPECTED_LL_FLOOR``.
+
+    *observed* may be a scalar or any array broadcastable against
+    *distances* (hypothesis scoring evaluates all links of one model in a
+    single broadcast call).  NaN/±inf are mapped to the floor, so the
+    result is safe inside belief-weighted expectations.
+    """
+    with np.errstate(all="ignore"):
+        ll = ranging.log_likelihood(observed, distances)
+    return np.maximum(
+        np.nan_to_num(ll, nan=_EXPECTED_LL_FLOOR, neginf=_EXPECTED_LL_FLOOR),
+        _EXPECTED_LL_FLOOR,
+    )
+
+
+def expected_anchor_loglik(
+    ranging: RangingModel,
+    observed_distance: float,
+    distances: np.ndarray,
+    belief: np.ndarray,
+) -> float:
+    """``E_b[log p(d_obs | d(x, anchor))]`` over a unary ``(K,)`` belief.
+
+    The anchor-link term of the expected data log-likelihood used to score
+    channel-parameter hypotheses (joint η estimation): each hypothesis is
+    ranked by how well it explains the observations *under its own
+    posterior beliefs*.  Log-likelihoods are floored (see
+    ``_EXPECTED_LL_FLOOR``) so zero-belief × impossible-cell never NaNs.
+    """
+    ll = floored_loglik(ranging, observed_distance, distances)
+    return float(np.asarray(belief, dtype=np.float64) @ ll)
+
+
+def expected_pairwise_loglik(
+    ranging: RangingModel,
+    observed_distance: float,
+    cell_distances: np.ndarray,
+    belief_i: np.ndarray,
+    belief_j: np.ndarray,
+) -> float:
+    """``E_{b_i, b_j}[log p(d_obs | d(x_i, x_j))]`` over a ``(K, K)`` field.
+
+    The inter-unknown-link term of the expected data log-likelihood:
+    ``b_iᵀ · L · b_j`` with ``L`` the floored log-likelihood evaluated on
+    the pairwise cell-center distances (mean-field factorization of the
+    pair belief, consistent with BP's per-node marginals).
+    """
+    ll = floored_loglik(ranging, observed_distance, cell_distances)
+    bi = np.asarray(belief_i, dtype=np.float64)
+    bj = np.asarray(belief_j, dtype=np.float64)
+    return float(bi @ ll @ bj)
 
 
 def pairwise_bearing_potential(

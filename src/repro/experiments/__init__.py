@@ -6,7 +6,12 @@ pre-knowledge), the runner evaluates a set of methods over independent
 trials, and the report module prints paper-style series tables.
 """
 
-from repro.experiments.config import ScenarioConfig, build_scenario, make_pre_knowledge
+from repro.experiments.config import (
+    ChannelConfig,
+    ScenarioConfig,
+    build_scenario,
+    make_pre_knowledge,
+)
 from repro.experiments.runner import (
     MethodResult,
     SweepResult,
@@ -19,6 +24,7 @@ from repro.experiments.report import sweep_table, methods_table
 from repro.experiments.anchor_opt import greedy_crlb_anchors, mean_crlb
 
 __all__ = [
+    "ChannelConfig",
     "ScenarioConfig",
     "build_scenario",
     "make_pre_knowledge",

@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace as dc_replace
 
 import numpy as np
 
+from repro.measurement.channel import ChannelRSSIRanging
 from repro.measurement.measurements import MeasurementSet, observe
 from repro.measurement.nlos import NLOSRanging, RobustRanging
 from repro.measurement.ranging import (
@@ -52,11 +53,103 @@ from repro.priors.base import PositionPrior
 from repro.priors.deployment import PerNodePrior
 from repro.utils.rng import RNGLike, spawn_generators
 
-__all__ = ["ScenarioConfig", "build_scenario", "make_pre_knowledge"]
+__all__ = [
+    "ChannelConfig",
+    "ScenarioConfig",
+    "build_scenario",
+    "make_pre_knowledge",
+]
 
 _DEPLOYMENTS = ("uniform", "grid", "cshape", "clusters")
 _RADIOS = ("disk", "qudg", "lognormal")
 _RANGINGS = ("gaussian", "proportional", "rssi", "toa", "none")
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """RSSI channel-parameter knobs for ``ranging="rssi"`` scenarios.
+
+    Separates the three roles a path-loss exponent plays (benchmark E20,
+    the ``bn-pk-joint`` method):
+
+    * ``path_loss_exponent`` — the deployment's **true** generative η;
+    * ``assumed_exponent`` — η̂₀, the exponent the receiver *hardware*
+      uses to invert RSSI into distance.  ``None`` means calibrated
+      (η̂₀ = η); setting it miscalibrates the measurement pipeline, and
+      the reported distances become a power-law distortion of the truth;
+    * ``eta_support`` / ``em_iterations`` — the discrete hypothesis grid
+      and outer-EM budget that joint inference
+      (:class:`~repro.core.jointchannel.JointChannelLocalizer`) uses to
+      *recover* η from the data.
+
+    Attributes
+    ----------
+    path_loss_exponent:
+        True generative η (2 free space … ~4 indoors).
+    assumed_exponent:
+        Receiver inversion exponent η̂₀; ``None`` = matched to the truth.
+    shadowing_db:
+        Log-normal shadowing std (dB).
+    eta_support:
+        Hypothesis support for joint estimation (``bn-pk-joint``).
+    em_iterations:
+        Outer EM rounds for joint estimation.
+    """
+
+    path_loss_exponent: float = 3.0
+    assumed_exponent: float | None = None
+    shadowing_db: float = 4.0
+    eta_support: tuple[float, ...] = (2.0, 2.5, 3.0, 3.5, 4.0)
+    em_iterations: int = 2
+
+    def __post_init__(self) -> None:
+        if self.path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+        if self.assumed_exponent is not None and self.assumed_exponent <= 0:
+            raise ValueError("assumed_exponent must be positive (or None)")
+        if self.shadowing_db <= 0:
+            raise ValueError("shadowing_db must be positive")
+        support = tuple(float(e) for e in self.eta_support)
+        if not support or any(e <= 0 for e in support):
+            raise ValueError("eta_support must be non-empty and positive")
+        object.__setattr__(self, "eta_support", support)
+        if self.em_iterations < 1:
+            raise ValueError("em_iterations must be >= 1")
+
+    @property
+    def inversion_exponent(self) -> float:
+        """η̂₀ actually used by the receiver (resolves ``None``)."""
+        return (
+            self.assumed_exponent
+            if self.assumed_exponent is not None
+            else self.path_loss_exponent
+        )
+
+    def make_path_loss(self) -> PathLossModel:
+        return PathLossModel(
+            path_loss_exponent=self.path_loss_exponent,
+            shadowing_db=self.shadowing_db,
+        )
+
+    def make_ranging(self) -> ChannelRSSIRanging:
+        """The scenario's RSSI model: generates with the true η, inverts
+        with η̂₀ — and, used as the inference model, *knows* the true η
+        (the matched/oracle arm)."""
+        return ChannelRSSIRanging(
+            self.make_path_loss(),
+            inversion_exponent=self.inversion_exponent,
+        )
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["eta_support"] = list(d["eta_support"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChannelConfig":
+        d = dict(d)
+        d["eta_support"] = tuple(d.get("eta_support", cls.eta_support))
+        return cls(**d)
 
 
 @dataclass(frozen=True)
@@ -92,6 +185,11 @@ class ScenarioConfig:
         Prior std the inference *assumes*; defaults to ``pk_error``.
     pk_offset:
         Systematic bias added to the pre-knowledge record (E8).
+    channel:
+        Optional :class:`ChannelConfig` for ``ranging="rssi"``: true vs
+        receiver-assumed path-loss exponent, shadowing, and the joint-
+        estimation (``bn-pk-joint``) hypothesis support — the E20 axis.
+        ``None`` keeps the legacy calibrated η = 3 RSSI model.
     """
 
     n_nodes: int = 100
@@ -108,6 +206,7 @@ class ScenarioConfig:
     pk_sigma: float | None = None
     pk_offset: tuple[float, float] = (0.0, 0.0)
     require_connected: bool = True
+    channel: ChannelConfig | None = None
 
     def __post_init__(self) -> None:
         if self.deployment not in _DEPLOYMENTS:
@@ -128,6 +227,8 @@ class ScenarioConfig:
             raise ValueError("bearing_sigma must be positive (or None)")
         if self.pk_error is not None and self.pk_error <= 0:
             raise ValueError("pk_error must be positive (or None)")
+        if self.channel is not None and self.ranging != "rssi":
+            raise ValueError("channel config needs ranging='rssi'")
 
     def replace(self, **changes) -> "ScenarioConfig":
         """A copy with the given fields changed (sweep helper)."""
@@ -137,13 +238,18 @@ class ScenarioConfig:
         """JSON-safe export (audit manifests, checkpoint ledger headers)."""
         d = dataclasses.asdict(self)
         d["pk_offset"] = list(d["pk_offset"])
+        if self.channel is not None:
+            d["channel"] = self.channel.to_dict()
         return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "ScenarioConfig":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (tolerates pre-channel dicts)."""
         d = dict(d)
         d["pk_offset"] = tuple(d.get("pk_offset", (0.0, 0.0)))
+        channel = d.get("channel")
+        if channel is not None and not isinstance(channel, ChannelConfig):
+            d["channel"] = ChannelConfig.from_dict(channel)
         return cls(**d)
 
     # ------------------------------------------------------------------ #
@@ -182,6 +288,8 @@ class ScenarioConfig:
         if self.ranging == "proportional":
             return ProportionalGaussianRanging(self.noise_ratio)
         if self.ranging == "rssi":
+            if self.channel is not None:
+                return self.channel.make_ranging()
             return RSSIRanging(PathLossModel(shadowing_db=4.0))
         return TOARanging(
             sigma_time=max(self.noise_ratio * self.radio_range, 1e-4),

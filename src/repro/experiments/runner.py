@@ -60,6 +60,7 @@ def standard_methods(
     include: Sequence[str] | None = None,
     backend: str = "reference",
     mcmc_samples: int = 150,
+    joint_channel=None,
 ) -> dict[str, MethodFactory]:
     """The default method lineup used by the benchmarks.
 
@@ -68,10 +69,18 @@ def standard_methods(
     the ablation that isolates the contribution of pre-knowledge.
     ``mcmc-pk``/``mcmc`` are the continuous-posterior sampler
     (:class:`~repro.core.mcmc.MCMCLocalizer`) with and without the prior.
+    ``bn-pk-joint`` is grid BP with latent channel parameters
+    (:class:`~repro.core.jointchannel.JointChannelLocalizer`): path-loss
+    exponent and per-link LOS/NLOS indicators estimated jointly with the
+    positions — applicable to RSSI-ranged scenarios only (elsewhere it
+    raises, which the runner records as coverage 0).  *joint_channel*
+    overrides its :class:`~repro.core.jointchannel.JointChannelConfig`
+    (default: the standard η support on this grid size, batched backend).
     *backend* selects the grid-BP kernel backend
     (:mod:`repro.kernels`); all backends are bit-identical, so it is a
     performance knob, not a method variant.
     """
+    from repro.core.jointchannel import JointChannelConfig, JointChannelLocalizer
     from repro.core.mcmc import MCMCConfig, MCMCLocalizer
 
     grid_cfg = GridBPConfig(
@@ -83,9 +92,23 @@ def standard_methods(
         burn_in=max(mcmc_samples // 2, 10),
         step_scale=0.25,
     )
+    joint_cfg = (
+        joint_channel
+        if joint_channel is not None
+        else JointChannelConfig(
+            grid=GridBPConfig(
+                grid_size=grid_size,
+                max_iterations=max_iterations,
+                backend="batched",
+            )
+        )
+    )
     all_methods: dict[str, MethodFactory] = {
         "bn-pk": lambda prior: GridBPLocalizer(prior=prior, config=grid_cfg),
         "bn": lambda prior: GridBPLocalizer(prior=None, config=grid_cfg),
+        "bn-pk-joint": lambda prior: JointChannelLocalizer(
+            prior=prior, config=joint_cfg
+        ),
         "nbp-pk": lambda prior: NBPLocalizer(prior=prior, config=nbp_cfg),
         "nbp": lambda prior: NBPLocalizer(prior=None, config=nbp_cfg),
         "mcmc-pk": lambda prior: MCMCLocalizer(prior=prior, config=mcmc_cfg),

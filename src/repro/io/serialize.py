@@ -138,20 +138,46 @@ def load_network_npz(path: str | Path) -> WSNetwork:
         )
 
 
-def _ranging_to_dict(ranging) -> dict:
-    """Wire form of the simple ranging models.
+def _path_loss_to_dict(path_loss) -> dict:
+    return {
+        "tx_power_dbm": float(path_loss.tx_power_dbm),
+        "path_loss_exponent": float(path_loss.path_loss_exponent),
+        "shadowing_db": float(path_loss.shadowing_db),
+        "d0": float(path_loss.d0),
+    }
 
-    Only the parameter-closed models a remote client can faithfully
-    reconstruct are supported: constant-σ Gaussian, proportional
-    Gaussian, and connectivity-only.  Composite or calibration-dependent
-    models (NLOS mixtures, RSSI path-loss, TOA) raise — requests using
-    them must go through in-process submission, where the model object
-    itself travels.
+
+def _path_loss_from_dict(data: dict):
+    from repro.measurement.rssi import PathLossModel
+
+    return PathLossModel(
+        tx_power_dbm=float(data["tx_power_dbm"]),
+        path_loss_exponent=float(data["path_loss_exponent"]),
+        shadowing_db=float(data["shadowing_db"]),
+        d0=float(data["d0"]),
+    )
+
+
+def _ranging_to_dict(ranging) -> dict:
+    """Tagged wire form of a parameter-closed ranging model.
+
+    Every model the scenario configs can build is covered: constant-σ
+    Gaussian, proportional Gaussian, connectivity-only, TOA, RSSI
+    path-loss, the channel-aware RSSI (explicit inversion exponent), and
+    the NLOS wrappers (contamination, robust mixture, latent-indicator
+    mixture) — the wrappers recurse into their base model, so the full
+    composition round-trips.  Anything else raises: requests using an
+    unsupported model must go through in-process submission, where the
+    model object itself travels.
     """
+    from repro.measurement.channel import ChannelRSSIRanging, LatentNLOSRanging
+    from repro.measurement.nlos import NLOSRanging, RobustRanging
     from repro.measurement.ranging import (
         ConnectivityOnly,
         GaussianRanging,
         ProportionalGaussianRanging,
+        RSSIRanging,
+        TOARanging,
     )
 
     if isinstance(ranging, GaussianRanging):
@@ -164,18 +190,52 @@ def _ranging_to_dict(ranging) -> dict:
         }
     if isinstance(ranging, ConnectivityOnly):
         return {"type": "none"}
+    if isinstance(ranging, TOARanging):
+        return {
+            "type": "toa",
+            "sigma_time": float(ranging.sigma_time),
+            "mean_delay": float(ranging.mean_delay),
+            "speed": float(ranging.speed),
+        }
+    # order matters: the channel model subclasses nothing, but the NLOS
+    # family is a hierarchy (LatentNLOSRanging < RobustRanging,
+    # NLOSRanging separate) — match the most derived tag first
+    if isinstance(ranging, ChannelRSSIRanging):
+        return {
+            "type": "channel-rssi",
+            "path_loss": _path_loss_to_dict(ranging.path_loss),
+            "inversion_exponent": float(ranging.inversion_exponent),
+        }
+    if isinstance(ranging, RSSIRanging):
+        return {"type": "rssi", "path_loss": _path_loss_to_dict(ranging.path_loss)}
+    if isinstance(ranging, (NLOSRanging, RobustRanging)):
+        tag = {
+            LatentNLOSRanging: "latent-nlos",
+            RobustRanging: "robust",
+            NLOSRanging: "nlos",
+        }[type(ranging)]
+        return {
+            "type": tag,
+            "base": _ranging_to_dict(ranging.base),
+            "nlos_fraction": float(ranging.nlos_fraction),
+            "bias_mean": float(ranging.bias_mean),
+        }
     raise ValueError(
         f"ranging model {type(ranging).__name__} has no wire form; "
-        "supported: gaussian, proportional, none (submit in-process for "
-        "other models)"
+        "supported: gaussian, proportional, none, toa, rssi, channel-rssi, "
+        "nlos, robust, latent-nlos (submit in-process for other models)"
     )
 
 
 def _ranging_from_dict(data: dict):
+    from repro.measurement.channel import ChannelRSSIRanging, LatentNLOSRanging
+    from repro.measurement.nlos import NLOSRanging, RobustRanging
     from repro.measurement.ranging import (
         ConnectivityOnly,
         GaussianRanging,
         ProportionalGaussianRanging,
+        RSSIRanging,
+        TOARanging,
     )
 
     kind = data.get("type")
@@ -187,6 +247,30 @@ def _ranging_from_dict(data: dict):
         )
     if kind == "none":
         return ConnectivityOnly()
+    if kind == "toa":
+        return TOARanging(
+            float(data["sigma_time"]),
+            mean_delay=float(data.get("mean_delay", 0.0)),
+            speed=float(data.get("speed", 1.0)),
+        )
+    if kind == "rssi":
+        return RSSIRanging(_path_loss_from_dict(data["path_loss"]))
+    if kind == "channel-rssi":
+        return ChannelRSSIRanging(
+            _path_loss_from_dict(data["path_loss"]),
+            inversion_exponent=float(data["inversion_exponent"]),
+        )
+    if kind in ("nlos", "robust", "latent-nlos"):
+        cls = {
+            "nlos": NLOSRanging,
+            "robust": RobustRanging,
+            "latent-nlos": LatentNLOSRanging,
+        }[kind]
+        return cls(
+            _ranging_from_dict(data["base"]),
+            nlos_fraction=float(data["nlos_fraction"]),
+            bias_mean=float(data["bias_mean"]),
+        )
     raise ValueError(f"unknown ranging wire type {kind!r}")
 
 

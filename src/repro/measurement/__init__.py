@@ -16,6 +16,7 @@ from repro.measurement.ranging import (
     ConnectivityOnly,
 )
 from repro.measurement.nlos import NLOSRanging, RobustRanging
+from repro.measurement.channel import ChannelRSSIRanging, LatentNLOSRanging
 from repro.measurement.aoa import BearingModel, true_bearings, wrap_angle
 from repro.measurement.rssi import (
     PathLossModel,
@@ -33,6 +34,8 @@ __all__ = [
     "ConnectivityOnly",
     "NLOSRanging",
     "RobustRanging",
+    "ChannelRSSIRanging",
+    "LatentNLOSRanging",
     "BearingModel",
     "true_bearings",
     "wrap_angle",

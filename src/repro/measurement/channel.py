@@ -1,0 +1,212 @@
+"""Latent channel parameters: miscalibrated RSSI inversion and latent
+LOS/NLOS indicators.
+
+Two channel nuisance parameters poison RSSI likelihoods when treated as
+fixed config (ROADMAP item 4, following Leng/Tay/Quek and Jin et al.):
+
+* the **path-loss exponent** η.  RSSI hardware converts readings to
+  distances with a *compiled-in* exponent η̂₀; if the deployment's true
+  exponent η differs, the reported distance is a power-law distortion of
+  the truth:
+
+      ``log(d_obs/d0) = (η/η̂₀)·log(d/d0) − X·ln10/(10·η̂₀)``
+
+  :class:`ChannelRSSIRanging` models exactly this chain — generation uses
+  the model's own exponent as ground truth and inverts with
+  ``inversion_exponent``; the likelihood evaluates any *hypothesis*
+  exponent against observations known to be inverted with η̂₀.  A bank of
+  these models over a small discrete η support is the measurement side of
+  joint channel/position inference
+  (:class:`repro.core.jointchannel.JointChannelLocalizer`).
+
+* the **LOS/NLOS indicator** per link.  :class:`LatentNLOSRanging`
+  extends :class:`repro.measurement.nlos.RobustRanging` — whose mixture
+  likelihood *is* the indicator marginalized out of the pairwise
+  potential — with the posterior responsibilities
+  ``P(NLOS | d_obs, d)`` per link, so an EM loop can re-estimate the
+  contamination fraction and callers can expose soft per-link verdicts.
+
+Both models honour the library-wide likelihood tail contract (finite or
+``-inf``, never NaN / ``+inf``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measurement.nlos import RobustRanging
+from repro.measurement.ranging import RangingModel, _symmetric_noise
+from repro.measurement.rssi import PathLossModel
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["ChannelRSSIRanging", "LatentNLOSRanging"]
+
+
+class ChannelRSSIRanging(RangingModel):
+    """RSSI ranging through an explicitly-modelled inversion exponent.
+
+    Parameters
+    ----------
+    path_loss:
+        Path-loss law whose ``path_loss_exponent`` this model treats as
+        the exponent that *generated* the RSSI readings.  For a generative
+        (scenario) instance that is the deployment's true η; for an
+        inference instance it is the hypothesis η_m being scored.
+    inversion_exponent:
+        η̂₀ — the exponent the receiver used to convert RSSI to distance.
+        This is a property of the *measurement pipeline*, known to
+        inference (it is the radio's own constant), and shared by every
+        hypothesis model over the same observations.  Defaults to
+        ``path_loss.path_loss_exponent`` (a calibrated receiver).
+
+    Notes
+    -----
+    When ``inversion_exponent == path_loss.path_loss_exponent`` the
+    likelihood is bit-identical to :class:`RSSIRanging`'s log-normal, so
+    a matched instance is a drop-in replacement.  When they differ the
+    mean of ``log(d_obs/d0)`` is ``(η_m/η̂₀)·log(d/d0)`` — a slope error,
+    not extra variance, which is why fixed-exponent miscalibration biases
+    estimates instead of merely widening posteriors (benchmark E20).
+    """
+
+    def __init__(
+        self,
+        path_loss: PathLossModel | None = None,
+        inversion_exponent: float | None = None,
+    ) -> None:
+        self.path_loss = path_loss if path_loss is not None else PathLossModel()
+        if self.path_loss.shadowing_db <= 0:
+            raise ValueError(
+                "ChannelRSSIRanging needs shadowing_db > 0 "
+                "(otherwise ranging is exact)"
+            )
+        if inversion_exponent is None:
+            inversion_exponent = self.path_loss.path_loss_exponent
+        self.inversion_exponent = check_positive(
+            float(inversion_exponent), "inversion_exponent"
+        )
+
+    @property
+    def log_sigma(self) -> float:
+        """σ of ``log(d_obs)`` — set by the *inversion* exponent, since the
+        shadowing noise is divided by η̂₀ on its way into distance space."""
+        return (
+            self.path_loss.shadowing_db
+            * np.log(10.0)
+            / (10.0 * self.inversion_exponent)
+        )
+
+    @property
+    def log_slope(self) -> float:
+        """Slope of ``E[log(d_obs/d0)]`` vs ``log(d/d0)``: η_generate / η̂₀."""
+        return self.path_loss.path_loss_exponent / self.inversion_exponent
+
+    def with_exponent(self, exponent: float) -> "ChannelRSSIRanging":
+        """A hypothesis copy believing the data was generated with η =
+        *exponent* (inversion exponent and all other parameters shared)."""
+        import dataclasses
+
+        return ChannelRSSIRanging(
+            dataclasses.replace(self.path_loss, path_loss_exponent=exponent),
+            inversion_exponent=self.inversion_exponent,
+        )
+
+    def observe(self, true_distances: np.ndarray, rng: RNGLike = None) -> np.ndarray:
+        """Physical chain: distance → shadowed RSSI (true η) → inversion
+        (η̂₀).  One shadowing draw per unordered pair for square inputs."""
+        gen = as_generator(rng)
+        d = np.maximum(
+            np.asarray(true_distances, dtype=np.float64), self.path_loss.d0
+        )
+        shadow_db = _symmetric_noise(gen, d.shape, self.path_loss.shadowing_db)
+        # (tx - rssi)/(10·η̂₀) = (η/η̂₀)·log10(d/d0) − X/(10·η̂₀)
+        log10_obs = self.log_slope * np.log10(d / self.path_loss.d0) - (
+            shadow_db / (10.0 * self.inversion_exponent)
+        )
+        return self.path_loss.d0 * 10.0**log10_obs
+
+    def log_likelihood(
+        self, observed: np.ndarray, candidate_distances: np.ndarray
+    ) -> np.ndarray:
+        obs = np.maximum(
+            np.asarray(observed, dtype=np.float64), self.path_loss.d0
+        )
+        cand = np.maximum(
+            np.asarray(candidate_distances, dtype=np.float64), self.path_loss.d0
+        )
+        # mean of log(d_obs): slope·log(cand) + (1−slope)·log(d0).  Written
+        # this way so slope == 1.0 reduces bitwise to RSSIRanging's
+        # (log(obs) − log(cand)) — matched instances are exact drop-ins.
+        slope = self.log_slope
+        mu = slope * np.log(cand) + (1.0 - slope) * np.log(self.path_loss.d0)
+        z = (np.log(obs) - mu) / self.log_sigma
+        return (
+            -0.5 * z * z
+            - np.log(self.log_sigma)
+            - 0.5 * np.log(2 * np.pi)
+            - np.log(obs)
+        )
+
+    def sigma_at(self, distances: np.ndarray) -> np.ndarray:
+        # Delta method on the log-normal around the candidate distance.
+        d = np.asarray(distances, dtype=np.float64)
+        return d * self.log_sigma
+
+
+class LatentNLOSRanging(RobustRanging):
+    """NLOS-aware mixture with per-link latent-indicator responsibilities.
+
+    The :class:`RobustRanging` mixture
+
+        ``p(d_obs | d) = (1−ε)·p_los + ε·p_nlos``
+
+    already *is* the discrete LOS/NLOS indicator marginalized inside the
+    pairwise potential; ``log_likelihood``/``observe``/``sigma_at`` are
+    inherited bit-identically.  This subclass adds what joint inference
+    needs on top:
+
+    * :meth:`responsibilities` — the posterior ``P(NLOS | d_obs, d)``,
+      broadcast like a likelihood, for soft per-link verdicts and EM
+      updates of ε;
+    * :meth:`with_fraction` — an updated-ε copy sharing the base model,
+      for the deployment-level M-step (per-link ε instances would defeat
+      fingerprint-based potential-cache sharing).
+    """
+
+    def component_log_likelihoods(
+        self, observed: np.ndarray, candidate_distances: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(log p_los, log p_nlos)`` — the two unweighted mixture terms."""
+        obs = np.asarray(observed, dtype=np.float64)
+        cand = np.asarray(candidate_distances, dtype=np.float64)
+        ll_los = self.base.log_likelihood(obs, cand)
+        ll_nlos = self._log_emg(obs - cand, self.base.sigma_at(cand))
+        return np.asarray(ll_los, dtype=np.float64), np.asarray(
+            ll_nlos, dtype=np.float64
+        )
+
+    def responsibilities(
+        self, observed: np.ndarray, candidate_distances: np.ndarray
+    ) -> np.ndarray:
+        """Posterior NLOS probability ``P(NLOS | d_obs, d)`` per element.
+
+        Computed as a logistic of the weighted log-likelihood gap, so it
+        is tail-safe: where both components underflow to ``-inf`` the
+        prior ε is returned (the data is uninformative there).
+        """
+        from scipy.special import expit
+
+        ll_los, ll_nlos = self.component_log_likelihoods(
+            observed, candidate_distances
+        )
+        a = np.log1p(-self.nlos_fraction) + ll_los
+        b = np.log(self.nlos_fraction) + ll_nlos
+        with np.errstate(invalid="ignore"):
+            resp = expit(b - a)
+        both_dead = np.isneginf(a) & np.isneginf(b)
+        return np.where(both_dead, self.nlos_fraction, resp)
+
+    def with_fraction(self, nlos_fraction: float) -> "LatentNLOSRanging":
+        """An updated-ε copy sharing the base model and bias scale."""
+        return LatentNLOSRanging(self.base, nlos_fraction, self.bias_mean)

@@ -62,13 +62,27 @@ class NLOSRanging(RangingModel):
         self.bias_mean = check_positive(bias_mean, "bias_mean")
 
     def observe(self, true_distances: np.ndarray, rng: RNGLike = None) -> np.ndarray:
+        # RNG draw order is pinned for bit-reproducibility of seeded
+        # scenarios: (1) the base model's own draws, (2) one full-shape
+        # uniform matrix for the NLOS indicators, (3) one full-shape
+        # exponential matrix for the biases.  Draws happen before any
+        # symmetrization, so the stream consumed is shape-dependent only.
         gen = as_generator(rng)
         obs = self.base.observe(true_distances, gen)
         d = np.asarray(true_distances, dtype=np.float64)
         is_nlos = gen.uniform(size=d.shape) < self.nlos_fraction
         bias = gen.exponential(self.bias_mean, size=d.shape)
-        if d.ndim == 2 and d.shape[0] == d.shape[1]:
-            # one draw per unordered pair
+        if (
+            d.ndim == 2
+            and d.shape[0] == d.shape[1]
+            and np.all(np.diagonal(d) == 0.0)
+        ):
+            # A square input with a zero diagonal is a pairwise distance
+            # matrix: collapse to one draw per unordered pair.  A square
+            # input with nonzero diagonal entries (e.g. a coincidentally
+            # square batch of independent links) keeps per-entry draws —
+            # previously it was silently symmetrized, corrupting half the
+            # entries.
             is_nlos = np.triu(is_nlos, k=1)
             is_nlos = is_nlos | is_nlos.T
             bias = np.triu(bias, k=1)

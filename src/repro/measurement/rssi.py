@@ -57,11 +57,19 @@ class PathLossModel:
         )
 
     def invert(self, rssi_dbm: np.ndarray) -> np.ndarray:
-        """Maximum-likelihood distance given an RSSI sample (mean inversion)."""
+        """Maximum-likelihood distance given an RSSI sample (mean inversion).
+
+        Clamped at ``d0``: the mean curve is flat below the reference
+        distance (:meth:`mean_rssi` floors there), so readings above
+        ``tx_power_dbm`` — which would naively invert to ``d < d0`` — map
+        to ``d0``, keeping ``rssi → distance → rssi`` a fixed point on
+        short links.
+        """
         r = np.asarray(rssi_dbm, dtype=np.float64)
-        return self.d0 * 10.0 ** (
+        d = self.d0 * 10.0 ** (
             (self.tx_power_dbm - r) / (10.0 * self.path_loss_exponent)
         )
+        return np.maximum(d, self.d0)
 
     def range_error_factor_sigma(self) -> float:
         """σ of ``log(d_hat/d)`` implied by the shadowing (multiplicative error)."""

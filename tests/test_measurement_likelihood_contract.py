@@ -14,8 +14,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.measurement import (
+    ChannelRSSIRanging,
     ConnectivityOnly,
     GaussianRanging,
+    LatentNLOSRanging,
     NLOSRanging,
     ProportionalGaussianRanging,
     RobustRanging,
@@ -35,6 +37,21 @@ MODELS = {
     "robust": lambda: RobustRanging(GaussianRanging(0.02), 0.3, 0.1),
     "robust-wide": lambda: RobustRanging(
         ProportionalGaussianRanging(0.3), 0.5, 1e-3
+    ),
+    "channel-rssi": lambda: ChannelRSSIRanging(
+        PathLossModel(shadowing_db=2.0)
+    ),
+    "channel-rssi-mis": lambda: ChannelRSSIRanging(
+        PathLossModel(path_loss_exponent=4.0, shadowing_db=2.0),
+        inversion_exponent=3.0,
+    ),
+    "latent-nlos": lambda: LatentNLOSRanging(
+        ChannelRSSIRanging(
+            PathLossModel(path_loss_exponent=2.0, shadowing_db=2.0),
+            inversion_exponent=3.0,
+        ),
+        0.1,
+        0.1,
     ),
 }
 
