@@ -364,6 +364,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.set_defaults(func=cmd_serve)
 
+    p_stream = sub.add_parser(
+        "stream",
+        help="track a fleet of mobile networks over a (hostile) event stream",
+    )
+    p_stream.add_argument(
+        "--networks", type=int, default=20, help="concurrent mobile networks"
+    )
+    p_stream.add_argument("--nodes", type=int, default=16, help="nodes per network")
+    p_stream.add_argument(
+        "--anchor-ratio", type=float, default=0.3, help="anchor fraction"
+    )
+    p_stream.add_argument("--steps", type=int, default=8, help="tracking steps")
+    p_stream.add_argument(
+        "--radio-range", type=float, default=0.35, help="radio range"
+    )
+    p_stream.add_argument(
+        "--noise", type=float, default=0.02, help="ranging noise sigma"
+    )
+    p_stream.add_argument(
+        "--step-sigma", type=float, default=0.025, help="per-step motion sigma"
+    )
+    p_stream.add_argument("--seed", type=int, default=0, help="fleet seed")
+    p_stream.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="warm worker processes (0 = solve in-process)",
+    )
+    p_stream.add_argument(
+        "--grid", type=int, default=16, help="grid resolution per axis"
+    )
+    p_stream.add_argument(
+        "--late",
+        type=float,
+        default=0.0,
+        help="fraction of epochs delivered late/out-of-order",
+    )
+    p_stream.add_argument(
+        "--duplicates", type=float, default=0.0, help="fraction of epochs echoed"
+    )
+    p_stream.add_argument(
+        "--drops", type=float, default=0.0, help="fraction of epochs dropped"
+    )
+    p_stream.add_argument(
+        "--faulted",
+        type=int,
+        default=0,
+        help="networks degraded by a measurement fault plan",
+    )
+    p_stream.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write-ahead ledger; `repro resume` continues a killed stream",
+    )
+    p_stream.set_defaults(func=cmd_stream)
+
     p_demo = sub.add_parser("demo", help="small quick demonstration run")
     p_demo.set_defaults(func=cmd_demo)
     return parser
@@ -590,11 +647,14 @@ def cmd_resume(args: argparse.Namespace) -> int:
 
     meta = progress.meta or {}
     kind = meta.get("kind")
+    if kind == "stream":
+        return _resume_stream(args, meta)
     if kind not in ("evaluate", "sweep"):
         raise SystemExit(
             f"error: cannot resume a {kind!r} ledger from the CLI — only "
-            "'evaluate' and 'sweep' runs started with --checkpoint are "
-            "reconstructable here (resume API runs via their entry points)"
+            "'evaluate', 'sweep', and 'stream' runs started with "
+            "--checkpoint are reconstructable here (resume API runs via "
+            "their entry points)"
         )
     seed_fp = meta.get("seed") or {}
     if seed_fp.get("type") != "int":
@@ -658,6 +718,42 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resume_stream(args: argparse.Namespace, meta: dict) -> int:
+    """Reconstruct a killed stream run from its ledger header and
+    continue it: finished epochs replay, the rest solve live —
+    bit-identical to a run that never died."""
+    from repro.stream import (
+        FleetConfig,
+        StreamConfig,
+        StreamDisruption,
+        run_stream,
+    )
+
+    config = meta.get("config") or {}
+    try:
+        fleet = FleetConfig.from_dict(config["fleet"])
+        stream = StreamConfig.from_dict(config["stream"])
+        disruption = (
+            StreamDisruption.from_dict(config["disruption"])
+            if config.get("disruption") is not None
+            else None
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"error: stream ledger cannot be reconstructed: {exc}")
+    print()
+    try:
+        result = run_stream(fleet, stream, disruption, checkpoint=args.ledger)
+    except Exception as exc:
+        _reraise_unless_checkpoint_error(exc)
+        return 1
+    _print_stream_summary(
+        result,
+        f"resumed stream: {fleet.n_networks} networks × "
+        f"{fleet.n_steps + 1} steps (seed {fleet.seed})",
+    )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -694,6 +790,102 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("\nshutting down")
+    return 0
+
+
+def _print_stream_summary(result, title: str) -> None:
+    counters = result.metrics.get("counters", {})
+    staleness = result.metrics.get("staleness_ms", {})
+    print(title)
+    print(f"  networks tracked: {len(result.networks)}")
+    lost = result.lost_networks
+    print(f"  lost networks: {len(lost)}" + (f" {lost}" if lost else ""))
+    for name in (
+        "ingested",
+        "out_of_order",
+        "duplicates",
+        "stale_discarded",
+        "solved",
+        "replayed",
+        "coasted",
+        "shed",
+        "failed",
+        "guard_trips",
+        "cold_resolves",
+        "worker_replacements",
+    ):
+        if counters.get(name):
+            print(f"  {name}: {counters[name]}")
+    ups = result.metrics.get("updates_per_sec")
+    if ups:
+        print(f"  updates/sec: {ups:.1f}")
+    if staleness.get("n"):
+        print(
+            f"  staleness ms: p50 {staleness['p50']:.1f}  "
+            f"p99 {staleness['p99']:.1f}"
+        )
+    degraded_networks = sum(
+        1
+        for tr in result.networks.values()
+        if tr.extras.get("degraded") is not None
+        and bool(tr.extras["degraded"].any())
+    )
+    print(f"  networks with degraded steps: {degraded_networks}")
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan
+    from repro.stream import (
+        FleetConfig,
+        StreamConfig,
+        StreamDisruption,
+        run_stream,
+    )
+
+    plan = None
+    faulted: tuple[int, ...] = ()
+    if args.faulted > 0:
+        plan = FaultPlan(
+            anchor_failure_rate=0.5,
+            link_loss_rate=0.3,
+            outlier_fraction=0.3,
+            outlier_bias_ratio=1.5,
+            seed=args.seed,
+        )
+        faulted = tuple(range(min(args.faulted, args.networks)))
+    fleet = FleetConfig(
+        n_networks=args.networks,
+        n_nodes=args.nodes,
+        anchor_ratio=args.anchor_ratio,
+        n_steps=args.steps,
+        radio_range=args.radio_range,
+        noise_sigma=args.noise,
+        step_sigma=args.step_sigma,
+        seed=args.seed,
+        fault_plan=plan,
+        faulted_networks=faulted,
+    )
+    stream = StreamConfig(grid_size=args.grid, n_workers=args.workers)
+    disruption = None
+    if args.late or args.duplicates or args.drops:
+        disruption = StreamDisruption(
+            late_rate=args.late,
+            duplicate_rate=args.duplicates,
+            drop_rate=args.drops,
+            seed=args.seed,
+        )
+    try:
+        result = run_stream(
+            fleet, stream, disruption, checkpoint=args.checkpoint
+        )
+    except Exception as exc:
+        _reraise_unless_checkpoint_error(exc)
+        return 1
+    _print_stream_summary(
+        result,
+        f"streamed {args.networks} networks × {args.steps + 1} steps "
+        f"(seed {args.seed})",
+    )
     return 0
 
 

@@ -15,12 +15,13 @@ plus the static scenario pieces (radio, ranging, anchors).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
 from repro.core.bnloc import GridBPConfig, GridBPLocalizer
 from repro.core.grid import Grid2D
-from repro.measurement.measurements import observe
+from repro.measurement.measurements import MeasurementSet, observe
 from repro.measurement.ranging import RangingModel
 from repro.network.radio import RadioModel
 from repro.network.topology import WSNetwork
@@ -74,6 +75,15 @@ class TrackingResult:
 class SequentialGridTracker:
     """Grid Bayesian tracker: posterior → motion diffusion → next prior.
 
+    :meth:`track` consumes a whole trajectory; :meth:`step` is the
+    per-epoch warm-start entry point the streaming runtime
+    (:mod:`repro.stream`) drives — one measurement epoch in, the
+    localization result plus the motion-diffused prior for the *next*
+    epoch out.  Both paths share one long-lived
+    :class:`~repro.core.bnloc.GridBPLocalizer` (so the shared potential
+    cache stays warm across steps) and one cached diffusion kernel, and
+    are bit-identical to rebuilding everything per step.
+
     Parameters
     ----------
     radio, ranging:
@@ -98,6 +108,57 @@ class SequentialGridTracker:
         self.ranging = ranging
         self.motion_sigma = float(motion_sigma)
         self.config = config if config is not None else GridBPConfig(max_iterations=8)
+        self._localizer = GridBPLocalizer(radio=self.radio, config=self.config)
+        self._grid: Grid2D | None = None
+
+    def grid_for(self, width: float, height: float) -> Grid2D:
+        """The tracker's grid over a ``width × height`` field (reused
+        across steps — identical geometry means identical cells)."""
+        grid = self._grid
+        if (
+            grid is None
+            or float(grid.width) != float(width)
+            or float(grid.height) != float(height)
+        ):
+            grid = Grid2D(self.config.grid_size, self.config.grid_size, width, height)
+            self._grid = grid
+        return grid
+
+    def diffuse(
+        self, beliefs: Mapping[int, np.ndarray], width: float = 1.0, height: float = 1.0
+    ) -> GridBeliefPrior:
+        """Motion-diffuse per-node *beliefs* into the next step's prior."""
+        return GridBeliefPrior(
+            self.grid_for(width, height), beliefs, diffusion_sigma=self.motion_sigma
+        )
+
+    def step(
+        self,
+        measurements: MeasurementSet,
+        prior: PositionPrior | None = None,
+        rng: RNGLike = None,
+    ):
+        """Localize one measurement epoch warm-started from *prior*.
+
+        Returns ``(result, next_prior)`` where *next_prior* is the
+        posterior diffused through the motion kernel — ready to seed the
+        following epoch.  ``prior=None`` is a cold start (uniform).  The
+        solver instance (and with it the shared potential cache and the
+        prepared-problem machinery) persists across calls, so repeated
+        steps skip the per-step rebuild the original tracker paid; the
+        results are bit-identical to constructing a fresh localizer per
+        step (gated by ``tests/test_stream.py``).
+        """
+        loc = self._localizer
+        loc.prior = prior
+        try:
+            result = loc.localize(measurements, rng)
+        finally:
+            loc.prior = None
+        next_prior = self.diffuse(
+            result.extras["beliefs"], measurements.width, measurements.height
+        )
+        return result, next_prior
 
     def track(
         self,
@@ -113,7 +174,6 @@ class SequentialGridTracker:
         gen = as_generator(rng)
         anchor_mask = np.asarray(anchor_mask, dtype=bool)
         T1, n, _ = traj.shape
-        grid = Grid2D(self.config.grid_size, self.config.grid_size, width, height)
 
         estimates = np.full((T1, n, 2), np.nan)
         localized = np.zeros((T1, n), dtype=bool)
@@ -128,15 +188,9 @@ class SequentialGridTracker:
                 radio_range=self.radio.range_,
             )
             ms = observe(net, self.ranging, gen)
-            loc = GridBPLocalizer(prior=prior, radio=self.radio, config=self.config)
-            res = loc.localize(ms, gen)
+            res, prior = self.step(ms, prior, gen)
             estimates[t] = res.estimates
             localized[t] = res.localized_mask
-            # Diffuse the posterior through the motion model into the next
-            # step's prior.
-            prior = GridBeliefPrior(
-                grid, res.extras["beliefs"], diffusion_sigma=self.motion_sigma
-            )
         return TrackingResult(estimates, localized, "seq-grid-bp")
 
 

@@ -17,7 +17,12 @@ untouched and the results bit-identical to untraced runs.  ``python -m
 repro trace`` prints the same information from the command line.
 """
 
-from repro.obs.report import format_trace_table, merge_traces, trace_summary
+from repro.obs.report import (
+    format_trace_table,
+    merge_traces,
+    reservoir_summary,
+    trace_summary,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     TRACE_SCHEMA_VERSION,
@@ -33,4 +38,5 @@ __all__ = [
     "format_trace_table",
     "trace_summary",
     "merge_traces",
+    "reservoir_summary",
 ]

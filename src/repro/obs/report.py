@@ -12,7 +12,33 @@ from typing import Iterable, Mapping
 
 from repro.utils.tables import format_table
 
-__all__ = ["format_trace_table", "trace_summary", "merge_traces"]
+__all__ = [
+    "format_trace_table",
+    "trace_summary",
+    "merge_traces",
+    "reservoir_summary",
+]
+
+
+def reservoir_summary(values) -> dict:
+    """JSON-safe percentile block for a bounded sample reservoir.
+
+    The common shape every metrics surface exports (serve latencies,
+    stream staleness): sample count, p50/p99, and mean — ``None`` when
+    the reservoir is empty so the block stays JSON-clean.
+    """
+    import numpy as np
+
+    vals = list(values)
+    if not vals:
+        return {"n": 0, "p50": None, "p99": None, "mean": None}
+    arr = np.asarray(vals, dtype=np.float64)
+    return {
+        "n": len(vals),
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+    }
 
 #: iteration-record keys shown as table columns, in display order
 _ITERATION_COLUMNS = (

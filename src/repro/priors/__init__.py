@@ -20,10 +20,11 @@ from repro.priors.deployment import (
     RegionPrior,
 )
 from repro.priors.composition import ProductPrior, combine
-from repro.priors.belief import GridBeliefPrior
+from repro.priors.belief import GridBeliefPrior, diffusion_kernel
 
 __all__ = [
     "GridBeliefPrior",
+    "diffusion_kernel",
     "PositionPrior",
     "UniformPrior",
     "GaussianPrior",

@@ -11,6 +11,7 @@ diffusion kernel (used by the tracker as its motion model).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
@@ -21,7 +22,42 @@ from repro.utils.stablemath import safe_log
 if TYPE_CHECKING:
     from repro.core.grid import Grid2D
 
-__all__ = ["GridBeliefPrior"]
+__all__ = ["GridBeliefPrior", "diffusion_kernel"]
+
+#: process-level cache of diffusion kernels, keyed on grid geometry and
+#: sigma.  A kernel is a pure function of the key, so a cached kernel is
+#: bit-identical to a freshly built one; bounded LRU like the potential
+#: registry.  Sequential trackers and the streaming runtime rebuild a
+#: GridBeliefPrior every step — without this the (K, K) kernel was
+#: reconstructed each time.
+_KERNEL_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_KERNEL_CACHE_MAX = 8
+
+
+def diffusion_kernel(grid: "Grid2D", sigma: float) -> np.ndarray:
+    """The column-normalized Gaussian motion kernel over *grid* (cached).
+
+    ``kernel[:, j]`` is the distribution of next-step cells for mass
+    currently in cell *j*: an isotropic Gaussian of scale *sigma*,
+    truncated at ``4 sigma`` and renormalized, so diffusion conserves
+    probability mass even at the field boundary (mass near an edge piles
+    up against it instead of leaking out).
+    """
+    if sigma <= 0:
+        raise ValueError("diffusion kernel requires sigma > 0")
+    key = (grid.nx, grid.ny, float(grid.width), float(grid.height), float(sigma))
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is not None:
+        _KERNEL_CACHE.move_to_end(key)
+        return kernel
+    D = grid.pairwise_center_distances()
+    kernel = np.exp(-(D**2) / (2 * sigma**2))
+    kernel[D > 4 * sigma] = 0.0
+    kernel /= kernel.sum(axis=0)[None, :]
+    _KERNEL_CACHE[key] = kernel
+    while len(_KERNEL_CACHE) > _KERNEL_CACHE_MAX:
+        _KERNEL_CACHE.popitem(last=False)
+    return kernel
 
 
 class GridBeliefPrior(PositionPrior):
@@ -60,10 +96,7 @@ class GridBeliefPrior(PositionPrior):
         self.floor = float(floor)
         kernel = None
         if self.diffusion_sigma > 0:
-            D = grid.pairwise_center_distances()
-            kernel = np.exp(-(D**2) / (2 * self.diffusion_sigma**2))
-            kernel[D > 4 * self.diffusion_sigma] = 0.0
-            kernel /= kernel.sum(axis=0)[None, :]
+            kernel = diffusion_kernel(grid, self.diffusion_sigma)
         self.weights: dict[int, np.ndarray] = {}
         uniform = 1.0 / grid.n_cells
         for node, b in beliefs.items():

@@ -56,7 +56,7 @@ class BatchExecutionError(RuntimeError):
 # in-worker execution
 
 
-def _item_payload(result, ms, true_positions=None) -> dict:
+def _item_payload(result, ms, true_positions=None, include_beliefs=False) -> dict:
     """Condense a LocalizationResult into a pipe-friendly payload."""
     from repro.serve.types import widened_sigma
 
@@ -91,6 +91,10 @@ def _item_payload(result, ms, true_positions=None) -> dict:
             axis=1,
         )
         payload["mean_error"] = float(np.mean(err)) if len(err) else 0.0
+    if include_beliefs:
+        # Streaming trackers need the posterior itself back across the
+        # pipe: the next epoch's prior is these beliefs motion-diffused.
+        payload["beliefs"] = dict(result.extras.get("beliefs", {}))
     return payload
 
 
@@ -98,7 +102,9 @@ def execute_batch(items: list[dict], deadline_s: float | None = None) -> list[di
     """Run one micro-batch of compatible localization problems.
 
     *items* are dicts with ``measurements``, ``prior`` (optional),
-    ``config``, and optional ``true_positions``.  All items share a
+    ``config``, optional ``true_positions``, and optional
+    ``include_beliefs`` (return the full posterior belief vectors in the
+    payload — the streaming runtime's warm-start feed).  All items share a
     batch key, so their prepared problems stack; groups of more than one
     run the ``batched`` kernel backend, singletons the ``reference``
     backend (bit-identical for a single trial, without the stacking
@@ -146,7 +152,14 @@ def execute_batch(items: list[dict], deadline_s: float | None = None) -> list[di
                 "error": f"{type(res).__name__}: {res}",
             })
         else:
-            out.append(_item_payload(res, ms, item.get("true_positions")))
+            out.append(
+                _item_payload(
+                    res,
+                    ms,
+                    item.get("true_positions"),
+                    include_beliefs=bool(item.get("include_beliefs", False)),
+                )
+            )
     return out
 
 
@@ -220,6 +233,24 @@ class WorkerHandle:
             return await loop.run_in_executor(
                 None, _pipe_call, self.conn, msg, timeout
             )
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise WorkerCrash(
+                f"worker {self.id} (pid {self.pid}) pipe failed: {exc!r}"
+            ) from exc
+        except TimeoutError as exc:
+            raise WorkerCrash(
+                f"worker {self.id} (pid {self.pid}) timed out"
+            ) from exc
+
+    def call_sync(self, msg: tuple, timeout: float):
+        """Blocking variant of :meth:`call` for non-asyncio callers.
+
+        Same crash translation: any pipe failure or timeout surfaces as
+        :class:`WorkerCrash` so the caller can kill/replace/retry.  Used
+        by the synchronous streaming runtime (:mod:`repro.stream`).
+        """
+        try:
+            return _pipe_call(self.conn, msg, timeout)
         except (EOFError, BrokenPipeError, OSError) as exc:
             raise WorkerCrash(
                 f"worker {self.id} (pid {self.pid}) pipe failed: {exc!r}"

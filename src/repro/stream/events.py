@@ -1,0 +1,133 @@
+"""Measurement-epoch events and hostile-stream disruption.
+
+The streaming runtime consumes :class:`Epoch` events: one network's
+measurement snapshot at one time step.  A well-behaved feed delivers
+them in time order; real feeds do not.  :class:`StreamDisruption` is the
+seeded adversary — it reorders (late delivery), duplicates, and drops
+events from an ordered feed, deterministically, so the hostile-stream
+tests and the E21 chaos lane replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.measurement.measurements import MeasurementSet
+
+__all__ = ["Epoch", "DisruptionStats", "StreamDisruption"]
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One network's measurement snapshot at one tracking step.
+
+    Attributes
+    ----------
+    network_id, step:
+        Which network, which time step (steps are per-network and
+        contiguous from 0 in a clean feed).
+    measurements:
+        The observable slice the localizer consumes.
+    true_positions:
+        Ground truth ``(n, 2)`` when the feed is simulated — used only
+        for accuracy gating, never by the runtime's inference path.
+    """
+
+    network_id: int
+    step: int
+    measurements: MeasurementSet
+    true_positions: np.ndarray | None = None
+
+
+@dataclass
+class DisruptionStats:
+    """What the adversary actually did to the feed."""
+
+    n_events: int = 0
+    n_delayed: int = 0
+    n_duplicated: int = 0
+    n_dropped: int = 0
+
+    @property
+    def disrupted_fraction(self) -> float:
+        if self.n_events == 0:
+            return 0.0
+        return (self.n_delayed + self.n_duplicated + self.n_dropped) / self.n_events
+
+
+@dataclass(frozen=True)
+class StreamDisruption:
+    """Seeded late/duplicate/drop adversary over an ordered event feed.
+
+    Each event independently: dropped with ``drop_rate``; delayed by a
+    uniform lag in ``[1, max_lag]`` slots with ``late_rate`` (delivered
+    out of order past everything it overtakes); and echoed once with
+    ``duplicate_rate`` (the echo lands a uniform lag later).  All draws
+    come from one seeded stream over the events in feed order, so the
+    same plan applied to the same feed is bit-identical — resuming a
+    killed run regenerates the exact same hostile arrival order.
+    """
+
+    late_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    drop_rate: float = 0.0
+    max_lag: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("late_rate", "duplicate_rate", "drop_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} must lie in [0, 1], got {rate}")
+        if self.max_lag < 1:
+            raise ValueError("max_lag must be >= 1")
+
+    def apply(self, events: list[Epoch]) -> tuple[list[Epoch], DisruptionStats]:
+        """The disrupted arrival order of *events* plus what was done."""
+        gen = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(0xD157,))
+        )
+        stats = DisruptionStats(n_events=len(events))
+        keyed: list[tuple[float, int, Epoch]] = []
+        for i, epoch in enumerate(events):
+            # Fixed draw order per event keeps the stream deterministic
+            # whatever the rates are.
+            u_drop, u_late, u_dup = gen.random(3)
+            lag = int(gen.integers(1, self.max_lag + 1))
+            dup_lag = int(gen.integers(1, self.max_lag + 1))
+            if u_drop < self.drop_rate:
+                stats.n_dropped += 1
+                continue
+            if u_late < self.late_rate:
+                stats.n_delayed += 1
+                # +0.5 lands the late event *after* the on-time event at
+                # the destination slot.
+                keyed.append((i + lag + 0.5, i, epoch))
+            else:
+                keyed.append((float(i), i, epoch))
+            if u_dup < self.duplicate_rate:
+                stats.n_duplicated += 1
+                keyed.append((i + dup_lag + 0.75, i, epoch))
+        keyed.sort(key=lambda t: (t[0], t[1]))
+        return [epoch for _, _, epoch in keyed], stats
+
+    def to_dict(self) -> dict:
+        return {
+            "late_rate": self.late_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "drop_rate": self.drop_rate,
+            "max_lag": self.max_lag,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamDisruption":
+        return cls(
+            late_rate=float(data.get("late_rate", 0.0)),
+            duplicate_rate=float(data.get("duplicate_rate", 0.0)),
+            drop_rate=float(data.get("drop_rate", 0.0)),
+            max_lag=int(data.get("max_lag", 8)),
+            seed=int(data.get("seed", 0)),
+        )

@@ -1,0 +1,72 @@
+"""Stream-runtime metrics: ingest hygiene, solve outcomes, staleness.
+
+Counter names (all on the underlying :class:`repro.obs.Tracer`):
+
+``ingested / duplicates / stale_discarded / out_of_order`` — ingest
+hygiene; ``solved / replayed / coasted / shed / failed`` — per-epoch
+outcomes; ``guard_trips / cold_resolves`` — the warm-start divergence
+guard; ``worker_replacements`` — pool supervision.
+
+Staleness (seconds between an epoch's arrival and its belief update
+landing) feeds a bounded sliding reservoir; :meth:`snapshot` exports
+p50/p99 via :func:`repro.obs.reservoir_summary` plus sustained
+updates/sec over the run — the two headline numbers of E21.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.obs import Tracer
+from repro.obs.report import reservoir_summary
+
+__all__ = ["StreamMetrics"]
+
+
+class StreamMetrics:
+    """Counters plus a staleness reservoir for one stream run."""
+
+    def __init__(self, window: int = 4096, clock=time.perf_counter) -> None:
+        self.tracer = Tracer()
+        self._staleness = deque(maxlen=window)
+        self._clock = clock
+        self._started: float | None = None
+        self._finished: float | None = None
+
+    # ------------------------------------------------------------------ #
+    def now(self) -> float:
+        return self._clock()
+
+    def start(self) -> None:
+        if self._started is None:
+            self._started = self._clock()
+
+    def finish(self) -> None:
+        self._finished = self._clock()
+
+    def count(self, name: str, n: int = 1) -> None:
+        if n:
+            self.tracer.count(name, n)
+
+    def observe_staleness(self, seconds: float) -> None:
+        self._staleness.append(float(seconds) * 1e3)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def elapsed_s(self) -> float | None:
+        if self._started is None:
+            return None
+        end = self._finished if self._finished is not None else self._clock()
+        return max(end - self._started, 1e-9)
+
+    def snapshot(self) -> dict:
+        counters = dict(self.tracer.counters)
+        updates = counters.get("solved", 0) + counters.get("coasted", 0)
+        elapsed = self.elapsed_s
+        return {
+            "counters": counters,
+            "staleness_ms": reservoir_summary(self._staleness),
+            "elapsed_s": elapsed,
+            "updates_per_sec": (updates / elapsed) if elapsed else None,
+        }

@@ -1,0 +1,712 @@
+"""The fault-tolerant streaming tracking runtime.
+
+Measurement epochs for many concurrent mobile networks arrive as one
+event stream; each network's belief updates incrementally — grid BP
+warm-started from the previous step's motion-diffused posterior
+(:class:`~repro.priors.GridBeliefPrior`) instead of a cold re-solve.
+Robustness is the headline contract:
+
+* **Hostile stream.**  Per-network watermarks with bounded reordering
+  buffers absorb out-of-order and duplicate epochs; epochs arriving
+  behind the watermark are discarded (counted), and a *gap* (dropped
+  epoch) is eventually coasted over — the prior diffuses through the
+  motion model and the step is flagged ``degraded`` — so one lost
+  packet never stalls a network forever.
+* **Warm-start divergence guard.**  A warm solve whose beliefs come
+  back broken (:func:`repro.core.health.healthy_belief_rows` /
+  fallback-flagged) or whose estimates jump implausibly far is treated
+  as a poisoned-prior symptom: the epoch is re-solved cold (uniform
+  prior, full iterations) and flagged ``degraded`` instead of letting
+  garbage become the next step's pre-knowledge.
+* **Per-network failure isolation.**  A solver error degrades one
+  epoch of one network to health-fallback estimates; batch-mates and
+  the rest of the fleet are untouched (``execute_batch`` isolates
+  per-item failures, the pool executor survives worker death).
+* **Bounded admission.**  When ingest outruns solve, a network's ready
+  backlog beyond ``max_ready_burst`` is shed: oldest epochs coast
+  (flagged) rather than queue without bound — staleness is bounded by
+  construction.
+* **Mid-flight resumability.**  With a checkpoint, every completed
+  epoch (solved, coasted, shed, or failed) is a durable CRC-framed
+  ledger record.  Re-running the same stream replays finished epochs
+  bit-identically and continues live from the kill point — the event
+  feed and every admission decision are deterministic, so a killed and
+  resumed run is indistinguishable from an uninterrupted one.
+
+Same-shape epochs across networks batch onto the batched kernel backend
+(``localize_batch`` groups by compatibility key), and the executor layer
+(:mod:`repro.stream.pool`) shards batches across warm workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ckpt import decode_value, encode_value, resolve_checkpoint, seed_fingerprint
+from repro.core.bnloc import GridBPConfig
+from repro.core.grid import Grid2D
+from repro.core.health import fallback_position, healthy_belief_rows
+from repro.mobility.tracking import TrackingResult
+from repro.priors.belief import GridBeliefPrior
+from repro.stream.events import Epoch, StreamDisruption
+from repro.stream.metrics import StreamMetrics
+from repro.stream.pool import InlineExecutor, StreamWorkerPool
+from repro.stream.scenario import FleetConfig, fleet_events
+
+__all__ = [
+    "StreamConfig",
+    "StreamResult",
+    "StreamRuntime",
+    "run_stream",
+    "stream_meta",
+]
+
+STREAM_METHOD = "stream-grid-bp"
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs of the streaming runtime (all resume-identity relevant)."""
+
+    grid_size: int = 16
+    warm_iterations: int = 4
+    cold_iterations: int = 10
+    motion_sigma: float = 0.03
+    reorder_window: int = 16
+    max_gap_events: int | None = None
+    max_ready_burst: int = 4
+    jump_guard_radii: float = 1.5
+    batch_max: int = 32
+    n_workers: int = 0
+    worker_timeout_s: float = 120.0
+    width: float = 1.0
+    height: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.warm_iterations < 1 or self.cold_iterations < 1:
+            raise ValueError("iteration budgets must be >= 1")
+        if self.motion_sigma <= 0:
+            raise ValueError("motion_sigma must be positive")
+        if self.reorder_window < 1:
+            raise ValueError("reorder_window must be >= 1")
+        if self.max_gap_events is not None and self.max_gap_events < 1:
+            raise ValueError("max_gap_events must be >= 1 (or None for auto)")
+        if self.max_ready_burst < 1:
+            raise ValueError("max_ready_burst must be >= 1")
+        if self.jump_guard_radii <= 0:
+            raise ValueError("jump_guard_radii must be positive")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamConfig":
+        return cls(**data)
+
+    def resolved_gap(self, n_networks: int) -> int:
+        """Auto gap budget: a dropped epoch shows up as a hole roughly
+        ``n_networks`` events wide in a step-major feed, so wait ~3
+        fleet-rounds before coasting over it."""
+        if self.max_gap_events is not None:
+            return self.max_gap_events
+        return max(64, 3 * n_networks)
+
+
+class NetworkState:
+    """Watermark, reorder buffer, and warm-start state of one network."""
+
+    def __init__(self, network_id: int) -> None:
+        self.network_id = network_id
+        self.next_step = 0
+        self.buffer: dict[int, Epoch] = {}
+        self.arrival_t: dict[int, float] = {}
+        self.prior: GridBeliefPrior | None = None
+        self.last_estimates: np.ndarray | None = None
+        self.last_solved_step: int | None = None
+        self.last_progress_event = 0
+        self.n_nodes: int | None = None
+        self.anchor_mask: np.ndarray | None = None
+        self.last_anchor_full: np.ndarray | None = None
+        self.consecutive_failures = 0
+        #: step -> {"kind", "degraded", "reason", "estimates", "localized"}
+        self.steps: dict[int, dict] = {}
+
+
+@dataclass
+class StreamResult:
+    """Everything a stream run produced."""
+
+    networks: dict[int, TrackingResult]
+    metrics: dict
+    executor: dict = field(default_factory=dict)
+
+    @property
+    def lost_networks(self) -> list[int]:
+        """Networks with no estimates at their final step (must be empty
+        — the zero-lost contract)."""
+        lost = []
+        for nid, tr in sorted(self.networks.items()):
+            if tr.estimates.size == 0 or not np.isfinite(tr.estimates[-1]).any():
+                lost.append(nid)
+        return lost
+
+
+class StreamRuntime:
+    """One streaming run over one event feed.  See the module docstring
+    for the robustness contract; :func:`run_stream` is the assembled
+    driver (scenario → disruption → executor → runtime → result)."""
+
+    def __init__(
+        self,
+        config: StreamConfig | None = None,
+        executor=None,
+        checkpoint=None,
+        metrics: StreamMetrics | None = None,
+        expected_networks: int | None = None,
+    ) -> None:
+        self.config = config if config is not None else StreamConfig()
+        self.executor = executor if executor is not None else InlineExecutor()
+        self.checkpoint = checkpoint
+        self.metrics = metrics if metrics is not None else StreamMetrics()
+        self._grid = Grid2D(
+            self.config.grid_size,
+            self.config.grid_size,
+            self.config.width,
+            self.config.height,
+        )
+        self._warm_cfg = GridBPConfig(
+            grid_size=self.config.grid_size,
+            max_iterations=self.config.warm_iterations,
+        )
+        self._cold_cfg = GridBPConfig(
+            grid_size=self.config.grid_size,
+            max_iterations=self.config.cold_iterations,
+        )
+        self._states: dict[int, NetworkState] = {}
+        self._events_ingested = 0
+        self._default_n_nodes: int | None = None
+        self._gap_budget = self.config.resolved_gap(
+            expected_networks if expected_networks else 1
+        )
+
+    # ------------------------------------------------------------------ #
+    # state plumbing
+    # ------------------------------------------------------------------ #
+    def _state(self, network_id: int) -> NetworkState:
+        state = self._states.get(network_id)
+        if state is None:
+            state = NetworkState(network_id)
+            self._states[network_id] = state
+        return state
+
+    def _diffuse(self, beliefs) -> GridBeliefPrior:
+        return GridBeliefPrior(
+            self._grid, beliefs, diffusion_sigma=self.config.motion_sigma
+        )
+
+    def _coast_prior(self, state: NetworkState) -> None:
+        """Advance the prior through the motion model with no evidence."""
+        if state.prior is not None:
+            state.prior = self._diffuse(state.prior.weights)
+
+    def _wire_prior(self, prior: GridBeliefPrior | None):
+        """Pipe-light copy of a prior: fresh grid (no cached (K, K)
+        pairwise matrix rides the pickle), diffusion already applied."""
+        if prior is None:
+            return None
+        light = Grid2D(
+            self.config.grid_size,
+            self.config.grid_size,
+            self.config.width,
+            self.config.height,
+        )
+        return GridBeliefPrior(light, prior.weights, diffusion_sigma=0.0, floor=0.0)
+
+    def _key(self, network_id: int, step: int) -> str:
+        return f"{network_id}:{step}"
+
+    # ------------------------------------------------------------------ #
+    # ingest: watermark + reorder buffer
+    # ------------------------------------------------------------------ #
+    def ingest(self, epoch: Epoch) -> None:
+        self._events_ingested += 1
+        self.metrics.count("ingested")
+        state = self._state(epoch.network_id)
+        if epoch.step < state.next_step:
+            done = state.steps.get(epoch.step)
+            if done is not None and done["kind"] in ("coasted", "shed"):
+                # The real epoch finally showed up — after we moved on.
+                self.metrics.count("stale_discarded")
+            else:
+                self.metrics.count("duplicates")
+            return
+        if epoch.step in state.buffer:
+            self.metrics.count("duplicates")
+            return
+        if epoch.step > state.next_step:
+            self.metrics.count("out_of_order")
+        state.buffer[epoch.step] = epoch
+        state.arrival_t[epoch.step] = self.metrics.now()
+
+    # ------------------------------------------------------------------ #
+    # watermark advancement: gap coasting + staleness shedding
+    # ------------------------------------------------------------------ #
+    def _maybe_advance(self, state: NetworkState, force: bool) -> None:
+        if state.buffer and state.next_step not in state.buffer:
+            gap_age = self._events_ingested - state.last_progress_event
+            overflow = len(state.buffer) >= self.config.reorder_window
+            if force or overflow or gap_age > self._gap_budget:
+                target = min(state.buffer)
+                while state.next_step < target:
+                    self._coast(state, "coasted")
+        # Staleness shedding: a backlog longer than the burst budget
+        # means ingest outran solve for this network — coast the oldest
+        # ready epochs instead of queueing them without bound.
+        run = 0
+        while state.next_step + run in state.buffer:
+            run += 1
+        for _ in range(max(0, run - self.config.max_ready_burst)):
+            state.buffer.pop(state.next_step)
+            self._coast(state, "shed")
+
+    def _coast(self, state: NetworkState, kind: str) -> None:
+        step = state.next_step
+        key = self._key(state.network_id, step)
+        record = self.checkpoint.get(key) if self.checkpoint is not None else None
+        if record is not None:
+            self.metrics.count("replayed")
+            decoded = decode_value(record)
+        else:
+            estimates, localized = self._coast_estimates(state)
+            decoded = {
+                "kind": kind,
+                "degraded": True,
+                "reason": kind,
+                "estimates": estimates,
+                "localized": localized,
+            }
+            if self.checkpoint is not None:
+                self.checkpoint.record(key, encode_value(decoded))
+        state.steps[step] = decoded
+        state.arrival_t.pop(step, None)
+        state.next_step = step + 1
+        state.last_progress_event = self._events_ingested
+        if decoded["kind"] == "solved":
+            # Replay of a run that solved this step live (the admission
+            # decisions are deterministic, so this only happens when the
+            # ledger is ahead of us) — restore the warm-start state.
+            beliefs = decoded.get("beliefs") or {}
+            if beliefs:
+                state.prior = self._diffuse(beliefs)
+            state.last_estimates = np.asarray(decoded["estimates"])
+            state.last_solved_step = step
+        else:
+            self._coast_prior(state)
+        self.metrics.count(decoded["kind"])
+
+    def _coast_estimates(self, state: NetworkState) -> tuple[np.ndarray, np.ndarray]:
+        n = state.n_nodes if state.n_nodes is not None else self._default_n_nodes
+        if n is None:
+            raise ValueError(
+                f"cannot coast network {state.network_id}: node count unknown "
+                "(pass n_nodes to run())"
+            )
+        estimates = np.full((n, 2), np.nan)
+        localized = np.zeros(n, dtype=bool)
+        center = np.array([self.config.width / 2.0, self.config.height / 2.0])
+        if state.anchor_mask is not None and state.last_anchor_full is not None:
+            anchors = state.anchor_mask
+            estimates[anchors] = state.last_anchor_full[anchors]
+            localized[anchors] = True
+            unknown_ids = np.flatnonzero(~anchors)
+        else:
+            unknown_ids = np.arange(n)
+        for node in unknown_ids:
+            w = state.prior.weights.get(int(node)) if state.prior is not None else None
+            if w is not None:
+                estimates[node] = self._grid.expectation(w)
+            elif state.last_estimates is not None and np.isfinite(
+                state.last_estimates[node]
+            ).all():
+                estimates[node] = state.last_estimates[node]
+            else:
+                estimates[node] = center
+            localized[node] = True
+        return estimates, localized
+
+    # ------------------------------------------------------------------ #
+    # solving
+    # ------------------------------------------------------------------ #
+    def _item(self, state: NetworkState, epoch: Epoch, warm: bool) -> dict:
+        return {
+            "measurements": epoch.measurements,
+            "prior": self._wire_prior(state.prior) if warm else None,
+            "config": self._warm_cfg if warm and state.prior is not None
+            else self._cold_cfg,
+            "include_beliefs": True,
+        }
+
+    def _assess(self, state: NetworkState, epoch: Epoch, payload: dict) -> str:
+        """'ok' | 'guard' (poisoned-prior symptom) | 'failed'."""
+        if not payload.get("ok"):
+            return "failed"
+        if state.prior is None:
+            return "ok"  # cold solve: nothing to guard against
+        if np.asarray(payload["fallback_mask"]).any():
+            return "guard"
+        beliefs = payload.get("beliefs") or {}
+        if beliefs:
+            stacked = np.stack([np.asarray(b) for b in beliefs.values()])
+            if not healthy_belief_rows(stacked).all():
+                return "guard"
+        if state.last_estimates is not None and state.last_solved_step is not None:
+            ms = epoch.measurements
+            unknown = ~ms.anchor_mask
+            est = np.asarray(payload["estimates"])
+            prev = state.last_estimates
+            both = (
+                unknown
+                & np.isfinite(est).all(axis=1)
+                & np.isfinite(prev).all(axis=1)
+            )
+            if both.any():
+                jumps = np.linalg.norm(est[both] - prev[both], axis=1)
+                gap = max(epoch.step - state.last_solved_step, 1)
+                limit = self.config.jump_guard_radii * ms.radio_range * gap
+                if float(np.median(jumps)) > limit:
+                    return "guard"
+        return "ok"
+
+    def _commit(
+        self,
+        state: NetworkState,
+        epoch: Epoch,
+        payload: dict,
+        degraded: bool,
+        reason: str | None,
+    ) -> None:
+        step = epoch.step
+        ms = epoch.measurements
+        estimates = np.asarray(payload["estimates"], dtype=np.float64)
+        localized = np.asarray(payload["localized_mask"], dtype=bool)
+        beliefs = {int(k): np.asarray(v) for k, v in (payload.get("beliefs") or {}).items()}
+        decoded = {
+            "kind": "solved",
+            "degraded": bool(degraded),
+            "reason": reason,
+            "estimates": estimates,
+            "localized": localized,
+            "beliefs": beliefs,
+        }
+        if self.checkpoint is not None:
+            self.checkpoint.record(
+                self._key(state.network_id, step), encode_value(decoded)
+            )
+        self._apply_solved(state, epoch, decoded)
+        arrived = state.arrival_t.pop(step, None)
+        if arrived is not None:
+            self.metrics.observe_staleness(self.metrics.now() - arrived)
+        self.metrics.count("solved")
+        if degraded:
+            self.metrics.count("degraded_steps")
+        state.consecutive_failures = 0
+        self._note_epoch_shape(state, ms)
+
+    def _commit_failed(
+        self, state: NetworkState, epoch: Epoch, payload: dict
+    ) -> None:
+        step = epoch.step
+        ms = epoch.measurements
+        n = ms.n_nodes
+        estimates = np.full((n, 2), np.nan)
+        localized = np.zeros(n, dtype=bool)
+        estimates[ms.anchor_mask] = ms.anchor_positions_full[ms.anchor_mask]
+        localized[ms.anchor_mask] = True
+        for node in np.flatnonzero(~ms.anchor_mask):
+            estimates[node] = fallback_position(
+                ms, int(node), state.prior, self._grid
+            )
+            localized[node] = True
+        decoded = {
+            "kind": "failed",
+            "degraded": True,
+            "reason": payload.get("error", "solver error"),
+            "estimates": estimates,
+            "localized": localized,
+        }
+        if self.checkpoint is not None:
+            self.checkpoint.record(
+                self._key(state.network_id, step), encode_value(decoded)
+            )
+        state.steps[step] = decoded
+        state.arrival_t.pop(step, None)
+        state.next_step = step + 1
+        state.last_progress_event = self._events_ingested
+        self._coast_prior(state)
+        state.consecutive_failures += 1
+        self.metrics.count("failed")
+        self._note_epoch_shape(state, ms)
+
+    def _apply_solved(self, state: NetworkState, epoch: Epoch, decoded: dict) -> None:
+        step = epoch.step
+        state.steps[step] = decoded
+        state.next_step = step + 1
+        state.last_progress_event = self._events_ingested
+        beliefs = decoded.get("beliefs") or {}
+        if beliefs:
+            state.prior = self._diffuse(beliefs)
+        else:  # pragma: no cover - solved epochs always carry beliefs
+            self._coast_prior(state)
+        state.last_estimates = np.asarray(decoded["estimates"])
+        state.last_solved_step = step
+
+    def _note_epoch_shape(self, state: NetworkState, ms) -> None:
+        state.n_nodes = ms.n_nodes
+        state.anchor_mask = np.asarray(ms.anchor_mask, dtype=bool)
+        state.last_anchor_full = np.asarray(ms.anchor_positions_full)
+
+    def _replay(self, state: NetworkState, epoch: Epoch, record: dict) -> None:
+        decoded = decode_value(record)
+        self.metrics.count("replayed")
+        if decoded["kind"] == "solved":
+            self._apply_solved(state, epoch, decoded)
+            state.consecutive_failures = 0
+        else:
+            state.steps[epoch.step] = decoded
+            state.next_step = epoch.step + 1
+            state.last_progress_event = self._events_ingested
+            self._coast_prior(state)
+        state.arrival_t.pop(epoch.step, None)
+        self._note_epoch_shape(state, epoch.measurements)
+
+    def _solve_batch(self, batch: list[tuple[NetworkState, Epoch]]) -> None:
+        live: list[tuple[NetworkState, Epoch]] = []
+        for state, epoch in batch:
+            record = (
+                self.checkpoint.get(self._key(state.network_id, epoch.step))
+                if self.checkpoint is not None
+                else None
+            )
+            if record is not None:
+                self._replay(state, epoch, record)
+            else:
+                live.append((state, epoch))
+        if not live:
+            return
+        items = [
+            self._item(state, epoch, warm=state.prior is not None)
+            for state, epoch in live
+        ]
+        payloads = self.executor.solve(items)
+        retry: list[tuple[NetworkState, Epoch]] = []
+        for (state, epoch), payload in zip(live, payloads):
+            verdict = self._assess(state, epoch, payload)
+            if verdict == "failed":
+                self._commit_failed(state, epoch, payload)
+            elif verdict == "guard":
+                self.metrics.count("guard_trips")
+                retry.append((state, epoch))
+            else:
+                self._commit(state, epoch, payload, degraded=False, reason=None)
+        if not retry:
+            return
+        # Poisoned-prior fallback: cold re-solve at full iterations.
+        self.metrics.count("cold_resolves", len(retry))
+        cold_items = [self._item(state, epoch, warm=False) for state, epoch in retry]
+        cold_payloads = self.executor.solve(cold_items)
+        for (state, epoch), payload in zip(retry, cold_payloads):
+            if not payload.get("ok"):
+                self._commit_failed(state, epoch, payload)
+            else:
+                self._commit(
+                    state, epoch, payload, degraded=True, reason="warm-divergence"
+                )
+
+    # ------------------------------------------------------------------ #
+    # drain loop
+    # ------------------------------------------------------------------ #
+    def _collect_ready(self, force: bool) -> list[tuple[NetworkState, Epoch]]:
+        batch: list[tuple[NetworkState, Epoch]] = []
+        for nid in sorted(self._states):
+            state = self._states[nid]
+            self._maybe_advance(state, force)
+            if state.next_step in state.buffer:
+                batch.append((state, state.buffer.pop(state.next_step)))
+                if len(batch) >= self.config.batch_max:
+                    break
+        return batch
+
+    def _drain_once(self, force: bool = False) -> bool:
+        batch = self._collect_ready(force)
+        if not batch:
+            return False
+        self._solve_batch(batch)
+        return True
+
+    def _drain(self, force: bool = False) -> None:
+        while self._drain_once(force):
+            pass
+
+    def _should_drain(self) -> bool:
+        ready = 0
+        overdue = False
+        for state in self._states.values():
+            if state.next_step in state.buffer:
+                ready += 1
+                if ready >= min(self.config.batch_max, len(self._states)):
+                    return True
+            elif state.buffer:
+                gap_age = self._events_ingested - state.last_progress_event
+                if (
+                    gap_age > self._gap_budget
+                    or len(state.buffer) >= self.config.reorder_window
+                ):
+                    overdue = True
+        return overdue
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        events,
+        final_step: int | None = None,
+        network_ids=None,
+        n_nodes: int | None = None,
+    ) -> StreamResult:
+        """Consume *events*, flush, and assemble per-network results.
+
+        ``network_ids`` pre-registers the fleet so a network whose every
+        epoch was dropped still coasts to *final_step* (zero lost
+        networks); ``n_nodes`` sizes those pure-coast estimates.
+        """
+        self.metrics.start()
+        self._default_n_nodes = n_nodes
+        if network_ids is not None:
+            for nid in network_ids:
+                self._state(int(nid))
+        for epoch in events:
+            self.ingest(epoch)
+            if self._should_drain():
+                self._drain_once()
+        self._drain(force=True)
+        if final_step is not None:
+            for nid in sorted(self._states):
+                state = self._states[nid]
+                while state.next_step <= final_step:
+                    self._coast(state, "coasted")
+        self.metrics.finish()
+        return self._result(final_step)
+
+    # ------------------------------------------------------------------ #
+    def _result(self, final_step: int | None) -> StreamResult:
+        networks: dict[int, TrackingResult] = {}
+        for nid in sorted(self._states):
+            state = self._states[nid]
+            if not state.steps:
+                continue
+            t_max = max(state.steps) if final_step is None else final_step
+            n = state.n_nodes if state.n_nodes is not None else (
+                self._default_n_nodes or 0
+            )
+            if n == 0:
+                sizes = [rec["estimates"].shape[0] for rec in state.steps.values()]
+                n = sizes[0] if sizes else 0
+            estimates = np.full((t_max + 1, n, 2), np.nan)
+            localized = np.zeros((t_max + 1, n), dtype=bool)
+            degraded = np.zeros(t_max + 1, dtype=bool)
+            reasons: list[str | None] = [None] * (t_max + 1)
+            for step, rec in state.steps.items():
+                if step > t_max:
+                    continue
+                estimates[step] = rec["estimates"]
+                localized[step] = rec["localized"]
+                degraded[step] = bool(rec["degraded"])
+                reasons[step] = rec.get("reason")
+            networks[nid] = TrackingResult(
+                estimates,
+                localized,
+                STREAM_METHOD,
+                extras={"degraded": degraded, "reasons": reasons},
+            )
+        return StreamResult(
+            networks=networks,
+            metrics=self.metrics.snapshot(),
+            executor=self.executor.snapshot(),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# assembled driver
+# ---------------------------------------------------------------------- #
+def stream_meta(
+    fleet: FleetConfig,
+    stream: StreamConfig,
+    disruption: StreamDisruption | None,
+) -> dict:
+    """Ledger-header identity of a stream run (what resume validates)."""
+    return {
+        "kind": "stream",
+        "config": {
+            "fleet": fleet.to_dict(),
+            "stream": stream.to_dict(),
+            "disruption": disruption.to_dict() if disruption is not None else None,
+        },
+        "seed": seed_fingerprint(fleet.seed),
+        "total_cells": fleet.n_networks * (fleet.n_steps + 1),
+    }
+
+
+def run_stream(
+    fleet: FleetConfig,
+    stream: StreamConfig | None = None,
+    disruption: StreamDisruption | None = None,
+    checkpoint=None,
+    metrics: StreamMetrics | None = None,
+) -> StreamResult:
+    """Generate the fleet's event feed, disrupt it, and run the runtime.
+
+    Every piece is seeded, so the same arguments always produce the same
+    feed — which is what lets ``checkpoint=`` resume a killed run
+    bit-identically: replayed epochs come off the ledger, the rest solve
+    on the identical warm-start state.
+    """
+    stream = stream if stream is not None else StreamConfig()
+    events = fleet_events(fleet)
+    if disruption is not None:
+        events, _ = disruption.apply(events)
+    ck, own_ck = (None, False)
+    if checkpoint is not None:
+        ck, own_ck = resolve_checkpoint(
+            checkpoint, lambda: stream_meta(fleet, stream, disruption)
+        )
+    executor = (
+        StreamWorkerPool(
+            stream.n_workers, timeout_s=stream.worker_timeout_s, metrics=metrics
+        )
+        if stream.n_workers > 0
+        else InlineExecutor()
+    )
+    runtime = StreamRuntime(
+        stream,
+        executor=executor,
+        checkpoint=ck,
+        metrics=metrics,
+        expected_networks=fleet.n_networks,
+    )
+    try:
+        return runtime.run(
+            events,
+            final_step=fleet.n_steps,
+            network_ids=range(fleet.n_networks),
+            n_nodes=fleet.n_nodes,
+        )
+    finally:
+        executor.close()
+        if own_ck and ck is not None:
+            ck.close()

@@ -1,0 +1,186 @@
+"""Fleet scenarios: many concurrent mobile networks as one event feed.
+
+:func:`build_fleet` generates ``n_networks`` independent mobile WSNs
+(each its own topology, anchors, and random-walk trajectory) and
+:func:`fleet_events` turns them into the canonical step-major event feed
+(step 0 of every network, then step 1, …) the streaming runtime ingests.
+
+Every random draw derives from per-``(network, step)`` spawned
+``SeedSequence`` children of the fleet seed, so any epoch can be
+regenerated independently of generation order — the property that makes
+a killed-and-resumed stream regenerate the *identical* feed and continue
+bit-identically.
+
+Networks listed in ``faulted_networks`` get their epochs degraded
+through :func:`repro.faults.degrade_measurements` (dead anchors, lost
+links, outlier ranges) with a per-epoch reseeded plan — the chaos lane's
+crashing-network injection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults import FaultPlan, degrade_measurements
+from repro.measurement.measurements import observe
+from repro.measurement.ranging import GaussianRanging
+from repro.mobility.models import RandomWalkMobility
+from repro.network.generator import NetworkConfig, generate_network
+from repro.network.radio import UnitDiskRadio
+from repro.network.topology import WSNetwork
+from repro.stream.events import Epoch
+
+__all__ = ["FleetConfig", "FleetNetwork", "build_fleet", "fleet_events"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet of concurrent mobile networks (all knobs seeded)."""
+
+    n_networks: int = 8
+    n_nodes: int = 16
+    anchor_ratio: float = 0.3
+    n_steps: int = 5
+    radio_range: float = 0.35
+    noise_sigma: float = 0.02
+    step_sigma: float = 0.025
+    seed: int = 0
+    fault_plan: FaultPlan | None = None
+    faulted_networks: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.n_networks < 1:
+            raise ValueError("n_networks must be >= 1")
+        if self.n_steps < 0:
+            raise ValueError("n_steps must be >= 0")
+        bad = [i for i in self.faulted_networks if not 0 <= i < self.n_networks]
+        if bad:
+            raise ValueError(f"faulted_networks out of range: {bad}")
+        if self.faulted_networks and self.fault_plan is None:
+            raise ValueError("faulted_networks requires a fault_plan")
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the ckpt ledger header (resume identity)."""
+        out = dataclasses.asdict(self)
+        out["faulted_networks"] = list(self.faulted_networks)
+        if self.fault_plan is not None:
+            plan = dataclasses.asdict(self.fault_plan)
+            plan["node_outages"] = [dict(o) for o in plan["node_outages"]]
+            out["fault_plan"] = plan
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetConfig":
+        from repro.faults.plan import NodeOutage
+
+        plan = data.get("fault_plan")
+        if plan is not None:
+            plan = dict(plan)
+            plan["node_outages"] = tuple(
+                NodeOutage(**o) for o in plan.get("node_outages", [])
+            )
+            plan["failed_anchors"] = tuple(plan.get("failed_anchors", ()))
+            plan = FaultPlan(**plan)
+        return cls(
+            n_networks=int(data["n_networks"]),
+            n_nodes=int(data["n_nodes"]),
+            anchor_ratio=float(data["anchor_ratio"]),
+            n_steps=int(data["n_steps"]),
+            radio_range=float(data["radio_range"]),
+            noise_sigma=float(data["noise_sigma"]),
+            step_sigma=float(data["step_sigma"]),
+            seed=int(data["seed"]),
+            fault_plan=plan,
+            faulted_networks=tuple(int(i) for i in data.get("faulted_networks", ())),
+        )
+
+
+@dataclass
+class FleetNetwork:
+    """One fleet member: its static identity plus its full trajectory."""
+
+    network_id: int
+    anchor_mask: np.ndarray
+    trajectory: np.ndarray  # (n_steps + 1, n, 2)
+
+
+def _network_rng(config: FleetConfig, network_id: int, step: int | None = None):
+    """Generator for one network's structure (step=None) or one epoch."""
+    key = (network_id,) if step is None else (network_id, 1 + step)
+    return np.random.default_rng(
+        np.random.SeedSequence(config.seed, spawn_key=key)
+    )
+
+
+def build_fleet(config: FleetConfig) -> list[FleetNetwork]:
+    """Generate every network's topology and trajectory."""
+    radio = UnitDiskRadio(config.radio_range)
+    mobility = RandomWalkMobility(step_sigma=config.step_sigma)
+    fleet = []
+    for nid in range(config.n_networks):
+        gen = _network_rng(config, nid)
+        net = generate_network(
+            NetworkConfig(
+                n_nodes=config.n_nodes,
+                anchor_ratio=config.anchor_ratio,
+                radio=radio,
+            ),
+            rng=gen,
+        )
+        traj = mobility.trajectory(net.positions, config.n_steps, rng=gen)
+        fleet.append(FleetNetwork(nid, net.anchor_mask, traj))
+    return fleet
+
+
+def _epoch_plan(config: FleetConfig, network_id: int, step: int) -> FaultPlan:
+    """The fault plan reseeded for one epoch (independent degradation)."""
+    assert config.fault_plan is not None
+    return dataclasses.replace(
+        config.fault_plan,
+        seed=config.fault_plan.seed + 7919 * (network_id + 1) + step,
+    )
+
+
+def make_epoch(
+    config: FleetConfig, member: FleetNetwork, step: int
+) -> Epoch:
+    """Regenerate one epoch, independent of every other epoch."""
+    radio = UnitDiskRadio(config.radio_range)
+    ranging = GaussianRanging(config.noise_sigma)
+    gen = _network_rng(config, member.network_id, step)
+    positions = member.trajectory[step]
+    net = WSNetwork(
+        positions=positions,
+        anchor_mask=member.anchor_mask,
+        adjacency=radio.adjacency(positions, gen),
+        width=1.0,
+        height=1.0,
+        radio_range=radio.range_,
+    )
+    ms = observe(net, ranging, gen)
+    if config.fault_plan is not None and member.network_id in config.faulted_networks:
+        ms, _ = degrade_measurements(
+            ms, _epoch_plan(config, member.network_id, step)
+        )
+    return Epoch(
+        network_id=member.network_id,
+        step=step,
+        measurements=ms,
+        true_positions=positions,
+    )
+
+
+def fleet_events(
+    config: FleetConfig, fleet: list[FleetNetwork] | None = None
+) -> list[Epoch]:
+    """The canonical ordered feed: step-major over the whole fleet."""
+    if fleet is None:
+        fleet = build_fleet(config)
+    return [
+        make_epoch(config, member, step)
+        for step in range(config.n_steps + 1)
+        for member in fleet
+    ]

@@ -29,6 +29,7 @@ from repro.obs import (
     Tracer,
     format_trace_table,
     merge_traces,
+    reservoir_summary,
     trace_summary,
 )
 
@@ -134,6 +135,11 @@ def _exercise() -> None:
             fn(None)
         except TypeError:
             pass
+
+    # -- reservoir_summary: empty and populated reservoirs
+    assert reservoir_summary([]) == {"n": 0, "p50": None, "p99": None, "mean": None}
+    filled = reservoir_summary([1.0, 2.0, 3.0])
+    assert filled["n"] == 3 and filled["p50"] == 2.0
 
     # -- merge_traces: aggregation and both error paths
     other = Tracer(clock=lambda: 0.0)

@@ -1,0 +1,827 @@
+"""Streaming tracking runtime lane (``repro.stream``).
+
+Fast in-process lane (default suite, ``-m stream``): hostile-stream
+ingest hygiene, gap coasting, staleness shedding, the warm-start
+divergence guard, per-network failure isolation, in-process
+abort-and-resume bit-identity, the tracker warm-start step API, the
+``TrackingResult`` wire codec, and ``GridBeliefPrior`` motion-diffusion
+edge cases.
+
+Slow crash-recovery lane (``-m "stream and slow"``): a real subprocess
+SIGKILL'd mid-stream whose ledger resumes bit-identically, and a
+SIGKILL'd pool worker that gets replaced without losing a network —
+mirroring the ``ckpt``/``serve`` lanes.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckpt import (
+    Checkpoint,
+    CheckpointAbort,
+    CheckpointMismatch,
+    ledger_progress,
+)
+from repro.core.bnloc import GridBPConfig, GridBPLocalizer
+from repro.core.grid import Grid2D
+from repro.io.serialize import (
+    tracking_result_from_dict,
+    tracking_result_to_dict,
+)
+from repro.measurement.measurements import observe
+from repro.measurement.ranging import GaussianRanging
+from repro.mobility.models import RandomWalkMobility
+from repro.mobility.tracking import SequentialGridTracker, TrackingResult
+from repro.network.generator import NetworkConfig, generate_network
+from repro.network.radio import UnitDiskRadio
+from repro.network.topology import WSNetwork
+from repro.priors.belief import GridBeliefPrior, diffusion_kernel
+from repro.stream import (
+    FleetConfig,
+    InlineExecutor,
+    StreamConfig,
+    StreamDisruption,
+    StreamRuntime,
+    StreamWorkerPool,
+    fleet_events,
+    run_stream,
+)
+
+pytestmark = pytest.mark.stream
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+# One small fleet shared by the fast-lane tests: cheap, connected, seeded.
+FLEET = FleetConfig(
+    n_networks=3,
+    n_nodes=10,
+    anchor_ratio=0.3,
+    n_steps=3,
+    radio_range=0.45,
+    noise_sigma=0.02,
+    seed=11,
+)
+STREAM = StreamConfig(
+    grid_size=10,
+    warm_iterations=3,
+    cold_iterations=6,
+    reorder_window=8,
+    max_ready_burst=8,
+)
+TOTAL_CELLS = FLEET.n_networks * (FLEET.n_steps + 1)
+
+
+def _assert_same_results(a, b):
+    """Bit-identity across two StreamResults (estimates, masks, flags)."""
+    assert sorted(a.networks) == sorted(b.networks)
+    for nid in a.networks:
+        ta, tb = a.networks[nid], b.networks[nid]
+        np.testing.assert_array_equal(ta.estimates, tb.estimates)
+        np.testing.assert_array_equal(ta.localized, tb.localized)
+        np.testing.assert_array_equal(
+            ta.extras["degraded"], tb.extras["degraded"]
+        )
+        assert ta.extras["reasons"] == tb.extras["reasons"]
+
+
+# ---------------------------------------------------------------------- #
+# the seeded adversary
+# ---------------------------------------------------------------------- #
+class TestStreamDisruption:
+    def test_zero_rates_are_identity(self):
+        events = fleet_events(FLEET)
+        out, stats = StreamDisruption().apply(events)
+        assert out == events
+        assert stats.disrupted_fraction == 0.0
+
+    def test_deterministic_replay(self):
+        events = fleet_events(FLEET)
+        plan = StreamDisruption(
+            late_rate=0.3, duplicate_rate=0.2, drop_rate=0.1, seed=5
+        )
+        out1, stats1 = plan.apply(events)
+        out2, stats2 = plan.apply(events)
+        assert [(e.network_id, e.step) for e in out1] == [
+            (e.network_id, e.step) for e in out2
+        ]
+        assert stats1.n_dropped == stats2.n_dropped
+        assert stats1.n_delayed == stats2.n_delayed
+
+    def test_stats_account_for_every_event(self):
+        events = fleet_events(FLEET)
+        plan = StreamDisruption(
+            late_rate=0.4, duplicate_rate=0.3, drop_rate=0.2, seed=9
+        )
+        out, stats = plan.apply(events)
+        assert stats.n_events == len(events)
+        assert len(out) == len(events) - stats.n_dropped + stats.n_duplicated
+
+    def test_dict_round_trip(self):
+        plan = StreamDisruption(
+            late_rate=0.1, duplicate_rate=0.2, drop_rate=0.05, max_lag=4, seed=3
+        )
+        assert StreamDisruption.from_dict(plan.to_dict()) == plan
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="late_rate"):
+            StreamDisruption(late_rate=1.5)
+        with pytest.raises(ValueError, match="max_lag"):
+            StreamDisruption(max_lag=0)
+
+
+# ---------------------------------------------------------------------- #
+# watermarks + reorder buffers
+# ---------------------------------------------------------------------- #
+class TestHostileStream:
+    def test_clean_feed_solves_every_epoch(self):
+        result = run_stream(FLEET, STREAM)
+        counters = result.metrics["counters"]
+        assert counters["solved"] == TOTAL_CELLS
+        assert result.lost_networks == []
+        for tr in result.networks.values():
+            assert not tr.extras["degraded"].any()
+            assert np.isfinite(tr.estimates).all()
+
+    def test_late_and_duplicate_events_do_not_change_results(self):
+        # No drops: the reorder buffer absorbs lateness and the watermark
+        # eats echoes, so the hostile run is bit-identical to the clean
+        # one — robustness without a results tax.
+        clean = run_stream(FLEET, STREAM)
+        plan = StreamDisruption(
+            late_rate=0.3, duplicate_rate=0.25, max_lag=4, seed=0
+        )
+        hostile = run_stream(FLEET, STREAM, disruption=plan)
+        counters = hostile.metrics["counters"]
+        assert counters["out_of_order"] > 0
+        assert counters["duplicates"] > 0
+        assert counters["solved"] == TOTAL_CELLS
+        _assert_same_results(clean, hostile)
+
+    def test_duplicate_behind_watermark_is_discarded(self):
+        events = fleet_events(FLEET)
+        runtime = StreamRuntime(STREAM, expected_networks=FLEET.n_networks)
+        runtime.run(
+            events + events[:3],  # replay the first fleet round verbatim
+            final_step=FLEET.n_steps,
+            network_ids=range(FLEET.n_networks),
+            n_nodes=FLEET.n_nodes,
+        )
+        counters = runtime.metrics.snapshot()["counters"]
+        assert counters["duplicates"] == 3
+        assert counters["solved"] == TOTAL_CELLS
+
+
+class TestGapCoasting:
+    def test_dropped_epoch_is_coasted_and_flagged(self):
+        events = [
+            e for e in fleet_events(FLEET)
+            if not (e.network_id == 0 and e.step == 1)
+        ]
+        runtime = StreamRuntime(STREAM, expected_networks=FLEET.n_networks)
+        result = runtime.run(
+            events,
+            final_step=FLEET.n_steps,
+            network_ids=range(FLEET.n_networks),
+            n_nodes=FLEET.n_nodes,
+        )
+        assert result.lost_networks == []
+        tr = result.networks[0]
+        assert tr.extras["degraded"][1]
+        assert tr.extras["reasons"][1] == "coasted"
+        assert np.isfinite(tr.estimates[1]).all()  # prior expectation
+        # the steps after the hole recovered and solved normally
+        assert not tr.extras["degraded"][2:].any()
+        # the other networks never noticed
+        for nid in (1, 2):
+            assert not result.networks[nid].extras["degraded"].any()
+
+    def test_fully_dropped_network_coasts_to_final_step(self):
+        events = [e for e in fleet_events(FLEET) if e.network_id != 2]
+        runtime = StreamRuntime(STREAM, expected_networks=FLEET.n_networks)
+        result = runtime.run(
+            events,
+            final_step=FLEET.n_steps,
+            network_ids=range(FLEET.n_networks),
+            n_nodes=FLEET.n_nodes,
+        )
+        assert result.lost_networks == []
+        tr = result.networks[2]
+        assert tr.extras["degraded"].all()
+        assert tr.estimates.shape == (FLEET.n_steps + 1, FLEET.n_nodes, 2)
+        assert np.isfinite(tr.estimates).all()
+
+
+class TestStalenessShedding:
+    def test_backlog_beyond_burst_budget_is_shed(self):
+        events = [e for e in fleet_events(FLEET) if e.network_id == 0]
+        config = StreamConfig(
+            grid_size=10,
+            warm_iterations=3,
+            cold_iterations=6,
+            max_ready_burst=1,
+            batch_max=1,
+        )
+        runtime = StreamRuntime(config, expected_networks=1)
+        runtime._default_n_nodes = FLEET.n_nodes  # run()'s plumbing
+        # Ingest the whole backlog before any drain: ingest outran solve.
+        for epoch in events:
+            runtime.ingest(epoch)
+        runtime._drain(force=True)
+        counters = runtime.metrics.snapshot()["counters"]
+        assert counters["shed"] == len(events) - 1
+        assert counters["solved"] == 1
+        state = runtime._states[0]
+        for step in range(len(events) - 1):
+            assert state.steps[step]["reason"] == "shed"
+
+
+# ---------------------------------------------------------------------- #
+# warm-start divergence guard
+# ---------------------------------------------------------------------- #
+class TestDivergenceGuard:
+    def _runtime_and_epoch(self):
+        runtime = StreamRuntime(STREAM, expected_networks=FLEET.n_networks)
+        epoch = fleet_events(FLEET)[0]
+        state = runtime._state(epoch.network_id)
+        n = epoch.measurements.n_nodes
+        k = runtime._grid.n_cells
+        uniform = {i: np.full(k, 1.0 / k) for i in range(n)}
+        state.prior = GridBeliefPrior(runtime._grid, uniform)
+        state.last_estimates = np.asarray(epoch.true_positions).copy()
+        state.last_solved_step = epoch.step - 1 if epoch.step else 0
+        return runtime, state, epoch
+
+    def _ok_payload(self, epoch):
+        n = epoch.measurements.n_nodes
+        return {
+            "ok": True,
+            "estimates": np.asarray(epoch.true_positions).copy(),
+            "localized_mask": np.ones(n, dtype=bool),
+            "fallback_mask": np.zeros(n, dtype=bool),
+            "beliefs": {},
+        }
+
+    def test_plausible_warm_solve_passes(self):
+        runtime, state, epoch = self._runtime_and_epoch()
+        assert runtime._assess(state, epoch, self._ok_payload(epoch)) == "ok"
+
+    def test_solver_error_is_failed(self):
+        runtime, state, epoch = self._runtime_and_epoch()
+        assert (
+            runtime._assess(state, epoch, {"ok": False, "error": "boom"})
+            == "failed"
+        )
+
+    def test_fallback_mask_trips_guard(self):
+        runtime, state, epoch = self._runtime_and_epoch()
+        payload = self._ok_payload(epoch)
+        payload["fallback_mask"][0] = True
+        assert runtime._assess(state, epoch, payload) == "guard"
+
+    def test_broken_beliefs_trip_guard(self):
+        runtime, state, epoch = self._runtime_and_epoch()
+        payload = self._ok_payload(epoch)
+        payload["beliefs"] = {0: np.full(runtime._grid.n_cells, np.nan)}
+        assert runtime._assess(state, epoch, payload) == "guard"
+
+    def test_implausible_jump_trips_guard(self):
+        runtime, state, epoch = self._runtime_and_epoch()
+        payload = self._ok_payload(epoch)
+        payload["estimates"] = payload["estimates"] + 5.0  # teleport
+        assert runtime._assess(state, epoch, payload) == "guard"
+
+    def test_cold_solve_is_never_guarded(self):
+        runtime, state, epoch = self._runtime_and_epoch()
+        state.prior = None  # cold start: nothing to poison
+        payload = self._ok_payload(epoch)
+        payload["estimates"] = payload["estimates"] + 5.0
+        assert runtime._assess(state, epoch, payload) == "ok"
+
+    def test_poisoned_prior_falls_back_to_cold_resolve(self):
+        # Seed network 0 with a confident wrong prior: the warm solve's
+        # estimates jump implausibly far from the (fake) previous ones,
+        # the guard trips, and the epoch lands cold-resolved + flagged.
+        runtime = StreamRuntime(STREAM, expected_networks=FLEET.n_networks)
+        events = [e for e in fleet_events(FLEET) if e.network_id == 0]
+        state = runtime._state(0)
+        k = runtime._grid.n_cells
+        corner = np.zeros(k)
+        corner[0] = 1.0
+        n = events[0].measurements.n_nodes
+        state.prior = GridBeliefPrior(
+            runtime._grid, {i: corner for i in range(n)}
+        )
+        state.last_estimates = np.full((n, 2), 0.03)
+        state.last_solved_step = -1
+        result = runtime.run(
+            events, final_step=FLEET.n_steps, network_ids=[0],
+            n_nodes=FLEET.n_nodes,
+        )
+        counters = runtime.metrics.snapshot()["counters"]
+        assert counters["guard_trips"] >= 1
+        assert counters["cold_resolves"] >= 1
+        tr = result.networks[0]
+        assert tr.extras["degraded"][0]
+        assert tr.extras["reasons"][0] == "warm-divergence"
+        # the cold re-solve produced real estimates, not garbage
+        assert np.isfinite(tr.estimates[0]).all()
+        assert result.lost_networks == []
+
+
+# ---------------------------------------------------------------------- #
+# per-network failure isolation
+# ---------------------------------------------------------------------- #
+class _PoisonFirstItem:
+    """Executor that corrupts the first item of the first batch only."""
+
+    def __init__(self):
+        self.inner = InlineExecutor()
+        self.poisoned = False
+
+    def solve(self, items):
+        payloads = self.inner.solve(items)
+        if not self.poisoned and payloads:
+            payloads[0] = {"ok": False, "error": "injected"}
+            self.poisoned = True
+        return payloads
+
+    def close(self):
+        pass
+
+    def snapshot(self):
+        return self.inner.snapshot()
+
+
+class TestFailureIsolation:
+    def test_one_failing_epoch_never_stalls_the_fleet(self):
+        events = fleet_events(FLEET)
+        clean = StreamRuntime(STREAM, expected_networks=FLEET.n_networks).run(
+            events, final_step=FLEET.n_steps,
+            network_ids=range(FLEET.n_networks), n_nodes=FLEET.n_nodes,
+        )
+        runtime = StreamRuntime(
+            STREAM, executor=_PoisonFirstItem(),
+            expected_networks=FLEET.n_networks,
+        )
+        result = runtime.run(
+            events, final_step=FLEET.n_steps,
+            network_ids=range(FLEET.n_networks), n_nodes=FLEET.n_nodes,
+        )
+        counters = runtime.metrics.snapshot()["counters"]
+        assert counters["failed"] == 1
+        assert result.lost_networks == []
+        # the poisoned epoch: health-fallback estimates, flagged
+        poisoned = result.networks[0]
+        assert poisoned.extras["degraded"][0]
+        assert poisoned.extras["reasons"][0] == "injected"
+        assert np.isfinite(poisoned.estimates[0]).all()
+        # batch-mates were untouched: bit-identical to the clean run
+        for nid in (1, 2):
+            np.testing.assert_array_equal(
+                result.networks[nid].estimates, clean.networks[nid].estimates
+            )
+
+    def test_faultplan_network_is_isolated(self):
+        from repro.faults import FaultPlan
+
+        fleet = FleetConfig(
+            n_networks=3,
+            n_nodes=10,
+            anchor_ratio=0.3,
+            n_steps=2,
+            radio_range=0.45,
+            noise_sigma=0.02,
+            seed=11,
+            fault_plan=FaultPlan(
+                anchor_failure_rate=0.5,
+                link_loss_rate=0.3,
+                outlier_fraction=0.3,
+                outlier_bias_ratio=1.5,
+                seed=4,
+            ),
+            faulted_networks=(0,),
+        )
+        result = run_stream(fleet, STREAM)
+        assert result.lost_networks == []
+        # the healthy networks are untouched by network 0's faults
+        for nid in (1, 2):
+            assert np.isfinite(result.networks[nid].estimates).all()
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint / resume
+# ---------------------------------------------------------------------- #
+class TestCheckpointResume:
+    PLAN = StreamDisruption(late_rate=0.2, duplicate_rate=0.1, seed=7)
+
+    def test_abort_and_resume_bit_identical(self, tmp_path):
+        reference = run_stream(FLEET, STREAM, disruption=self.PLAN)
+        ledger = tmp_path / "stream.jsonl"
+        ck = Checkpoint(ledger, abort_after=5)
+        with pytest.raises(CheckpointAbort):
+            run_stream(FLEET, STREAM, disruption=self.PLAN, checkpoint=ck)
+        ck.close()
+        progress = ledger_progress(ledger)
+        assert progress.meta["kind"] == "stream"
+        assert progress.n_done == 5
+        resumed = run_stream(
+            FLEET, STREAM, disruption=self.PLAN, checkpoint=str(ledger)
+        )
+        _assert_same_results(resumed, reference)
+        assert ledger_progress(ledger).complete
+
+    def test_checkpointed_run_matches_uncheckpointed(self, tmp_path):
+        plain = run_stream(FLEET, STREAM)
+        ledgered = run_stream(
+            FLEET, STREAM, checkpoint=str(tmp_path / "s.jsonl")
+        )
+        _assert_same_results(plain, ledgered)
+
+    def test_complete_ledger_replays_everything(self, tmp_path):
+        ledger = tmp_path / "s.jsonl"
+        first = run_stream(FLEET, STREAM, checkpoint=str(ledger))
+        replayed = run_stream(FLEET, STREAM, checkpoint=str(ledger))
+        counters = replayed.metrics["counters"]
+        assert counters["replayed"] == TOTAL_CELLS
+        assert counters.get("solved", 0) == 0
+        _assert_same_results(first, replayed)
+
+    def test_mismatched_run_is_rejected(self, tmp_path):
+        ledger = tmp_path / "s.jsonl"
+        run_stream(FLEET, STREAM, checkpoint=str(ledger))
+        other = FleetConfig(
+            n_networks=3, n_nodes=10, anchor_ratio=0.3, n_steps=3,
+            radio_range=0.45, noise_sigma=0.02, seed=99,
+        )
+        with pytest.raises(CheckpointMismatch):
+            run_stream(other, STREAM, checkpoint=str(ledger))
+
+
+# ---------------------------------------------------------------------- #
+# tracker warm-start step API (satellite: no per-step rebuild)
+# ---------------------------------------------------------------------- #
+class TestTrackerStepAPI:
+    def _scenario(self, seed=101):
+        gen = np.random.default_rng(seed)
+        radio = UnitDiskRadio(0.45)
+        net = generate_network(
+            NetworkConfig(n_nodes=12, anchor_ratio=0.3, radio=radio), rng=gen
+        )
+        traj = RandomWalkMobility(step_sigma=0.03).trajectory(
+            net.positions, 3, rng=gen
+        )
+        return radio, net, traj
+
+    def test_step_bit_identical_to_fresh_localizer_per_step(self):
+        radio, net, traj = self._scenario()
+        ranging = GaussianRanging(0.02)
+        config = GridBPConfig(grid_size=10, max_iterations=5)
+        motion_sigma = 0.04
+
+        tracker = SequentialGridTracker(
+            radio, ranging, motion_sigma=motion_sigma, config=config
+        )
+        shared = tracker.track(traj, net.anchor_mask, rng=7)
+
+        # The pre-refactor path: a brand-new localizer, grid, and
+        # diffusion kernel per step, identical rng stream.
+        gen = np.random.default_rng(7)
+        prior = None
+        fresh = np.full_like(shared.estimates, np.nan)
+        for t in range(traj.shape[0]):
+            snap = WSNetwork(
+                positions=traj[t],
+                anchor_mask=net.anchor_mask,
+                adjacency=radio.adjacency(traj[t], gen),
+                width=1.0,
+                height=1.0,
+                radio_range=radio.range_,
+            )
+            ms = observe(snap, ranging, gen)
+            loc = GridBPLocalizer(radio=radio, prior=prior, config=config)
+            res = loc.localize(ms, gen)
+            grid = Grid2D(config.grid_size, config.grid_size, 1.0, 1.0)
+            prior = GridBeliefPrior(
+                grid, res.extras["beliefs"], diffusion_sigma=motion_sigma
+            )
+            fresh[t] = res.estimates
+        np.testing.assert_array_equal(shared.estimates, fresh)
+
+    def test_step_returns_result_and_diffused_prior(self):
+        radio, net, traj = self._scenario()
+        tracker = SequentialGridTracker(
+            radio, GaussianRanging(0.02), motion_sigma=0.04,
+            config=GridBPConfig(grid_size=10, max_iterations=5),
+        )
+        gen = np.random.default_rng(3)
+        snap = WSNetwork(
+            positions=traj[0],
+            anchor_mask=net.anchor_mask,
+            adjacency=radio.adjacency(traj[0], gen),
+            width=1.0,
+            height=1.0,
+            radio_range=radio.range_,
+        )
+        ms = observe(snap, GaussianRanging(0.02), gen)
+        result, nxt = tracker.step(ms, None, gen)
+        assert result.estimates.shape == (12, 2)
+        assert isinstance(nxt, GridBeliefPrior)
+        assert nxt.diffusion_sigma == 0.04
+        # the cold-start prior was cleared, not left dangling
+        assert tracker._localizer.prior is None
+
+    def test_grid_is_cached_until_geometry_changes(self):
+        tracker = SequentialGridTracker(
+            UnitDiskRadio(0.4), GaussianRanging(0.02),
+            config=GridBPConfig(grid_size=8),
+        )
+        g1 = tracker.grid_for(1.0, 1.0)
+        assert tracker.grid_for(1.0, 1.0) is g1
+        g2 = tracker.grid_for(2.0, 1.0)
+        assert g2 is not g1
+        assert g2.width == 2.0
+
+
+# ---------------------------------------------------------------------- #
+# TrackingResult wire codec (satellite)
+# ---------------------------------------------------------------------- #
+class TestTrackingResultCodec:
+    def _result(self):
+        estimates = np.full((3, 4, 2), np.nan)
+        estimates[0] = np.arange(8).reshape(4, 2) / 7.0
+        localized = np.zeros((3, 4), dtype=bool)
+        localized[0] = True
+        degraded = np.array([False, True, True])
+        return TrackingResult(
+            estimates,
+            localized,
+            "stream-grid-bp",
+            extras={"degraded": degraded, "reasons": [None, "coasted", "shed"]},
+        )
+
+    def test_round_trip_is_bit_exact(self):
+        original = self._result()
+        back = tracking_result_from_dict(tracking_result_to_dict(original))
+        assert isinstance(back, TrackingResult)
+        np.testing.assert_array_equal(back.estimates, original.estimates)
+        assert back.estimates.dtype == original.estimates.dtype
+        np.testing.assert_array_equal(back.localized, original.localized)
+        assert back.localized.dtype == np.bool_
+        assert back.method == original.method
+        np.testing.assert_array_equal(
+            back.extras["degraded"], original.extras["degraded"]
+        )
+        assert back.extras["reasons"] == original.extras["reasons"]
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        original = self._result()
+        wire = json.loads(json.dumps(tracking_result_to_dict(original)))
+        back = tracking_result_from_dict(wire)
+        np.testing.assert_array_equal(back.estimates, original.estimates)
+        np.testing.assert_array_equal(back.localized, original.localized)
+
+    def test_tag_is_validated(self):
+        payload = tracking_result_to_dict(self._result())
+        payload["kind"] = "something-else"
+        with pytest.raises(ValueError, match="tracking-result"):
+            tracking_result_from_dict(payload)
+
+    def test_empty_extras(self):
+        tr = TrackingResult(
+            np.zeros((1, 2, 2)), np.ones((1, 2), dtype=bool), "mcl"
+        )
+        back = tracking_result_from_dict(tracking_result_to_dict(tr))
+        assert back.extras == {}
+
+
+# ---------------------------------------------------------------------- #
+# GridBeliefPrior motion-diffusion edge cases (satellite)
+# ---------------------------------------------------------------------- #
+class TestBeliefDiffusionEdges:
+    GRID = Grid2D(8, 8, 1.0, 1.0)
+
+    def test_zero_sigma_is_identity(self):
+        w = np.zeros(self.GRID.n_cells)
+        w[13] = 0.75
+        w[50] = 0.25
+        prior = GridBeliefPrior(self.GRID, {0: w}, diffusion_sigma=0.0, floor=0.0)
+        np.testing.assert_array_equal(prior.weights[0], w)
+
+    def test_boundary_mass_is_conserved(self):
+        # All mass in a corner cell: the truncated, column-normalized
+        # kernel piles mass against the field edge instead of leaking it.
+        w = np.zeros(self.GRID.n_cells)
+        w[0] = 1.0
+        prior = GridBeliefPrior(
+            self.GRID, {0: w}, diffusion_sigma=0.15, floor=0.0
+        )
+        out = prior.weights[0]
+        assert np.isclose(out.sum(), 1.0)
+        assert (out >= 0).all()
+        assert out[0] > 0  # the source cell keeps mass
+
+    def test_uniform_prior_stays_near_uniform(self):
+        k = self.GRID.n_cells
+        w = np.full(k, 1.0 / k)
+        prior = GridBeliefPrior(
+            self.GRID, {0: w}, diffusion_sigma=0.08, floor=0.0
+        )
+        out = prior.weights[0]
+        assert np.isclose(out.sum(), 1.0)
+        assert out.min() > 0
+        # diffusion redistributes but cannot manufacture structure:
+        # every cell stays within a factor of 2 of uniform
+        assert np.abs(out - 1.0 / k).max() < 1.0 / k
+
+    def test_kernel_cache_is_bit_identical_to_fresh(self):
+        from repro.priors import belief
+
+        grid = Grid2D(6, 6, 1.0, 1.0)
+        cached = diffusion_kernel(grid, 0.1)
+        assert diffusion_kernel(grid, 0.1) is cached  # LRU hit
+        belief._KERNEL_CACHE.clear()
+        rebuilt = diffusion_kernel(grid, 0.1)
+        np.testing.assert_array_equal(rebuilt, cached)
+
+    def test_kernel_requires_positive_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            diffusion_kernel(self.GRID, 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        sigma=st.floats(0.01, 0.4),
+    )
+    def test_diffusion_never_produces_nan_or_negative_mass(self, seed, sigma):
+        gen = np.random.default_rng(seed)
+        w = gen.random(self.GRID.n_cells) ** 3  # spiky but non-negative
+        w[gen.integers(0, self.GRID.n_cells)] += 1.0  # never all-zero
+        prior = GridBeliefPrior(
+            self.GRID, {0: w}, diffusion_sigma=sigma, floor=0.0
+        )
+        out = prior.weights[0]
+        assert np.isfinite(out).all()
+        assert (out >= 0).all()
+        assert np.isclose(out.sum(), 1.0)
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+class TestStreamCLI:
+    def test_stream_and_resume_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger = tmp_path / "cli.jsonl"
+        rc = main(
+            [
+                "stream",
+                "--networks", "2",
+                "--nodes", "10",
+                "--steps", "2",
+                "--grid", "10",
+                "--late", "0.2",
+                "--seed", "11",
+                "--checkpoint", str(ledger),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lost networks: 0" in out
+        rc = main(["resume", str(ledger)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed stream" in out
+        assert "lost networks: 0" in out
+
+
+# ---------------------------------------------------------------------- #
+# worker pool (slow: spawns real processes)
+# ---------------------------------------------------------------------- #
+@pytest.mark.slow
+class TestStreamWorkerPool:
+    def test_pool_matches_inline_and_survives_sigkill(self):
+        events = fleet_events(FLEET)
+        inline = StreamRuntime(
+            STREAM, expected_networks=FLEET.n_networks
+        ).run(
+            events, final_step=FLEET.n_steps,
+            network_ids=range(FLEET.n_networks), n_nodes=FLEET.n_nodes,
+        )
+        pool = StreamWorkerPool(2, timeout_s=60.0)
+        try:
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            time.sleep(0.2)
+            runtime = StreamRuntime(
+                STREAM, executor=pool, expected_networks=FLEET.n_networks
+            )
+            pooled = runtime.run(
+                events, final_step=FLEET.n_steps,
+                network_ids=range(FLEET.n_networks), n_nodes=FLEET.n_nodes,
+            )
+        finally:
+            pool.close()
+        assert pool.replacements >= 1
+        assert pooled.lost_networks == []
+        # n_workers (and worker death) is a pure throughput knob
+        _assert_same_results(pooled, inline)
+
+
+# ---------------------------------------------------------------------- #
+# crash recovery: real subprocess, real SIGKILL
+# ---------------------------------------------------------------------- #
+_CRASH_SCRIPT = """\
+import sys
+
+from repro.stream import FleetConfig, StreamConfig, StreamDisruption, run_stream
+
+
+def main():
+    fleet = FleetConfig(
+        n_networks=3, n_nodes=10, anchor_ratio=0.3, n_steps=3,
+        radio_range=0.45, noise_sigma=0.02, seed=11,
+    )
+    stream = StreamConfig(
+        grid_size=10, warm_iterations=3, cold_iterations=6,
+        reorder_window=8, max_ready_burst=8,
+    )
+    plan = StreamDisruption(late_rate=0.2, duplicate_rate=0.1, seed=7)
+    run_stream(fleet, stream, disruption=plan, checkpoint=sys.argv[1])
+
+
+if __name__ == "__main__":
+    main()
+"""
+
+
+@pytest.mark.slow
+class TestCrashRecovery:
+    """SIGKILL a checkpointed stream subprocess mid-run, resume its
+    ledger in-process, and demand bit-identity with an uninterrupted
+    run — the tentpole's resumability contract."""
+
+    PLAN = StreamDisruption(late_rate=0.2, duplicate_rate=0.1, seed=7)
+
+    def _spawn(self, tmp_path):
+        # spawned multiprocessing workers cannot re-import <stdin>, and
+        # the killed process must be a real interpreter: a script file
+        script = tmp_path / "stream_forever.py"
+        script.write_text(_CRASH_SCRIPT)
+        ledger = tmp_path / "stream.jsonl"
+        env = dict(os.environ, PYTHONPATH=str(_SRC))
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(ledger)],
+            env=env,
+            cwd=tmp_path,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        return proc, ledger
+
+    def _wait_for_records(self, proc, ledger, n_lines, timeout=90.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if ledger.exists() and ledger.read_text().count("\n") >= n_lines:
+                return True
+            if proc.poll() is not None:
+                return False
+            time.sleep(0.005)
+        pytest.fail("subprocess produced no durable records in time")
+
+    def test_sigkill_mid_stream_then_resume_bit_identical(self, tmp_path):
+        proc, ledger = self._spawn(tmp_path)
+        mid_run = self._wait_for_records(proc, ledger, 3)
+        killed = proc.poll() is None
+        if killed:
+            os.kill(proc.pid, signal.SIGKILL)
+        _, stderr = proc.communicate(timeout=30)
+        if not mid_run and proc.returncode != 0:
+            pytest.fail(f"subprocess died on its own: {stderr.decode()!r}")
+        if killed:
+            assert proc.returncode == -signal.SIGKILL
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # torn tail ok
+            progress = ledger_progress(ledger)
+        assert progress.meta["kind"] == "stream"
+        assert progress.n_done >= 1
+        resumed = run_stream(
+            FLEET, STREAM, disruption=self.PLAN, checkpoint=str(ledger)
+        )
+        reference = run_stream(FLEET, STREAM, disruption=self.PLAN)
+        _assert_same_results(resumed, reference)
+        assert resumed.lost_networks == []
+        # the ledger is now complete: a second resume re-runs nothing
+        assert ledger_progress(ledger).complete
